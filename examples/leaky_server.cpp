@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A session-based key-value server monitored by SafeMem in production:
+ * demonstrates the full §3 pipeline — lifetime learning, SLeak outlier
+ * detection, ECC false-positive pruning — on a server with both a real
+ * sometimes-leak (the error path forgets its reply buffer) and a
+ * keep-alive behaviour that would be a false positive without pruning.
+ *
+ *   build/examples/leaky_server
+ */
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "common/random.h"
+#include "common/shadow_stack.h"
+#include "os/machine.h"
+#include "safemem/safemem.h"
+#include "safemem/watch_manager.h"
+
+using namespace safemem;
+
+namespace {
+
+constexpr std::uint64_t kSiteReply = 1;   ///< leaks on the error path
+constexpr std::uint64_t kSiteSession = 2; ///< long-lived, later touched
+
+} // namespace
+
+int
+main()
+{
+    Machine machine;
+    HeapAllocator allocator(machine);
+    EccWatchManager backend(machine);
+    backend.installFaultHandler();
+    backend.installScrubHooks();
+
+    SafeMemConfig config;
+    config.warmupTime = 400'000;
+    config.checkingPeriod = 20'000;
+    config.minStableTime = 200'000;
+    config.leakReportThreshold = 1'500'000;
+    config.suspectCooldown = 300'000;
+    SafeMemTool safemem(machine, allocator, backend, config);
+
+    ShadowStack stack;
+    Rng rng(2026);
+
+    // Keep-alive sessions: mostly short, every 12th lives long and is
+    // then touched — exactly the behaviour ECC pruning exists for.
+    struct Session
+    {
+        VirtAddr state;
+        std::uint64_t closeAt;
+        bool keepAlive;
+    };
+    std::deque<Session> sessions;
+
+    std::printf("serving 4000 requests...\n");
+    std::uint64_t leaked = 0;
+    for (std::uint64_t request = 0; request < 4000; ++request) {
+        // Close sessions whose hold expired (touch keep-alive state).
+        while (!sessions.empty() &&
+               sessions.front().closeAt <= request) {
+            Session session = sessions.front();
+            sessions.pop_front();
+            if (session.keepAlive)
+                machine.load<std::uint64_t>(session.state);
+            safemem.toolFree(session.state);
+        }
+
+        // Open a session every 4th request.
+        if (request % 4 == 0) {
+            FrameGuard frame(stack, 0x410000);
+            Session session;
+            session.keepAlive = (request / 4) % 12 == 11;
+            session.state =
+                safemem.toolAlloc(96, stack, kSiteSession);
+            machine.store<std::uint64_t>(session.state, request);
+            session.closeAt =
+                request + (session.keepAlive ? 40 : 6);
+            sessions.push_back(session);
+            // Keep the deque sorted by close time.
+            for (auto it = sessions.end() - 1;
+                 it != sessions.begin() && (it - 1)->closeAt > it->closeAt;
+                 --it)
+                std::swap(*(it - 1), *it);
+        }
+
+        // Serve a lookup.
+        FrameGuard frame(stack, 0x420000);
+        VirtAddr reply = safemem.toolAlloc(256, stack, kSiteReply);
+        machine.store<std::uint64_t>(reply, request * 31);
+        machine.compute(9'000);
+
+        if (rng.chance(0.04)) {
+            // Error path: reply never freed — the injected bug.
+            machine.compute(2'000);
+            ++leaked;
+            continue;
+        }
+        machine.load<std::uint64_t>(reply); // "send"
+        safemem.toolFree(reply);
+    }
+    while (!sessions.empty()) {
+        safemem.toolFree(sessions.front().state);
+        sessions.pop_front();
+    }
+    safemem.finish();
+
+    const LeakDetector &detector = safemem.leakDetector();
+    std::printf("\nground truth: %llu reply buffers leaked\n",
+                static_cast<unsigned long long>(leaked));
+    std::printf("suspects watched: %llu, pruned by access: %llu\n",
+                static_cast<unsigned long long>(
+                    detector.stats().get("suspects_watched")),
+                static_cast<unsigned long long>(
+                    detector.prunedSuspects()));
+    std::printf("leak reports:\n");
+    for (const LeakReport &report : detector.reports()) {
+        std::printf("  %s-leak of %llu-byte objects at site %llu "
+                    "(%llu still live)\n",
+                    report.kind == LeakKind::Always ? "always"
+                                                    : "sometimes",
+                    static_cast<unsigned long long>(report.objectSize),
+                    static_cast<unsigned long long>(report.siteTag),
+                    static_cast<unsigned long long>(report.liveCount));
+    }
+    if (detector.reports().empty())
+        std::printf("  (none)\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Rebuild everything from scratch, run the full test suite, and
+# regenerate every table and figure of the paper into bench_output.txt.
+#
+#   scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+echo "== tables and figures =="
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+    "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "done: see test_output.txt, bench_output.txt and EXPERIMENTS.md"

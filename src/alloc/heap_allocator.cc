@@ -1,0 +1,207 @@
+#include "alloc/heap_allocator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+namespace {
+
+/** Slab size for small size classes. */
+constexpr std::size_t kSlabBytes = 64 * 1024;
+
+/** Largest request served from slabs; above this we map directly. */
+constexpr std::size_t kMaxSlabClass = 16 * 1024;
+
+} // namespace
+
+HeapAllocator::HeapAllocator(Machine &machine)
+    : machine_(machine)
+{
+}
+
+std::size_t
+HeapAllocator::sizeClass(std::size_t size, std::size_t alignment)
+{
+    // Classes are multiples of the requested alignment (at least the
+    // default), so chunks carved at class-size strides inside an aligned
+    // slab stay aligned, and class rounding wastes at most one stride.
+    std::size_t stride = std::max(alignment, kDefaultAlignment);
+    return alignUp(std::max(size, kDefaultAlignment), stride);
+}
+
+void
+HeapAllocator::refill(std::size_t chunk_size)
+{
+    VirtAddr slab = machine_.kernel().mapRegion(kSlabBytes);
+    std::vector<VirtAddr> &list = freeLists_[chunk_size];
+    // Carve back-to-front so allocation order is front-to-back.
+    for (std::size_t off = kSlabBytes; off >= chunk_size; off -= chunk_size)
+        list.push_back(slab + off - chunk_size);
+    stats_.add("slabs_mapped");
+}
+
+VirtAddr
+HeapAllocator::allocate(std::size_t size, std::size_t alignment)
+{
+    if (size == 0)
+        size = 1;
+    if (!std::has_single_bit(alignment))
+        panic("HeapAllocator: alignment ", alignment, " not a power of two");
+
+    stats_.add("allocs");
+    totalRequested_ += size;
+
+    VirtAddr addr;
+    std::size_t capacity;
+    bool slab_backed;
+
+    std::size_t cls = sizeClass(size, alignment);
+    if (cls <= kMaxSlabClass) {
+        std::vector<VirtAddr> &list = freeLists_[cls];
+        if (list.empty())
+            refill(cls);
+        addr = list.back();
+        list.pop_back();
+        capacity = cls;
+        slab_backed = true;
+    } else {
+        // Large allocation: dedicated page-backed region.
+        addr = machine_.kernel().mapRegion(alignUp(size, kPageSize));
+        capacity = alignUp(size, kPageSize);
+        slab_backed = false;
+        stats_.add("large_allocs");
+    }
+
+    Block &block = blocks_[addr];
+    block.requested = size;
+    block.capacity = capacity;
+    block.live = true;
+    block.slabBacked = slab_backed;
+
+    liveBytes_ += size;
+    peakLiveBytes_ = std::max(peakLiveBytes_, liveBytes_);
+    return addr;
+}
+
+void
+HeapAllocator::deallocate(VirtAddr addr)
+{
+    auto it = blocks_.find(addr);
+    if (it == blocks_.end() || !it->second.live)
+        panic("HeapAllocator: free of non-live address ", addr);
+
+    Block &block = it->second;
+    block.live = false;
+    liveBytes_ -= block.requested;
+    stats_.add("frees");
+
+    if (block.slabBacked) {
+        freeLists_[block.capacity].push_back(addr);
+    } else {
+        machine_.kernel().unmapRegion(addr, block.capacity);
+        blocks_.erase(it);
+    }
+}
+
+VirtAddr
+HeapAllocator::reallocate(VirtAddr addr, std::size_t new_size)
+{
+    if (addr == 0)
+        return allocate(new_size);
+    auto it = blocks_.find(addr);
+    if (it == blocks_.end() || !it->second.live)
+        panic("HeapAllocator: realloc of non-live address ", addr);
+
+    stats_.add("reallocs");
+    std::size_t old_size = it->second.requested;
+    if (new_size <= it->second.capacity) {
+        // Fits in place; adjust the accounted size.
+        liveBytes_ += new_size;
+        liveBytes_ -= old_size;
+        peakLiveBytes_ = std::max(peakLiveBytes_, liveBytes_);
+        totalRequested_ += new_size > old_size ? new_size - old_size : 0;
+        it->second.requested = new_size;
+        return addr;
+    }
+
+    VirtAddr fresh = allocate(new_size);
+    std::vector<std::uint8_t> buffer(std::min(old_size, new_size));
+    machine_.read(addr, buffer.data(), buffer.size());
+    machine_.write(fresh, buffer.data(), buffer.size());
+    deallocate(addr);
+    return fresh;
+}
+
+VirtAddr
+HeapAllocator::allocateZeroed(std::size_t count, std::size_t size)
+{
+    std::size_t bytes = count * size;
+    VirtAddr addr = allocate(bytes);
+    std::vector<std::uint8_t> zeros(bytes, 0);
+    machine_.write(addr, zeros.data(), zeros.size());
+    return addr;
+}
+
+std::size_t
+HeapAllocator::blockSize(VirtAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    if (it == blocks_.end() || !it->second.live)
+        panic("HeapAllocator: blockSize of non-live address ", addr);
+    return it->second.requested;
+}
+
+std::size_t
+HeapAllocator::blockCapacity(VirtAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    if (it == blocks_.end() || !it->second.live)
+        panic("HeapAllocator: blockCapacity of non-live address ", addr);
+    return it->second.capacity;
+}
+
+bool
+HeapAllocator::isLive(VirtAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    return it != blocks_.end() && it->second.live;
+}
+
+bool
+HeapAllocator::isSlabBacked(VirtAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    if (it == blocks_.end())
+        panic("HeapAllocator: isSlabBacked of unknown address ", addr);
+    return it->second.slabBacked;
+}
+
+VirtAddr
+HeapAllocator::findBlock(VirtAddr addr) const
+{
+    auto it = blocks_.upper_bound(addr);
+    if (it == blocks_.begin())
+        return 0;
+    --it;
+    if (!it->second.live)
+        return 0;
+    if (addr < it->first + it->second.requested)
+        return it->first;
+    return 0;
+}
+
+void
+HeapAllocator::forEachLive(
+    const std::function<void(VirtAddr, std::size_t)> &fn) const
+{
+    for (const auto &[addr, block] : blocks_) {
+        if (block.live)
+            fn(addr, block.requested);
+    }
+}
+
+} // namespace safemem

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Segregated-free-list heap allocator over the simulated virtual memory.
+ *
+ * This is the substrate SafeMem, Purify and the page-protection monitor
+ * interpose on, the way the paper preloads wrappers over glibc
+ * malloc/free/calloc/realloc. Power-of-two size classes are carved from
+ * page-backed slabs; larger requests map dedicated regions. Alignment is
+ * a first-class parameter because SafeMem requires every monitored buffer
+ * to be cache-line aligned (paper §4) and the page-protection baseline
+ * requires page alignment.
+ *
+ * Block metadata is kept out-of-band (host-side), so an overflowing
+ * application write lands in neighbouring *data*, never in allocator
+ * metadata — which matches the paper's threat model: the tools, not the
+ * allocator, are responsible for catching stray accesses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "os/machine.h"
+
+namespace safemem {
+
+class HeapAllocator
+{
+  public:
+    /** Default alignment of returned blocks. */
+    static constexpr std::size_t kDefaultAlignment = 16;
+
+    explicit HeapAllocator(Machine &machine);
+
+    /**
+     * Allocate @p size bytes aligned to @p alignment (power of two,
+     * >= 16). @return the block's base virtual address.
+     */
+    VirtAddr allocate(std::size_t size,
+                      std::size_t alignment = kDefaultAlignment);
+
+    /** Free a block previously returned by allocate()/reallocate(). */
+    void deallocate(VirtAddr addr);
+
+    /**
+     * Grow/shrink @p addr to @p new_size, copying the overlapping bytes
+     * through the machine (so the copy is charged and observable).
+     */
+    VirtAddr reallocate(VirtAddr addr, std::size_t new_size);
+
+    /** calloc analog: allocate and zero @p count * @p size bytes. */
+    VirtAddr allocateZeroed(std::size_t count, std::size_t size);
+
+    /** @return the requested size of live block @p addr. */
+    std::size_t blockSize(VirtAddr addr) const;
+
+    /** @return the rounded (size-class) capacity of live block @p addr. */
+    std::size_t blockCapacity(VirtAddr addr) const;
+
+    /** @return true when @p addr is the base of a live block. */
+    bool isLive(VirtAddr addr) const;
+
+    /**
+     * @return true when block @p addr (live or freed) came from a slab;
+     * false for direct-mapped large blocks, whose pages are returned to
+     * the kernel on free.
+     */
+    bool isSlabBacked(VirtAddr addr) const;
+
+    /**
+     * @return the base of the live block containing @p addr, or 0 when
+     * @p addr points into no live block. Used by Purify's checker.
+     */
+    VirtAddr findBlock(VirtAddr addr) const;
+
+    /** Visit every live block as (base, requested_size). */
+    void forEachLive(
+        const std::function<void(VirtAddr, std::size_t)> &fn) const;
+
+    /** @return bytes currently live (sum of requested sizes). */
+    std::uint64_t liveBytes() const { return liveBytes_; }
+
+    /** @return high-water mark of liveBytes(). */
+    std::uint64_t peakLiveBytes() const { return peakLiveBytes_; }
+
+    /** @return cumulative bytes ever requested. */
+    std::uint64_t totalRequestedBytes() const { return totalRequested_; }
+
+    /** @return allocator statistics. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Block
+    {
+        std::size_t requested = 0; ///< size the caller asked for
+        std::size_t capacity = 0;  ///< size-class capacity
+        bool live = false;
+        bool slabBacked = true;    ///< false for direct-mapped large blocks
+    };
+
+    /** @return the size class (chunk size) covering @p size / @p align. */
+    static std::size_t sizeClass(std::size_t size, std::size_t alignment);
+
+    /** Carve a new slab for @p chunk_size and refill its free list. */
+    void refill(std::size_t chunk_size);
+
+    Machine &machine_;
+    /** Free chunks per size class (key = chunk size). */
+    std::unordered_map<std::size_t, std::vector<VirtAddr>> freeLists_;
+    /** All known blocks, live and freed, ordered for containment search. */
+    std::map<VirtAddr, Block> blocks_;
+
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t peakLiveBytes_ = 0;
+    std::uint64_t totalRequested_ = 0;
+    StatSet stats_;
+};
+
+} // namespace safemem

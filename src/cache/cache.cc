@@ -1,0 +1,160 @@
+#include "cache/cache.h"
+
+#include <cstring>
+
+#include "common/costs.h"
+#include "common/logging.h"
+
+namespace safemem {
+
+Cache::Cache(MemoryController &controller, CycleClock &clock,
+             CacheConfig config)
+    : controller_(controller), clock_(clock), config_(config)
+{
+    if (config_.sets == 0 || config_.ways == 0)
+        fatal("Cache: geometry must be non-zero");
+    sets_.assign(config_.sets, std::vector<Way>(config_.ways));
+}
+
+std::size_t
+Cache::setIndex(PhysAddr line_addr) const
+{
+    return (line_addr / kCacheLineSize) % config_.sets;
+}
+
+Cache::Way *
+Cache::lookup(PhysAddr line_addr)
+{
+    for (Way &way : sets_[setIndex(line_addr)]) {
+        if (way.valid && way.lineAddr == line_addr)
+            return &way;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::lookup(PhysAddr line_addr) const
+{
+    for (const Way &way : sets_[setIndex(line_addr)]) {
+        if (way.valid && way.lineAddr == line_addr)
+            return &way;
+    }
+    return nullptr;
+}
+
+Cache::Way *
+Cache::ensureResident(PhysAddr line_addr)
+{
+    if (Way *way = lookup(line_addr)) {
+        clock_.advance(kCacheHitCycles);
+        stats_.add("hits");
+        way->lastUse = ++useCounter_;
+        return way;
+    }
+
+    stats_.add("misses");
+    clock_.advance(kCacheMissMgmtCycles);
+
+    // Victim: first invalid way, else LRU.
+    std::vector<Way> &set = sets_[setIndex(line_addr)];
+    Way *victim = &set[0];
+    for (Way &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    if (victim->valid && victim->dirty) {
+        stats_.add("writebacks");
+        controller_.evictLine(victim->lineAddr, victim->data);
+    }
+    victim->valid = false;
+
+    LineData data;
+    if (!controller_.fillLine(line_addr, data)) {
+        // Uncorrectable ECC error: the interrupt handler has run; do not
+        // install the line, let the access restart.
+        stats_.add("faulted_fills");
+        return nullptr;
+    }
+
+    victim->valid = true;
+    victim->dirty = false;
+    victim->lineAddr = line_addr;
+    victim->lastUse = ++useCounter_;
+    victim->data = data;
+    return victim;
+}
+
+bool
+Cache::read(PhysAddr addr, void *out, std::size_t size)
+{
+    PhysAddr line_addr = alignDown(addr, kCacheLineSize);
+    if (addr + size > line_addr + kCacheLineSize)
+        panic("Cache::read crosses a line boundary at ", addr);
+
+    Way *way = ensureResident(line_addr);
+    if (!way)
+        return false;
+    std::memcpy(out, way->data.data() + (addr - line_addr), size);
+    return true;
+}
+
+bool
+Cache::write(PhysAddr addr, const void *in, std::size_t size)
+{
+    PhysAddr line_addr = alignDown(addr, kCacheLineSize);
+    if (addr + size > line_addr + kCacheLineSize)
+        panic("Cache::write crosses a line boundary at ", addr);
+
+    // Write-allocate: a write miss performs a read-for-ownership fill,
+    // which is exactly why writes to watched lines still trigger faults.
+    Way *way = ensureResident(line_addr);
+    if (!way)
+        return false;
+    std::memcpy(way->data.data() + (addr - line_addr), in, size);
+    way->dirty = true;
+    return true;
+}
+
+void
+Cache::flushLine(PhysAddr line_addr)
+{
+    clock_.advance(kCacheFlushLineCycles);
+    Way *way = lookup(line_addr);
+    if (!way)
+        return;
+    if (way->dirty) {
+        stats_.add("writebacks");
+        controller_.evictLine(way->lineAddr, way->data);
+    }
+    way->valid = false;
+    way->dirty = false;
+    stats_.add("flushes");
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &set : sets_) {
+        for (Way &way : set) {
+            if (way.valid && way.dirty) {
+                stats_.add("writebacks");
+                controller_.evictLine(way.lineAddr, way.data);
+            }
+            way.valid = false;
+            way.dirty = false;
+        }
+    }
+}
+
+bool
+Cache::contains(PhysAddr line_addr) const
+{
+    return lookup(line_addr) != nullptr;
+}
+
+} // namespace safemem

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate data cache.
+ *
+ * The cache is the reason ECC watchpoints work at all: ECC codes are only
+ * checked when the memory controller services a line fill, so WatchMemory
+ * must flush a line before watching it (paper §2.2.2, "Dealing with Cache
+ * Effects"), and a *write* to an uncached watched line still faults because
+ * write-allocate performs a read-for-ownership fill first.
+ *
+ * The cache holds real data: fills decode through the controller, hits are
+ * served locally (never re-checking ECC — the "cache filtering effect"),
+ * and dirty evictions re-encode check bytes on writeback.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/memory_controller.h"
+
+namespace safemem {
+
+/** Geometry of the simulated data cache. */
+struct CacheConfig
+{
+    std::size_t sets = 256; ///< number of sets
+    std::size_t ways = 8;   ///< associativity
+};
+
+class Cache
+{
+  public:
+    Cache(MemoryController &controller, CycleClock &clock,
+          CacheConfig config = {});
+
+    /**
+     * Read @p size bytes at physical address @p addr (must not cross a
+     * line boundary).
+     *
+     * @return false when the required line fill hit an uncorrectable ECC
+     *         error; the interrupt handler has already run and the caller
+     *         should retry.
+     */
+    bool read(PhysAddr addr, void *out, std::size_t size);
+
+    /** Write counterpart of read(); write-allocate, so misses fill. */
+    bool write(PhysAddr addr, const void *in, std::size_t size);
+
+    /**
+     * Write back (if dirty) and invalidate the line at @p line_addr.
+     * The clflush analog used by WatchMemory.
+     */
+    void flushLine(PhysAddr line_addr);
+
+    /** Flush every valid line. */
+    void flushAll();
+
+    /** @return true when @p line_addr currently resides in the cache. */
+    bool contains(PhysAddr line_addr) const;
+
+    /** @return cache statistics (hits, misses, writebacks...). */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        PhysAddr lineAddr = 0;
+        std::uint64_t lastUse = 0;
+        LineData data{};
+    };
+
+    std::size_t setIndex(PhysAddr line_addr) const;
+
+    /** Locate @p line_addr in its set; nullptr on miss. */
+    Way *lookup(PhysAddr line_addr);
+    const Way *lookup(PhysAddr line_addr) const;
+
+    /**
+     * Ensure @p line_addr is resident, filling (and evicting) as needed.
+     * @return the resident way, or nullptr when the fill faulted.
+     */
+    Way *ensureResident(PhysAddr line_addr);
+
+    MemoryController &controller_;
+    CycleClock &clock_;
+    CacheConfig config_;
+    std::vector<std::vector<Way>> sets_;
+    std::uint64_t useCounter_ = 0;
+    StatSet stats_;
+};
+
+} // namespace safemem

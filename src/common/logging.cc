@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace safemem {
+
+namespace {
+
+bool g_quiet = false;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    // Quiet mode silences everything: panic/fatal text still reaches
+    // the caller inside the thrown exception.
+    if (g_quiet)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+bool
+logQuiet()
+{
+    return g_quiet;
+}
+
+} // namespace safemem

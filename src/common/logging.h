@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (throws PanicError so tests
+ * can assert on it); fatal() is for unrecoverable user/configuration errors;
+ * warn()/inform() emit status lines without stopping the simulation.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace safemem {
+
+/** Exception thrown by panic(); models the simulated kernel going down. */
+class PanicError : public std::runtime_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Exception thrown by fatal(); an unrecoverable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Severity used by the log sink. */
+enum class LogLevel { Inform, Warn, Panic, Fatal };
+
+/**
+ * Route a formatted message to the process-wide log sink.
+ *
+ * @param level  Severity tag prepended to the line.
+ * @param msg    Fully formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Silence or re-enable inform()/warn() output (tests use this). */
+void setLogQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool logQuiet();
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and unwind via PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::string msg = detail::format(args...);
+    logMessage(LogLevel::Panic, msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error and unwind via FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::string msg = detail::format(args...);
+    logMessage(LogLevel::Fatal, msg);
+    throw FatalError(msg);
+}
+
+/** Emit a non-fatal warning. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, detail::format(args...));
+}
+
+/** Emit an informational status line. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Inform, detail::format(args...));
+}
+
+} // namespace safemem

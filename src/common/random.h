@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workloads.
+ *
+ * Workload applications must be reproducible run-to-run so the experiment
+ * tables are stable; xoshiro256** is small, fast and high quality.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace safemem {
+
+/**
+ * xoshiro256** generator with convenience range/probability helpers.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so any 64-bit seed yields a good state. */
+    explicit Rng(std::uint64_t seed = 0x5afe3e3d)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a value uniform in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toUnit(next()) < p;
+    }
+
+    /** @return a double uniform in [0, 1). */
+    double real() { return toUnit(next()); }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double
+    toUnit(std::uint64_t v)
+    {
+        return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace safemem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shadow call stack maintained by the workload framework.
+ *
+ * Real SafeMem unwinds the caller's stack inside its malloc wrapper to
+ * compute the call-stack signature (paper §3, footnote 1). Our workloads
+ * are synthetic, so they maintain an explicit shadow stack of "return
+ * addresses" (stable synthetic function ids); tools read the most recent
+ * frames from it exactly where a real unwinder would.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+class ShadowStack
+{
+  public:
+    /** Push the return address of an entered function. */
+    void push(std::uint64_t return_address)
+    {
+        frames_.push_back(return_address);
+    }
+
+    /** Pop on function exit. */
+    void
+    pop()
+    {
+        if (frames_.empty())
+            panic("ShadowStack: pop of empty stack");
+        frames_.pop_back();
+    }
+
+    /** @return current stack depth. */
+    std::size_t depth() const { return frames_.size(); }
+
+    /**
+     * Copy up to @p n innermost return addresses into @p out
+     * (innermost first). @return how many were copied.
+     */
+    std::size_t
+    topFrames(std::uint64_t *out, std::size_t n) const
+    {
+        std::size_t count = 0;
+        for (auto it = frames_.rbegin();
+             it != frames_.rend() && count < n; ++it)
+            out[count++] = *it;
+        return count;
+    }
+
+  private:
+    std::vector<std::uint64_t> frames_;
+};
+
+/** RAII helper pairing push/pop around a synthetic function body. */
+class FrameGuard
+{
+  public:
+    FrameGuard(ShadowStack &stack, std::uint64_t return_address)
+        : stack_(stack)
+    {
+        stack_.push(return_address);
+    }
+
+    ~FrameGuard() { stack_.pop(); }
+
+    FrameGuard(const FrameGuard &) = delete;
+    FrameGuard &operator=(const FrameGuard &) = delete;
+
+  private:
+    ShadowStack &stack_;
+};
+
+} // namespace safemem

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight named statistics: counters and scalar gauges with a registry,
+ * plus a fixed-bucket histogram used by the lifetime analysis.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace safemem {
+
+/**
+ * A bag of named 64-bit counters. Modules expose one StatSet each; the
+ * experiment driver snapshots them into its result records.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter named @p name (created on first use). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Overwrite the counter named @p name with @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Track the maximum of values reported for @p name. */
+    void
+    maxOf(const std::string &name, std::uint64_t value)
+    {
+        auto it = counters_.find(name);
+        if (it == counters_.end() || it->second < value)
+            counters_[name] = value;
+    }
+
+    /** @return the counter value, or 0 when never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** @return all counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Zero every counter. */
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Histogram over a fixed linear bucket width. Used for object-lifetime and
+ * warm-up-time distributions (Figure 3).
+ */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of every bucket (> 0). */
+    explicit Histogram(std::uint64_t bucket_width = 1)
+        : bucketWidth_(bucket_width ? bucket_width : 1)
+    {}
+
+    /** Record one sample. */
+    void
+    record(std::uint64_t value)
+    {
+        std::size_t idx = value / bucketWidth_;
+        if (idx >= buckets_.size())
+            buckets_.resize(idx + 1, 0);
+        ++buckets_[idx];
+        ++count_;
+    }
+
+    /** @return total samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return fraction of samples with value <= @p value; 0 when empty. */
+    double
+    cumulativeAt(std::uint64_t value) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        std::uint64_t below = 0;
+        std::size_t last = value / bucketWidth_;
+        for (std::size_t i = 0; i < buckets_.size() && i <= last; ++i)
+            below += buckets_[i];
+        return static_cast<double>(below) / static_cast<double>(count_);
+    }
+
+    /** @return the configured bucket width. */
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::uint64_t count_ = 0;
+    std::vector<std::uint64_t> buckets_;
+};
+
+} // namespace safemem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Interface every monitoring tool implements.
+ *
+ * The workload Env routes all dynamic-memory traffic through a Tool, the
+ * way the paper's tools interpose on malloc/free/calloc/realloc via
+ * LD_PRELOAD. A pass-through implementation gives the uninstrumented
+ * baseline run; SafeMem (with either watch backend) and the Purify model
+ * are the interesting implementations.
+ *
+ * @p site_tag carries the workload's ground-truth label for the
+ * allocation site (leaky or not). Tools MUST treat it as opaque — it is
+ * surfaced back in reports only so the experiment driver can score
+ * detections and false positives.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/shadow_stack.h"
+#include "common/types.h"
+
+namespace safemem {
+
+class Tool
+{
+  public:
+    virtual ~Tool() = default;
+
+    /** malloc interposition. @return the user-visible address. */
+    virtual VirtAddr toolAlloc(std::size_t size, const ShadowStack &stack,
+                               std::uint64_t site_tag) = 0;
+
+    /** calloc interposition (allocate + zero). */
+    virtual VirtAddr toolCalloc(std::size_t count, std::size_t size,
+                                const ShadowStack &stack,
+                                std::uint64_t site_tag) = 0;
+
+    /** realloc interposition. */
+    virtual VirtAddr toolRealloc(VirtAddr addr, std::size_t new_size,
+                                 const ShadowStack &stack,
+                                 std::uint64_t site_tag) = 0;
+
+    /** free interposition. */
+    virtual void toolFree(VirtAddr addr) = 0;
+
+    /**
+     * Observe a block of pure computation of @p cycles. Instrumentation
+     * tools that rewrite every memory instruction (Purify) slow down
+     * compute-bound code too; watchpoint tools do not.
+     */
+    virtual void onCompute(Cycles cycles) { (void)cycles; }
+
+    /** End-of-run hook: flush pending detection work and reports. */
+    virtual void finish() {}
+};
+
+} // namespace safemem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental type aliases and machine constants shared by every module.
+ *
+ * The simulated machine mirrors the paper's evaluation platform: a 2.4 GHz
+ * processor with 64-byte cache lines, 4 KiB pages, and (72,64) ECC groups
+ * (8 check bits protecting each 64-bit word).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace safemem {
+
+/** A virtual address in the simulated process address space. */
+using VirtAddr = std::uint64_t;
+
+/** A physical address in the simulated DRAM. */
+using PhysAddr = std::uint64_t;
+
+/** A simulated-CPU cycle count. */
+using Cycles = std::uint64_t;
+
+/** Cache-line size in bytes; ECC watch granularity (paper §2.2). */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/** Page size in bytes; page-protection watch granularity. */
+inline constexpr std::size_t kPageSize = 4096;
+
+/** Bytes per ECC group: 8 check bits protect one 64-bit word (paper §2.1). */
+inline constexpr std::size_t kEccGroupSize = 8;
+
+/** ECC groups per cache line. */
+inline constexpr std::size_t kEccGroupsPerLine = kCacheLineSize / kEccGroupSize;
+
+/** Simulated core clock frequency, used to convert cycles to wall time. */
+inline constexpr double kCpuFrequencyHz = 2.4e9;
+
+/** Round @p value down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Round @p value up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** True when @p value is a multiple of @p align (power of two). */
+constexpr bool
+isAligned(std::uint64_t value, std::uint64_t align)
+{
+    return (value & (align - 1)) == 0;
+}
+
+/** Convert a cycle count to microseconds at the simulated clock rate. */
+constexpr double
+cyclesToMicros(Cycles cycles)
+{
+    return static_cast<double>(cycles) / kCpuFrequencyHz * 1e6;
+}
+
+} // namespace safemem

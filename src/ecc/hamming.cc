@@ -1,0 +1,107 @@
+#include "ecc/hamming.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+namespace {
+
+/** Population count of an 8-bit value. */
+int
+weight(std::uint8_t v)
+{
+    return std::popcount(static_cast<unsigned>(v));
+}
+
+} // namespace
+
+HsiaoCode::HsiaoCode()
+{
+    // Assign odd-weight columns to the 64 data bits: all 56 weight-3
+    // patterns first, then the first 8 weight-5 patterns. Odd column
+    // weight is what gives the code its double-error-*detecting*
+    // property: XOR of two odd-weight columns has even weight and can
+    // never equal another (odd-weight) column or a unit vector.
+    int next = 0;
+    for (int target : {3, 5}) {
+        for (int v = 0; v < 256 && next < 64; ++v) {
+            if (weight(static_cast<std::uint8_t>(v)) == target)
+                columns_[next++] = static_cast<std::uint8_t>(v);
+        }
+    }
+    if (next != 64)
+        panic("HsiaoCode: failed to build 64 data columns");
+
+    syndromeToBit_.fill(-1);
+    for (int bit = 0; bit < 64; ++bit)
+        syndromeToBit_[columns_[bit]] = static_cast<std::int8_t>(bit);
+
+    // Precompute the byte-sliced encoder (the code is linear, so the
+    // check byte is the XOR of per-byte contributions).
+    for (int byte_pos = 0; byte_pos < 8; ++byte_pos) {
+        for (int value = 0; value < 256; ++value) {
+            std::uint8_t check = 0;
+            for (int bit = 0; bit < 8; ++bit) {
+                if (value & (1 << bit))
+                    check ^= columns_[byte_pos * 8 + bit];
+            }
+            byteTables_[byte_pos][value] = check;
+        }
+    }
+}
+
+std::uint8_t
+HsiaoCode::encode(std::uint64_t data) const
+{
+    std::uint8_t check = 0;
+    for (int byte_pos = 0; byte_pos < 8; ++byte_pos)
+        check ^= byteTables_[byte_pos]
+                            [(data >> (byte_pos * 8)) & 0xff];
+    return check;
+}
+
+EccDecodeResult
+HsiaoCode::decode(std::uint64_t data, std::uint8_t check) const
+{
+    EccDecodeResult result;
+    std::uint8_t syndrome = static_cast<std::uint8_t>(encode(data) ^ check);
+
+    if (syndrome == 0) {
+        result.status = EccDecodeStatus::Ok;
+        result.data = data;
+        return result;
+    }
+
+    int data_bit = syndromeToBit_[syndrome];
+    if (data_bit >= 0) {
+        // Syndrome matches a data column: single data-bit error.
+        result.status = EccDecodeStatus::CorrectedSingle;
+        result.data = data ^ (1ULL << data_bit);
+        result.correctedBit = data_bit;
+        return result;
+    }
+
+    if (weight(syndrome) == 1) {
+        // Unit-vector syndrome: the error hit a check bit; data is fine.
+        result.status = EccDecodeStatus::CorrectedSingle;
+        result.data = data;
+        result.correctedBit = 64 + std::countr_zero(
+            static_cast<unsigned>(syndrome));
+        return result;
+    }
+
+    result.status = EccDecodeStatus::Uncorrectable;
+    result.data = data;
+    return result;
+}
+
+const HsiaoCode &
+HsiaoCode::instance()
+{
+    static const HsiaoCode codec;
+    return codec;
+}
+
+} // namespace safemem

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * (72,64) Hsiao single-error-correcting, double-error-detecting code.
+ *
+ * Eight check bits protect each 64-bit word — the ECC-group geometry the
+ * paper describes in §2.1 ("8 bits to protect 64 bits"). The parity-check
+ * matrix uses odd-weight columns (56 weight-3 and 8 weight-5 columns for the
+ * data bits, unit vectors for the check bits), the classic Hsiao
+ * construction: any double-bit error yields an even-weight, non-zero
+ * syndrome, which is detectable but not correctable.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace safemem {
+
+/** Outcome categories of decoding one ECC group. */
+enum class EccDecodeStatus : std::uint8_t
+{
+    Ok,              ///< syndrome zero: data clean
+    CorrectedSingle, ///< single-bit error found and corrected
+    Uncorrectable    ///< multi-bit error: detected, cannot be corrected
+};
+
+/** Result of decoding one ECC group. */
+struct EccDecodeResult
+{
+    EccDecodeStatus status = EccDecodeStatus::Ok;
+    /** Corrected data word (valid for Ok / CorrectedSingle). */
+    std::uint64_t data = 0;
+    /** Bit position fixed when status == CorrectedSingle: 0-63 for data
+     *  bits, 64-71 for check bits. */
+    int correctedBit = -1;
+};
+
+/**
+ * The (72,64) Hsiao codec. Stateless aside from its generator tables, which
+ * are built once; all methods are const and thread-compatible.
+ */
+class HsiaoCode
+{
+  public:
+    HsiaoCode();
+
+    /** @return the 8 check bits protecting @p data. */
+    std::uint8_t encode(std::uint64_t data) const;
+
+    /**
+     * Check @p data against the stored @p check byte, correcting a
+     * single-bit error when possible.
+     */
+    EccDecodeResult decode(std::uint64_t data, std::uint8_t check) const;
+
+    /** @return the H-matrix column (8-bit syndrome) of data bit @p bit. */
+    std::uint8_t column(int bit) const { return columns_[bit]; }
+
+    /** @return the process-wide codec instance. */
+    static const HsiaoCode &instance();
+
+  private:
+    /** Syndrome column for each of the 64 data bits. */
+    std::array<std::uint8_t, 64> columns_{};
+    /** Map from syndrome value to data-bit index, or -1. */
+    std::array<std::int8_t, 256> syndromeToBit_{};
+    /** Byte-sliced encoder tables: check byte of one data byte at each
+     *  of the 8 byte positions. Encoding is 8 lookups instead of 64
+     *  bit tests (linearity of the code). */
+    std::array<std::array<std::uint8_t, 256>, 8> byteTables_{};
+};
+
+} // namespace safemem

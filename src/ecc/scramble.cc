@@ -1,0 +1,52 @@
+#include "ecc/scramble.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+namespace {
+
+/** True when @p syndrome would be treated as correctable by the decoder. */
+bool
+looksCorrectable(const HsiaoCode &code, std::uint8_t syndrome)
+{
+    if (syndrome == 0)
+        return true;
+    if (std::popcount(static_cast<unsigned>(syndrome)) == 1)
+        return true; // unit vector: "check bit error", silently absorbed
+    for (int bit = 0; bit < 64; ++bit) {
+        if (code.column(bit) == syndrome)
+            return true; // would miscorrect to this data bit
+    }
+    return false;
+}
+
+} // namespace
+
+ScramblePattern
+findScramblePositions(const HsiaoCode &code)
+{
+    for (int a = 0; a < 64; ++a) {
+        for (int b = a + 1; b < 64; ++b) {
+            for (int c = b + 1; c < 64; ++c) {
+                std::uint8_t syndrome = static_cast<std::uint8_t>(
+                    code.column(a) ^ code.column(b) ^ code.column(c));
+                if (!looksCorrectable(code, syndrome))
+                    return ScramblePattern{{a, b, c}};
+            }
+        }
+    }
+    panic("findScramblePositions: no uncorrectable bit triple exists");
+}
+
+const ScramblePattern &
+defaultScramblePattern()
+{
+    static const ScramblePattern pattern =
+        findScramblePositions(HsiaoCode::instance());
+    return pattern;
+}
+
+} // namespace safemem

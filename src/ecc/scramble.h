@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The SafeMem data-scrambling signature (paper §2.2.2, Figure 2).
+ *
+ * WatchMemory cannot modify ECC check bits directly, so it disables ECC,
+ * flips 3 *fixed* data bits in every ECC group of the watched line, and
+ * re-enables ECC. The three positions must satisfy two properties:
+ *
+ *  1. the stale check byte must decode as an *uncorrectable* (multi-bit)
+ *     fault — never as a silently "corrected" single-bit error, and never
+ *     as a miscorrection to some other bit; and
+ *  2. the flipped pattern is a recognisable signature, letting the fault
+ *     handler distinguish an access fault from a genuine hardware error.
+ *
+ * Property 1 holds exactly when the XOR of the three H-matrix columns is a
+ * non-zero syndrome that matches neither a data column nor a unit vector.
+ * findScramblePositions() searches the code for such a triple once; unit
+ * tests re-verify the guarantee against the real decoder.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/hamming.h"
+
+namespace safemem {
+
+/** Three fixed data-bit positions flipped by WatchMemory. */
+struct ScramblePattern
+{
+    std::array<int, 3> bits{};
+
+    /** @return @p data with the three signature bits flipped. */
+    std::uint64_t
+    apply(std::uint64_t data) const
+    {
+        return data ^ mask();
+    }
+
+    /** @return the XOR mask corresponding to the three positions. */
+    std::uint64_t
+    mask() const
+    {
+        return (1ULL << bits[0]) | (1ULL << bits[1]) | (1ULL << bits[2]);
+    }
+};
+
+/**
+ * Search @p code for the lowest-indexed bit triple whose combined syndrome
+ * is guaranteed uncorrectable.
+ *
+ * @throws PanicError when no such triple exists (cannot happen for the
+ *         Hsiao construction, but checked anyway).
+ */
+ScramblePattern findScramblePositions(const HsiaoCode &code);
+
+/** @return the process-wide scramble pattern for HsiaoCode::instance(). */
+const ScramblePattern &defaultScramblePattern();
+
+} // namespace safemem

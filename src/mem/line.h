@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Cache-line data buffer with word-granularity accessors.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace safemem {
+
+/** One cache line worth of bytes. */
+using LineData = std::array<std::uint8_t, kCacheLineSize>;
+
+/** @return 64-bit word @p index (0-7) of @p line. */
+inline std::uint64_t
+lineWord(const LineData &line, std::size_t index)
+{
+    std::uint64_t value;
+    std::memcpy(&value, line.data() + index * kEccGroupSize, sizeof(value));
+    return value;
+}
+
+/** Store @p value as 64-bit word @p index (0-7) of @p line. */
+inline void
+setLineWord(LineData &line, std::size_t index, std::uint64_t value)
+{
+    std::memcpy(line.data() + index * kEccGroupSize, &value, sizeof(value));
+}
+
+} // namespace safemem

@@ -1,0 +1,181 @@
+#include "mem/memory_controller.h"
+
+#include "common/costs.h"
+#include "common/logging.h"
+
+namespace safemem {
+
+MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock)
+    : memory_(memory), clock_(clock), code_(HsiaoCode::instance())
+{
+}
+
+void
+MemoryController::setInterruptHandler(EccInterruptHandler handler)
+{
+    interruptHandler_ = std::move(handler);
+}
+
+void
+MemoryController::lockBus()
+{
+    if (busLocked_)
+        panic("MemoryController: bus already locked");
+    busLocked_ = true;
+    stats_.add("bus_locks");
+}
+
+void
+MemoryController::unlockBus()
+{
+    if (!busLocked_)
+        panic("MemoryController: bus not locked");
+    busLocked_ = false;
+}
+
+void
+MemoryController::raise(const EccFaultInfo &info)
+{
+    stats_.add("interrupts_raised");
+    if (!interruptHandler_)
+        panic("MemoryController: ECC interrupt with no handler wired; "
+              "line=", info.lineAddr, " word=", info.wordIndex);
+    interruptHandler_(info);
+}
+
+bool
+MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
+                             std::uint64_t &data_out)
+{
+    std::uint64_t data = memory_.readWord(word_addr);
+    data_out = data;
+
+    if (mode_ == EccMode::Disabled)
+        return true;
+
+    std::uint8_t check = memory_.readCheck(word_addr);
+    EccDecodeResult result = code_.decode(data, check);
+
+    switch (result.status) {
+      case EccDecodeStatus::Ok:
+        return true;
+
+      case EccDecodeStatus::CorrectedSingle:
+        if (mode_ == EccMode::CheckOnly) {
+            // Check-Only mode detects and reports but never corrects.
+            stats_.add("single_bit_reported");
+            EccFaultInfo info;
+            info.kind = EccFaultKind::UnreportedSingle;
+            info.lineAddr = alignDown(word_addr, kCacheLineSize);
+            info.wordIndex = static_cast<int>(
+                (word_addr % kCacheLineSize) / kEccGroupSize);
+            info.rawData = data;
+            raise(info);
+            return true;
+        }
+        // Correct transparently and heal the stored copy.
+        stats_.add("single_bit_corrected");
+        memory_.writeWord(word_addr, result.data);
+        memory_.writeCheck(word_addr, code_.encode(result.data));
+        data_out = result.data;
+        return true;
+
+      case EccDecodeStatus::Uncorrectable: {
+        stats_.add("multi_bit_detected");
+        EccFaultInfo info;
+        info.kind = scrubbing ? EccFaultKind::ScrubMultiBit
+                              : EccFaultKind::MultiBit;
+        info.lineAddr = alignDown(word_addr, kCacheLineSize);
+        info.wordIndex = static_cast<int>(
+            (word_addr % kCacheLineSize) / kEccGroupSize);
+        info.rawData = data;
+        raise(info);
+        return false;
+      }
+    }
+    return true;
+}
+
+bool
+MemoryController::fillLine(PhysAddr line_addr, LineData &out)
+{
+    if (!isAligned(line_addr, kCacheLineSize))
+        panic("MemoryController: unaligned fill address ", line_addr);
+    if (busLocked_)
+        panic("MemoryController: fill while memory bus is locked");
+
+    clock_.advance(kDramLineCycles);
+    stats_.add("line_fills");
+
+    bool ok = true;
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+        std::uint64_t word;
+        if (!decodeWord(line_addr + i * kEccGroupSize, false, word))
+            ok = false;
+        setLineWord(out, i, word);
+    }
+    return ok;
+}
+
+void
+MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
+{
+    if (!isAligned(line_addr, kCacheLineSize))
+        panic("MemoryController: unaligned eviction address ", line_addr);
+    if (busLocked_)
+        panic("MemoryController: writeback while memory bus is locked");
+
+    clock_.advance(kDramLineCycles);
+    stats_.add("line_evictions");
+
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+        PhysAddr word_addr = line_addr + i * kEccGroupSize;
+        std::uint64_t word = lineWord(data, i);
+        memory_.writeWord(word_addr, word);
+        if (mode_ != EccMode::Disabled)
+            memory_.writeCheck(word_addr, code_.encode(word));
+    }
+}
+
+void
+MemoryController::writeWordDeviceOp(PhysAddr word_addr, std::uint64_t value)
+{
+    memory_.writeWord(word_addr, value);
+    if (mode_ != EccMode::Disabled)
+        memory_.writeCheck(word_addr, code_.encode(value));
+}
+
+std::uint64_t
+MemoryController::peekWord(PhysAddr word_addr) const
+{
+    return memory_.readWord(word_addr);
+}
+
+void
+MemoryController::peekLine(PhysAddr line_addr, LineData &out) const
+{
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+        setLineWord(out, i, memory_.readWord(line_addr + i * kEccGroupSize));
+}
+
+void
+MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
+{
+    stats_.add("scrub_passes");
+    for (std::size_t l = 0; l < lines; ++l) {
+        PhysAddr line_addr = start_line + l * kCacheLineSize;
+        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+            clock_.advance(kScrubWordCycles, CostCenter::Kernel);
+            std::uint64_t word;
+            decodeWord(line_addr + i * kEccGroupSize, true, word);
+        }
+    }
+}
+
+void
+MemoryController::scrubAll()
+{
+    scrubRange(0, memory_.size() / kCacheLineSize);
+}
+
+} // namespace safemem

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The ECC memory controller (paper §2.1, Figure 1).
+ *
+ * Sits between the cache and PhysicalMemory. On a line writeback it encodes
+ * a check byte per 64-bit ECC group (unless ECC is Disabled, in which case
+ * stored check bytes go stale — the hook SafeMem's scramble trick relies
+ * on). On a line fill it decodes every group: single-bit errors are
+ * corrected in CorrectError modes, and uncorrectable mismatches raise an
+ * interrupt on the wire registered with setInterruptHandler().
+ *
+ * Device-initiated accesses used by the kernel (word writes during a
+ * scramble, raw line peeks) charge no cycles; the kernel bills calibrated
+ * syscall totals instead. Cache-initiated fills/evictions charge
+ * kDramLineCycles.
+ */
+
+#pragma once
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "ecc/hamming.h"
+#include "mem/fault.h"
+#include "mem/line.h"
+#include "mem/physical_memory.h"
+
+namespace safemem {
+
+class MemoryController
+{
+  public:
+    MemoryController(PhysicalMemory &memory, CycleClock &clock);
+
+    /** Switch the controller operating mode (device register write). */
+    void setMode(EccMode mode) { mode_ = mode; }
+
+    /** @return the current operating mode. */
+    EccMode mode() const { return mode_; }
+
+    /** Register the interrupt wire into the kernel. */
+    void setInterruptHandler(EccInterruptHandler handler);
+
+    /** @name Memory-bus lock (held around scrambles, paper §2.2.2). */
+    /// @{
+    void lockBus();
+    void unlockBus();
+    bool busLocked() const { return busLocked_; }
+    /// @}
+
+    /**
+     * Cache-initiated line fill with full ECC decode.
+     *
+     * @param line_addr line-aligned physical address.
+     * @param out       receives the (possibly corrected) line contents.
+     * @return false when any group had an uncorrectable error; the
+     *         interrupt handler has already run by then and the caller is
+     *         expected to retry the fill.
+     */
+    bool fillLine(PhysAddr line_addr, LineData &out);
+
+    /** Cache-initiated writeback; encodes check bytes per current mode. */
+    void evictLine(PhysAddr line_addr, const LineData &data);
+
+    /**
+     * Device-initiated word write honouring the current mode: with ECC
+     * Disabled the stored check byte is left untouched. Charges no cycles.
+     */
+    void writeWordDeviceOp(PhysAddr word_addr, std::uint64_t value);
+
+    /** Uncharged, unchecked word read (kernel save path, tests). */
+    std::uint64_t peekWord(PhysAddr word_addr) const;
+
+    /** Uncharged, unchecked line read (kernel save path, tests). */
+    void peekLine(PhysAddr line_addr, LineData &out) const;
+
+    /**
+     * Scrub @p lines cache lines starting at @p start_line: decode every
+     * group, rewrite corrected singles, raise ScrubMultiBit interrupts on
+     * uncorrectable groups.
+     */
+    void scrubRange(PhysAddr start_line, std::size_t lines);
+
+    /** Scrub all of physical memory. */
+    void scrubAll();
+
+    /** @return controller statistics (fills, corrections, faults...). */
+    const StatSet &stats() const { return stats_; }
+
+    /** @return underlying DRAM (fault injection in tests). */
+    PhysicalMemory &memory() { return memory_; }
+
+  private:
+    /**
+     * Decode one group during a fill/scrub.
+     * @return false on an uncorrectable error (interrupt already raised).
+     */
+    bool decodeWord(PhysAddr word_addr, bool scrubbing,
+                    std::uint64_t &data_out);
+
+    void raise(const EccFaultInfo &info);
+
+    PhysicalMemory &memory_;
+    CycleClock &clock_;
+    const HsiaoCode &code_;
+    EccMode mode_ = EccMode::CorrectError;
+    bool busLocked_ = false;
+    EccInterruptHandler interruptHandler_;
+    StatSet stats_;
+};
+
+} // namespace safemem

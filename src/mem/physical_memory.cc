@@ -1,0 +1,70 @@
+#include "mem/physical_memory.h"
+
+#include "common/logging.h"
+#include "ecc/hamming.h"
+
+namespace safemem {
+
+PhysicalMemory::PhysicalMemory(std::size_t bytes)
+    : bytes_(bytes)
+{
+    if (bytes == 0 || !isAligned(bytes, kCacheLineSize))
+        fatal("PhysicalMemory: capacity ", bytes,
+              " is not a multiple of the line size");
+    words_.assign(bytes / kEccGroupSize, 0);
+    // All-zero data has an all-zero Hsiao check byte, so fresh memory
+    // decodes cleanly without an explicit init pass.
+    checks_.assign(bytes / kEccGroupSize, 0);
+}
+
+std::size_t
+PhysicalMemory::wordIndex(PhysAddr addr) const
+{
+    if (!isAligned(addr, kEccGroupSize))
+        panic("PhysicalMemory: unaligned word address ", addr);
+    if (addr >= bytes_)
+        panic("PhysicalMemory: address ", addr, " beyond capacity ", bytes_);
+    return addr / kEccGroupSize;
+}
+
+std::uint64_t
+PhysicalMemory::readWord(PhysAddr addr) const
+{
+    return words_[wordIndex(addr)];
+}
+
+void
+PhysicalMemory::writeWord(PhysAddr addr, std::uint64_t value)
+{
+    words_[wordIndex(addr)] = value;
+}
+
+std::uint8_t
+PhysicalMemory::readCheck(PhysAddr addr) const
+{
+    return checks_[wordIndex(addr)];
+}
+
+void
+PhysicalMemory::writeCheck(PhysAddr addr, std::uint8_t check)
+{
+    checks_[wordIndex(addr)] = check;
+}
+
+void
+PhysicalMemory::flipDataBit(PhysAddr addr, int bit)
+{
+    if (bit < 0 || bit > 63)
+        panic("PhysicalMemory: bad data bit ", bit);
+    words_[wordIndex(addr)] ^= 1ULL << bit;
+}
+
+void
+PhysicalMemory::flipCheckBit(PhysAddr addr, int bit)
+{
+    if (bit < 0 || bit > 7)
+        panic("PhysicalMemory: bad check bit ", bit);
+    checks_[wordIndex(addr)] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+} // namespace safemem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simulated DRAM: data words plus their stored ECC check bytes.
+ *
+ * PhysicalMemory is deliberately dumb — it models the DIMMs, not the
+ * controller. All ECC policy (encode on write, check on read, scrubbing,
+ * fault raising) lives in MemoryController. Raw accessors here neither
+ * charge cycles nor validate codes; they are what the controller's datapath
+ * and the test fault-injection hooks are built from.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace safemem {
+
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param bytes capacity; must be a non-zero multiple of the cache-line
+     *              size.
+     */
+    explicit PhysicalMemory(std::size_t bytes);
+
+    /** @return capacity in bytes. */
+    std::size_t size() const { return bytes_; }
+
+    /** @return the data word at 8-byte-aligned physical address @p addr. */
+    std::uint64_t readWord(PhysAddr addr) const;
+
+    /** Store @p value at 8-byte-aligned @p addr without touching ECC. */
+    void writeWord(PhysAddr addr, std::uint64_t value);
+
+    /** @return the stored check byte for the word at @p addr. */
+    std::uint8_t readCheck(PhysAddr addr) const;
+
+    /** Overwrite the stored check byte for the word at @p addr. */
+    void writeCheck(PhysAddr addr, std::uint8_t check);
+
+    /** Flip one stored data bit — models a hardware memory error. */
+    void flipDataBit(PhysAddr addr, int bit);
+
+    /** Flip one stored check bit — models a hardware memory error. */
+    void flipCheckBit(PhysAddr addr, int bit);
+
+  private:
+    std::size_t wordIndex(PhysAddr addr) const;
+
+    std::size_t bytes_;
+    std::vector<std::uint64_t> words_;
+    std::vector<std::uint8_t> checks_;
+};
+
+} // namespace safemem

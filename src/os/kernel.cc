@@ -1,0 +1,496 @@
+#include "os/kernel.h"
+
+#include <cstring>
+
+#include "common/costs.h"
+#include "common/logging.h"
+
+namespace safemem {
+
+Kernel::Kernel(MemoryController &controller, Cache &cache, CycleClock &clock)
+    : controller_(controller), cache_(cache), clock_(clock),
+      scramble_(defaultScramblePattern())
+{
+    // Build the frame free list over all of physical memory.
+    std::size_t frames = controller_.memory().size() / kPageSize;
+    freeFrames_.reserve(frames);
+    // Hand out low frames first so tests see deterministic addresses.
+    for (std::size_t i = frames; i-- > 0;)
+        freeFrames_.push_back(static_cast<PhysAddr>(i) * kPageSize);
+
+    controller_.setInterruptHandler(
+        [this](const EccFaultInfo &info) { onEccInterrupt(info); });
+}
+
+PhysAddr
+Kernel::allocFrame()
+{
+    if (freeFrames_.empty())
+        fatal("Kernel: out of physical memory");
+    PhysAddr frame = freeFrames_.back();
+    freeFrames_.pop_back();
+    return frame;
+}
+
+void
+Kernel::freeFrame(PhysAddr frame)
+{
+    freeFrames_.push_back(frame);
+}
+
+VirtAddr
+Kernel::mapRegion(std::size_t bytes)
+{
+    clock_.advance(kSyscallEntryCycles);
+    std::size_t pages = alignUp(bytes, kPageSize) / kPageSize;
+    if (pages == 0)
+        pages = 1;
+    VirtAddr base = nextVirt_;
+    nextVirt_ += pages * kPageSize;
+    for (std::size_t i = 0; i < pages; ++i)
+        pageTable_.map(base + i * kPageSize, allocFrame());
+    stats_.add("pages_mapped", pages);
+    return base;
+}
+
+void
+Kernel::unmapRegion(VirtAddr base, std::size_t bytes)
+{
+    clock_.advance(kSyscallEntryCycles);
+    if (!isAligned(base, kPageSize))
+        panic("Kernel::unmapRegion: unaligned base ", base);
+    std::size_t pages = alignUp(bytes, kPageSize) / kPageSize;
+    for (std::size_t i = 0; i < pages; ++i) {
+        VirtAddr vpage = base + i * kPageSize;
+        PageTableEntry *entry = pageTable_.find(vpage);
+        if (!entry)
+            panic("Kernel::unmapRegion: vpage ", vpage, " not mapped");
+        if (entry->pinCount > 0)
+            panic("Kernel::unmapRegion: vpage ", vpage, " still pinned");
+        if (entry->present) {
+            // Drop stale cached copies of the departing frame.
+            for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l)
+                cache_.flushLine(entry->frame + l * kCacheLineSize);
+            freeFrame(entry->frame);
+        } else {
+            swapStore_.erase(vpage);
+        }
+        pageTable_.unmap(vpage);
+        tlb_.invalidate(vpage);
+    }
+    stats_.add("pages_unmapped", pages);
+}
+
+bool
+Kernel::pageMapped(VirtAddr vaddr) const
+{
+    return pageTable_.find(alignDown(vaddr, kPageSize)) != nullptr;
+}
+
+bool
+Kernel::pageResident(VirtAddr vaddr) const
+{
+    const PageTableEntry *entry =
+        pageTable_.find(alignDown(vaddr, kPageSize));
+    return entry && entry->present;
+}
+
+PhysAddr
+Kernel::translate(VirtAddr vaddr)
+{
+    VirtAddr vpage = alignDown(vaddr, kPageSize);
+    if (!tlb_.access(vpage))
+        clock_.advance(kTlbMissCycles);
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        PageTableEntry *entry = pageTable_.find(vpage);
+        if (!entry)
+            panic("SIGSEGV: access to unmapped address ", vaddr);
+        if (!entry->present)
+            pageIn(vpage);
+        if (!entry->accessible) {
+            // Deliver SIGSEGV to the user handler (page-protection
+            // monitoring path); retry the translation if it handled it.
+            stats_.add("segv_delivered");
+            clock_.advance(kFaultDeliveryCycles);
+            if (segvHandler_ && segvHandler_(vaddr))
+                continue;
+            panic("SIGSEGV: access to protected address ", vaddr);
+        }
+        return entry->frame + (vaddr - vpage);
+    }
+    panic("Kernel::translate: SEGV handler loop on address ", vaddr);
+}
+
+void
+Kernel::mprotectRange(VirtAddr base, std::size_t bytes, bool accessible)
+{
+    clock_.advance(kSyscallEntryCycles);
+    if (!isAligned(base, kPageSize) || !isAligned(bytes, kPageSize))
+        panic("Kernel::mprotectRange: unaligned region");
+    for (std::size_t off = 0; off < bytes; off += kPageSize) {
+        clock_.advance(kPageTableWalkCycles + kPageProtCycles);
+        PageTableEntry *entry = pageTable_.find(base + off);
+        if (!entry)
+            panic("Kernel::mprotectRange: unmapped vpage ", base + off);
+        entry->accessible = accessible;
+    }
+    clock_.advance(kTlbFlushCycles);
+    tlb_.flush();
+    stats_.add("mprotect_calls");
+}
+
+void
+Kernel::registerSegvHandler(UserSegvHandler handler)
+{
+    segvHandler_ = std::move(handler);
+}
+
+void
+Kernel::pinPage(VirtAddr vpage)
+{
+    clock_.advance(kPagePinCycles);
+    PageTableEntry *entry = pageTable_.find(vpage);
+    if (!entry)
+        panic("Kernel::pinPage: unmapped vpage ", vpage);
+    if (!entry->present)
+        pageIn(vpage);
+    ++entry->pinCount;
+}
+
+void
+Kernel::unpinPage(VirtAddr vpage)
+{
+    clock_.advance(kPagePinCycles);
+    PageTableEntry *entry = pageTable_.find(vpage);
+    if (!entry || entry->pinCount == 0)
+        panic("Kernel::unpinPage: vpage ", vpage, " not pinned");
+    --entry->pinCount;
+}
+
+void
+Kernel::watchMemory(VirtAddr addr, std::size_t size)
+{
+    clock_.advance(kSyscallEntryCycles);
+    if (!isAligned(addr, kCacheLineSize) || !isAligned(size, kCacheLineSize))
+        panic("WatchMemory: region must be cache-line aligned (addr=",
+              addr, " size=", size, ")");
+
+    // Resolve and pin every page the region touches (one walk + pin per
+    // page, not per line).
+    for (VirtAddr vpage = alignDown(addr, kPageSize);
+         vpage < addr + size; vpage += kPageSize) {
+        clock_.advance(kPageTableWalkCycles);
+        PageTableEntry *entry = pageTable_.find(vpage);
+        if (!entry)
+            panic("WatchMemory: unmapped address ", vpage);
+        if (!entry->present)
+            pageIn(vpage);
+        if (swapPolicy_ == SwapWatchPolicy::PinPages)
+            pinPage(vpage);
+    }
+
+    // Evict cached copies so memory holds current data and the next
+    // access must go to DRAM (paper: cache effects).
+    std::vector<PhysAddr> plines;
+    plines.reserve(size / kCacheLineSize);
+    for (std::size_t off = 0; off < size; off += kCacheLineSize) {
+        VirtAddr vline = addr + off;
+        VirtAddr vpage = alignDown(vline, kPageSize);
+        PhysAddr pline =
+            pageTable_.find(vpage)->frame + (vline - vpage);
+        if (watched_.count(pline))
+            panic("WatchMemory: line ", vline, " already watched");
+        cache_.flushLine(pline); // charges kCacheFlushLineCycles
+        plines.push_back(pline);
+    }
+
+    // Figure 2, batched: lock the bus, disable ECC, flip the 3 signature
+    // bits of every ECC group (check bytes stay stale), restore ECC,
+    // unlock.
+    clock_.advance(2 * kBusLockCycles + 2 * kEccModeSwitchCycles);
+    controller_.lockBus();
+    EccMode saved = controller_.mode();
+    controller_.setMode(EccMode::Disabled);
+    for (PhysAddr pline : plines) {
+        clock_.advance(kScrambleLineCycles);
+        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+            PhysAddr word_addr = pline + i * kEccGroupSize;
+            std::uint64_t original = controller_.peekWord(word_addr);
+            controller_.writeWordDeviceOp(word_addr,
+                                          scramble_.apply(original));
+        }
+    }
+    controller_.setMode(saved);
+    controller_.unlockBus();
+
+    clock_.advance(kWatchInsertCycles);
+    for (std::size_t off = 0; off < size; off += kCacheLineSize) {
+        watched_[plines[off / kCacheLineSize]] =
+            WatchEntry{addr + off};
+        stats_.add("lines_watched");
+    }
+    stats_.maxOf("max_watched_lines", watched_.size());
+}
+
+void
+Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
+{
+    clock_.advance(kSyscallEntryCycles);
+    if (!isAligned(addr, kCacheLineSize) || !isAligned(size, kCacheLineSize))
+        panic("DisableWatchMemory: region must be cache-line aligned");
+
+    for (VirtAddr vpage = alignDown(addr, kPageSize);
+         vpage < addr + size; vpage += kPageSize) {
+        clock_.advance(kPageTableWalkCycles);
+        PageTableEntry *entry = pageTable_.find(vpage);
+        if (!entry)
+            panic("DisableWatchMemory: unmapped address ", vpage);
+        if (!entry->present)
+            pageIn(vpage);
+    }
+
+    // The scramble mask is its own inverse, and rewriting with ECC
+    // enabled regenerates matching check bytes, clearing the watch.
+    clock_.advance(2 * kBusLockCycles);
+    controller_.lockBus();
+    for (std::size_t off = 0; off < size; off += kCacheLineSize) {
+        VirtAddr vline = addr + off;
+        VirtAddr vpage = alignDown(vline, kPageSize);
+        PhysAddr pline =
+            pageTable_.find(vpage)->frame + (vline - vpage);
+        auto it = watched_.find(pline);
+        if (it == watched_.end())
+            panic("DisableWatchMemory: line ", vline, " not watched");
+
+        clock_.advance(kUnscrambleLineCycles);
+        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+            PhysAddr word_addr = pline + i * kEccGroupSize;
+            std::uint64_t scrambled = controller_.peekWord(word_addr);
+            controller_.writeWordDeviceOp(word_addr,
+                                          scramble_.apply(scrambled));
+        }
+        watched_.erase(it);
+        stats_.add("lines_unwatched");
+    }
+    controller_.unlockBus();
+
+    clock_.advance(kWatchRemoveCycles);
+    if (swapPolicy_ == SwapWatchPolicy::PinPages) {
+        for (VirtAddr vpage = alignDown(addr, kPageSize);
+             vpage < addr + size; vpage += kPageSize)
+            unpinPage(vpage);
+    }
+}
+
+void
+Kernel::registerEccFaultHandler(UserEccHandler handler)
+{
+    clock_.advance(kSyscallEntryCycles);
+    eccHandler_ = std::move(handler);
+}
+
+bool
+Kernel::isWatched(VirtAddr vaddr) const
+{
+    VirtAddr vpage = alignDown(vaddr, kPageSize);
+    const PageTableEntry *entry = pageTable_.find(vpage);
+    if (!entry || !entry->present)
+        return false;
+    PhysAddr pline =
+        entry->frame + (alignDown(vaddr, kCacheLineSize) - vpage);
+    return watched_.count(pline) != 0;
+}
+
+std::size_t
+Kernel::watchedLineCount() const
+{
+    return watched_.size();
+}
+
+void
+Kernel::onEccInterrupt(const EccFaultInfo &info)
+{
+    clock_.advance(kFaultDeliveryCycles);
+    stats_.add("ecc_interrupts");
+
+    if (info.kind == EccFaultKind::UnreportedSingle) {
+        // Check-Only mode report; log and continue.
+        stats_.add("single_bit_reports");
+        return;
+    }
+
+    if (!eccHandler_) {
+        // Stock-OS behaviour (paper §2.1): panic / blue screen.
+        panic("kernel panic: uncorrectable ECC memory error at phys line ",
+              info.lineAddr);
+    }
+
+    UserEccFault fault;
+    fault.lineAddr = info.lineAddr;
+    fault.wordIndex = info.wordIndex;
+    fault.kind = info.kind;
+    fault.rawData = info.rawData;
+    fault.isWrite = lastAccessWrite_;
+
+    // Recover the virtual address from the frame reverse map.
+    PhysAddr frame = alignDown(info.lineAddr, kPageSize);
+    if (auto vpage = pageTable_.reverse(frame)) {
+        fault.vaddr = *vpage + (info.lineAddr - frame);
+    } else {
+        fault.vaddr = 0;
+    }
+
+    FaultDecision decision = eccHandler_(fault);
+    if (decision == FaultDecision::HardwareError) {
+        stats_.add("hardware_errors");
+        if (panicOnHardwareError_)
+            panic("kernel panic: hardware ECC error at phys line ",
+                  info.lineAddr);
+    } else {
+        stats_.add("access_faults_handled");
+    }
+}
+
+void
+Kernel::setPanicOnHardwareError(bool value)
+{
+    panicOnHardwareError_ = value;
+}
+
+void
+Kernel::enableScrubbing(Cycles period)
+{
+    scrubEnabled_ = true;
+    scrubPeriod_ = period;
+    nextScrub_ = clock_.now() + period;
+    controller_.setMode(EccMode::CorrectAndScrub);
+}
+
+void
+Kernel::disableScrubbing()
+{
+    scrubEnabled_ = false;
+    if (controller_.mode() == EccMode::CorrectAndScrub)
+        controller_.setMode(EccMode::CorrectError);
+}
+
+void
+Kernel::setScrubHooks(std::function<void()> pre, std::function<void()> post)
+{
+    preScrubHook_ = std::move(pre);
+    postScrubHook_ = std::move(post);
+}
+
+void
+Kernel::tick()
+{
+    // The rewatch hook performs memory accesses that re-enter tick();
+    // the guard keeps a scrub pass from recursing into itself.
+    if (!scrubEnabled_ || inScrub_ || clock_.now() < nextScrub_)
+        return;
+    inScrub_ = true;
+    stats_.add("scrub_passes");
+    if (preScrubHook_)
+        preScrubHook_();
+    controller_.scrubAll();
+    if (postScrubHook_)
+        postScrubHook_();
+    nextScrub_ = clock_.now() + scrubPeriod_;
+    inScrub_ = false;
+}
+
+void
+Kernel::setSwapWatchPolicy(SwapWatchPolicy policy)
+{
+    if (!watched_.empty())
+        panic("Kernel: cannot change the swap/watch policy while lines "
+              "are watched");
+    swapPolicy_ = policy;
+}
+
+void
+Kernel::setSwapHooks(std::function<void(VirtAddr)> pre_out,
+                     std::function<void(VirtAddr)> post_in)
+{
+    preSwapOutHook_ = std::move(pre_out);
+    postSwapInHook_ = std::move(post_in);
+}
+
+bool
+Kernel::swapOutPage(VirtAddr vaddr)
+{
+    VirtAddr vpage = alignDown(vaddr, kPageSize);
+    PageTableEntry *entry = pageTable_.find(vpage);
+    if (!entry || !entry->present || entry->pinCount > 0)
+        return false;
+
+    if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch) {
+        // Lift any watches on this page before the frame leaves; the
+        // hook (SafeMem's library) parks them for the swap-in side.
+        bool page_watched = false;
+        for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l) {
+            if (watched_.count(entry->frame + l * kCacheLineSize)) {
+                page_watched = true;
+                break;
+            }
+        }
+        if (page_watched) {
+            if (!preSwapOutHook_)
+                panic("Kernel: watched page swapping out with no "
+                      "pre-swap hook registered");
+            preSwapOutHook_(vpage);
+            for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l) {
+                if (watched_.count(entry->frame + l * kCacheLineSize))
+                    panic("Kernel: pre-swap hook left line watched on "
+                          "vpage ", vpage);
+            }
+            stats_.add("watched_pages_swapped");
+        }
+    }
+
+    clock_.advance(kSwapPageCycles, CostCenter::Kernel);
+
+    // Writeback any cached lines of this frame, then copy it out.
+    for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l)
+        cache_.flushLine(entry->frame + l * kCacheLineSize);
+
+    std::vector<std::uint8_t> &store = swapStore_[vpage];
+    store.resize(kPageSize);
+    for (std::size_t off = 0; off < kPageSize; off += kEccGroupSize) {
+        std::uint64_t word = controller_.peekWord(entry->frame + off);
+        std::memcpy(store.data() + off, &word, sizeof(word));
+    }
+
+    freeFrame(entry->frame);
+    pageTable_.markSwappedOut(vpage);
+    tlb_.invalidate(vpage);
+    stats_.add("pages_swapped_out");
+    return true;
+}
+
+void
+Kernel::pageIn(VirtAddr vpage)
+{
+    clock_.advance(kSwapPageCycles, CostCenter::Kernel);
+    auto it = swapStore_.find(vpage);
+    if (it == swapStore_.end())
+        panic("Kernel::pageIn: no swap copy for vpage ", vpage);
+
+    PhysAddr frame = allocFrame();
+    // Restoring through the controller with ECC enabled regenerates fresh
+    // check bytes — which is exactly why an unpinned watched page loses
+    // its watch across a swap cycle (paper §2.2.2).
+    for (std::size_t off = 0; off < kPageSize; off += kEccGroupSize) {
+        std::uint64_t word;
+        std::memcpy(&word, it->second.data() + off, sizeof(word));
+        controller_.writeWordDeviceOp(frame + off, word);
+    }
+    swapStore_.erase(it);
+    pageTable_.markSwappedIn(vpage, frame);
+    stats_.add("pages_swapped_in");
+
+    if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch && postSwapInHook_)
+        postSwapInHook_(vpage);
+}
+
+} // namespace safemem

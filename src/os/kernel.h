@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The simulated kernel, including the paper's three OS extensions
+ * (paper §2.2.1):
+ *
+ *   - WatchMemory(address, size): scramble + watch a line-aligned region;
+ *   - DisableWatchMemory(address, size): unscramble + unwatch;
+ *   - RegisterECCFaultHandler(function): deliver ECC interrupts to a
+ *     user-level handler.
+ *
+ * Plus the stock facilities the baselines and substrate need: virtual
+ * memory with a page table and frame allocator, mprotect and user SIGSEGV
+ * delivery (the page-protection baseline), page pinning, a swap daemon
+ * (to demonstrate why watched pages are pinned), and scrub coordination
+ * hooks (SafeMem unwatches everything around a scrub pass, §2.2.2).
+ *
+ * An ECC interrupt with no registered user handler panics the kernel —
+ * the behaviour of stock Linux/Windows the paper describes in §2.1.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "ecc/scramble.h"
+#include "mem/memory_controller.h"
+#include "os/page_table.h"
+#include "os/tlb.h"
+
+namespace safemem {
+
+/** ECC fault as delivered to the user-level handler. */
+struct UserEccFault
+{
+    VirtAddr vaddr = 0;       ///< virtual address of the faulting line
+    PhysAddr lineAddr = 0;    ///< physical address of the faulting line
+    int wordIndex = 0;        ///< faulting ECC group within the line
+    EccFaultKind kind = EccFaultKind::MultiBit;
+    std::uint64_t rawData = 0;
+    /** The faulting instruction was a store (its RFO fill faulted). */
+    bool isWrite = false;
+};
+
+/** How the kernel reconciles ECC watches with page swapping. */
+enum class SwapWatchPolicy : std::uint8_t
+{
+    /** Watched pages are pinned; the swap daemon skips them (the
+     *  paper's implemented scheme, §2.2.2). */
+    PinPages,
+    /** Watched pages may swap; registered hooks unwatch on swap-out
+     *  and rewatch on swap-in (the paper's proposed "better
+     *  solution"). */
+    UnwatchRewatch
+};
+
+/** What the user-level ECC handler concluded. */
+enum class FaultDecision : std::uint8_t
+{
+    Handled,       ///< access fault consumed; restart the access
+    HardwareError  ///< data does not match the scramble signature
+};
+
+/** User-level ECC fault handler (RegisterECCFaultHandler). */
+using UserEccHandler = std::function<FaultDecision(const UserEccFault &)>;
+
+/** User-level SIGSEGV handler; returns true when the fault was handled. */
+using UserSegvHandler = std::function<bool(VirtAddr)>;
+
+class Kernel
+{
+  public:
+    Kernel(MemoryController &controller, Cache &cache, CycleClock &clock);
+
+    /** @name Virtual memory */
+    /// @{
+
+    /**
+     * Map a fresh region of @p bytes (rounded up to pages) backed by
+     * physical frames. @return the region's base virtual address.
+     */
+    VirtAddr mapRegion(std::size_t bytes);
+
+    /** Unmap a page-aligned region previously returned by mapRegion(). */
+    void unmapRegion(VirtAddr base, std::size_t bytes);
+
+    /**
+     * Resolve @p vaddr for an access. Pages in swapped pages, delivers
+     * SIGSEGV for protected pages (retrying after a handling SEGV
+     * handler), and panics on unmapped addresses.
+     */
+    PhysAddr translate(VirtAddr vaddr);
+
+    /** @return true when the page containing @p vaddr is mapped. */
+    bool pageMapped(VirtAddr vaddr) const;
+
+    /** mprotect analog: make a page-aligned region (in)accessible. */
+    void mprotectRange(VirtAddr base, std::size_t bytes, bool accessible);
+
+    /** Register the user SIGSEGV handler (page-protection baseline). */
+    void registerSegvHandler(UserSegvHandler handler);
+    /// @}
+
+    /** @name The paper's three syscalls */
+    /// @{
+
+    /**
+     * Monitor a line-aligned region: flush each line, scramble its data
+     * under ECC-disable with the bus locked, and pin its page.
+     */
+    void watchMemory(VirtAddr addr, std::size_t size);
+
+    /** Remove monitoring: unscramble each line and unpin its page. */
+    void disableWatchMemory(VirtAddr addr, std::size_t size);
+
+    /** Register the user-level ECC fault handler. */
+    void registerEccFaultHandler(UserEccHandler handler);
+    /// @}
+
+    /**
+     * CPU context note: the machine records whether the in-flight
+     * access is a store, so fault handlers can tell reads from writes
+     * (a real kernel reads this from the faulting instruction).
+     */
+    void noteAccessType(bool is_write) { lastAccessWrite_ = is_write; }
+
+    /** @return true when the in-flight access is a store. */
+    bool lastAccessWasWrite() const { return lastAccessWrite_; }
+
+    /** @return true when the line containing @p vaddr is watched. */
+    bool isWatched(VirtAddr vaddr) const;
+
+    /** @return number of currently watched lines. */
+    std::size_t watchedLineCount() const;
+
+    /** @name Scrubbing (paper §2.2.2 "Dealing with ECC Memory Scrubbing") */
+    /// @{
+
+    /** Enable periodic scrubbing every @p period cycles. */
+    void enableScrubbing(Cycles period);
+
+    /** Disable periodic scrubbing. */
+    void disableScrubbing();
+
+    /** Hooks run immediately before/after each scrub pass. */
+    void setScrubHooks(std::function<void()> pre, std::function<void()> post);
+
+    /** Run a scrub pass now if one is due; called from the machine loop. */
+    void tick();
+    /// @}
+
+    /** @name Swap daemon (tests/ablation) */
+    /// @{
+
+    /**
+     * Try to swap out the page containing @p vaddr.
+     * @return false when the page is pinned or not resident.
+     */
+    bool swapOutPage(VirtAddr vaddr);
+
+    /** @return true when the page containing @p vaddr is resident. */
+    bool pageResident(VirtAddr vaddr) const;
+
+    /** Select how ECC watches interact with swapping. */
+    void setSwapWatchPolicy(SwapWatchPolicy policy);
+
+    /** @return the active swap/watch policy. */
+    SwapWatchPolicy swapWatchPolicy() const { return swapPolicy_; }
+
+    /**
+     * Hooks for the UnwatchRewatch policy: @p pre_out runs before a
+     * page with watched lines swaps out, @p post_in after any page is
+     * swapped back in. Both receive the virtual page address.
+     */
+    void setSwapHooks(std::function<void(VirtAddr)> pre_out,
+                      std::function<void(VirtAddr)> post_in);
+    /// @}
+
+    /**
+     * Control whether a HardwareError decision from the user handler (or
+     * an unhandled hardware fault) panics. Tests flip this to observe the
+     * accounting instead of unwinding.
+     */
+    void setPanicOnHardwareError(bool value);
+
+    /** @return kernel statistics. */
+    const StatSet &stats() const { return stats_; }
+
+    /** @return the page table (inspection in tests). */
+    const PageTable &pageTable() const { return pageTable_; }
+
+    /** @return the CPU-side TLB (stats inspection). */
+    const Tlb &tlb() const { return tlb_; }
+
+  private:
+    struct WatchEntry
+    {
+        VirtAddr vline = 0;
+    };
+
+    void onEccInterrupt(const EccFaultInfo &info);
+    void pinPage(VirtAddr vpage);
+    void unpinPage(VirtAddr vpage);
+    PhysAddr allocFrame();
+    void freeFrame(PhysAddr frame);
+    void pageIn(VirtAddr vpage);
+
+    MemoryController &controller_;
+    Cache &cache_;
+    CycleClock &clock_;
+    const ScramblePattern &scramble_;
+    PageTable pageTable_;
+    Tlb tlb_;
+
+    std::vector<PhysAddr> freeFrames_;
+    VirtAddr nextVirt_ = 0x10000000;
+
+    /** Watched physical lines. */
+    std::unordered_map<PhysAddr, WatchEntry> watched_;
+
+    UserEccHandler eccHandler_;
+    UserSegvHandler segvHandler_;
+
+    bool scrubEnabled_ = false;
+    bool inScrub_ = false;
+    Cycles scrubPeriod_ = 0;
+    Cycles nextScrub_ = 0;
+    std::function<void()> preScrubHook_;
+    std::function<void()> postScrubHook_;
+
+    bool panicOnHardwareError_ = true;
+    bool lastAccessWrite_ = false;
+
+    SwapWatchPolicy swapPolicy_ = SwapWatchPolicy::PinPages;
+    std::function<void(VirtAddr)> preSwapOutHook_;
+    std::function<void(VirtAddr)> postSwapInHook_;
+
+    /** Swapped-out page contents, keyed by vpage. */
+    std::unordered_map<VirtAddr, std::vector<std::uint8_t>> swapStore_;
+
+    StatSet stats_;
+};
+
+} // namespace safemem

@@ -1,0 +1,89 @@
+#include "os/machine.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+Machine::Machine(MachineConfig config)
+    : config_(config)
+{
+    memory_ = std::make_unique<PhysicalMemory>(config_.memoryBytes);
+    controller_ = std::make_unique<MemoryController>(*memory_, clock_);
+    cache_ = std::make_unique<Cache>(*controller_, clock_, config_.cache);
+    kernel_ = std::make_unique<Kernel>(*controller_, *cache_, clock_);
+}
+
+void
+Machine::accessChunk(VirtAddr addr, void *buffer, std::size_t size,
+                     bool is_write)
+{
+    // A faulting fill runs the user ECC handler and we restart the
+    // access, as a real CPU restarts the faulting instruction. The bound
+    // catches handlers that fail to clear the fault.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        PhysAddr paddr = kernel_->translate(addr);
+        bool ok = is_write
+            ? cache_->write(paddr, buffer, size)
+            : cache_->read(paddr, buffer, size);
+        if (ok)
+            return;
+    }
+    panic("Machine: access to ", addr,
+          " keeps faulting; handler did not clear the watch");
+}
+
+void
+Machine::read(VirtAddr addr, void *out, std::size_t size)
+{
+    if (size == 0)
+        return;
+    kernel_->noteAccessType(false);
+    if (accessHook_)
+        accessHook_(addr, size, false);
+
+    if (++accessesSinceTick_ >= config_.tickInterval) {
+        accessesSinceTick_ = 0;
+        kernel_->tick();
+    }
+
+    auto *cursor = static_cast<std::uint8_t *>(out);
+    while (size > 0) {
+        VirtAddr line_end = alignDown(addr, kCacheLineSize) + kCacheLineSize;
+        std::size_t chunk = std::min<std::size_t>(size, line_end - addr);
+        accessChunk(addr, cursor, chunk, false);
+        addr += chunk;
+        cursor += chunk;
+        size -= chunk;
+    }
+}
+
+void
+Machine::write(VirtAddr addr, const void *in, std::size_t size)
+{
+    if (size == 0)
+        return;
+    kernel_->noteAccessType(true);
+    if (accessHook_)
+        accessHook_(addr, size, true);
+
+    if (++accessesSinceTick_ >= config_.tickInterval) {
+        accessesSinceTick_ = 0;
+        kernel_->tick();
+    }
+
+    auto *cursor = const_cast<std::uint8_t *>(
+        static_cast<const std::uint8_t *>(in));
+    while (size > 0) {
+        VirtAddr line_end = alignDown(addr, kCacheLineSize) + kCacheLineSize;
+        std::size_t chunk = std::min<std::size_t>(size, line_end - addr);
+        accessChunk(addr, cursor, chunk, true);
+        addr += chunk;
+        cursor += chunk;
+        size -= chunk;
+    }
+}
+
+} // namespace safemem

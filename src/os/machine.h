@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The simulated machine: CPU access path over cache, ECC memory controller,
+ * DRAM and kernel — the substrate replacing the paper's Pentium 4 +
+ * Intel E7500 testbed.
+ *
+ * Application code (the workloads and examples) performs loads and stores
+ * through Machine::read()/write(). Each access is translated by the
+ * kernel, split at cache-line boundaries, and serviced by the cache; an
+ * uncorrectable ECC fill fault runs the registered user handler and the
+ * access restarts, mirroring instruction-restart semantics.
+ *
+ * An optional access hook lets a Purify-style tool observe (and charge
+ * for) every access — the interception that makes Purify expensive and
+ * that SafeMem exists to avoid.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cache/cache.h"
+#include "common/clock.h"
+#include "common/types.h"
+#include "mem/memory_controller.h"
+#include "mem/physical_memory.h"
+#include "os/kernel.h"
+
+namespace safemem {
+
+/** Construction parameters for a Machine. */
+struct MachineConfig
+{
+    /** DRAM capacity. Frames are handed out from this pool. */
+    std::size_t memoryBytes = 64u << 20;
+    /** Data-cache geometry. */
+    CacheConfig cache{};
+    /** Call Kernel::tick() once every this many accesses. */
+    std::uint32_t tickInterval = 1024;
+};
+
+/** Observer invoked before every application load/store. */
+using AccessHook =
+    std::function<void(VirtAddr addr, std::size_t size, bool is_write)>;
+
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig config = {});
+
+    /** @name CPU access path */
+    /// @{
+
+    /** Load @p size bytes from virtual address @p addr. */
+    void read(VirtAddr addr, void *out, std::size_t size);
+
+    /** Store @p size bytes to virtual address @p addr. */
+    void write(VirtAddr addr, const void *in, std::size_t size);
+
+    /** Convenience typed load. */
+    template <typename T>
+    T
+    load(VirtAddr addr)
+    {
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Convenience typed store. */
+    template <typename T>
+    void
+    store(VirtAddr addr, T value)
+    {
+        write(addr, &value, sizeof(T));
+    }
+
+    /** Model @p cycles of pure computation (no memory traffic). */
+    void compute(Cycles cycles) { clock_.advance(cycles); }
+    /// @}
+
+    /** Install / clear the per-access tool hook. */
+    void setAccessHook(AccessHook hook) { accessHook_ = std::move(hook); }
+
+    /** @return the machine's cycle clock. */
+    CycleClock &clock() { return clock_; }
+
+    /** @return the kernel. */
+    Kernel &kernel() { return *kernel_; }
+
+    /** @return the data cache. */
+    Cache &cache() { return *cache_; }
+
+    /** @return the ECC memory controller. */
+    MemoryController &controller() { return *controller_; }
+
+    /** @return the DRAM model. */
+    PhysicalMemory &physicalMemory() { return *memory_; }
+
+  private:
+    /** One line-bounded chunk of an access. */
+    void accessChunk(VirtAddr addr, void *buffer, std::size_t size,
+                     bool is_write);
+
+    MachineConfig config_;
+    CycleClock clock_;
+    std::unique_ptr<PhysicalMemory> memory_;
+    std::unique_ptr<MemoryController> controller_;
+    std::unique_ptr<Cache> cache_;
+    std::unique_ptr<Kernel> kernel_;
+    AccessHook accessHook_;
+    std::uint32_t accessesSinceTick_ = 0;
+};
+
+} // namespace safemem

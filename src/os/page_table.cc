@@ -1,0 +1,75 @@
+#include "os/page_table.h"
+
+#include "common/logging.h"
+
+namespace safemem {
+
+void
+PageTable::map(VirtAddr vpage, PhysAddr frame)
+{
+    if (!isAligned(vpage, kPageSize) || !isAligned(frame, kPageSize))
+        panic("PageTable::map: unaligned vpage/frame");
+    if (entries_.count(vpage))
+        panic("PageTable::map: vpage ", vpage, " already mapped");
+    entries_[vpage] = PageTableEntry{frame};
+    reverse_[frame] = vpage;
+}
+
+void
+PageTable::unmap(VirtAddr vpage)
+{
+    auto it = entries_.find(vpage);
+    if (it == entries_.end())
+        panic("PageTable::unmap: vpage ", vpage, " not mapped");
+    if (it->second.present)
+        reverse_.erase(it->second.frame);
+    entries_.erase(it);
+}
+
+PageTableEntry *
+PageTable::find(VirtAddr vpage)
+{
+    auto it = entries_.find(vpage);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const PageTableEntry *
+PageTable::find(VirtAddr vpage) const
+{
+    auto it = entries_.find(vpage);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+PageTable::markSwappedOut(VirtAddr vpage)
+{
+    PageTableEntry *entry = find(vpage);
+    if (!entry || !entry->present)
+        panic("PageTable::markSwappedOut: vpage ", vpage, " not resident");
+    if (entry->pinCount > 0)
+        panic("PageTable::markSwappedOut: vpage ", vpage, " is pinned");
+    reverse_.erase(entry->frame);
+    entry->present = false;
+}
+
+void
+PageTable::markSwappedIn(VirtAddr vpage, PhysAddr frame)
+{
+    PageTableEntry *entry = find(vpage);
+    if (!entry || entry->present)
+        panic("PageTable::markSwappedIn: vpage ", vpage, " already resident");
+    entry->frame = frame;
+    entry->present = true;
+    reverse_[frame] = vpage;
+}
+
+std::optional<VirtAddr>
+PageTable::reverse(PhysAddr frame) const
+{
+    auto it = reverse_.find(frame);
+    if (it == reverse_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace safemem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A small fully-associative TLB with LRU replacement.
+ *
+ * Translation hits are free (folded into the cache-access latency);
+ * misses charge a page-walk. Permission changes (mprotect), unmapping
+ * and swap transitions shoot the TLB down — which is precisely why
+ * mprotect-based monitoring (the page-protection baseline) perturbs the
+ * surrounding code more than its syscall price alone suggests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace safemem {
+
+class Tlb
+{
+  public:
+    /** @param entries capacity; 64 models a small first-level TLB. */
+    explicit Tlb(std::size_t entries = 64) : capacity_(entries)
+    {
+        slots_.reserve(entries);
+    }
+
+    /**
+     * Look up @p vpage, inserting it on a miss.
+     * @return true on a hit.
+     */
+    bool
+    access(VirtAddr vpage)
+    {
+        ++stamp_;
+        for (Slot &slot : slots_) {
+            if (slot.vpage == vpage) {
+                slot.lastUse = stamp_;
+                stats_.add("hits");
+                return true;
+            }
+        }
+        stats_.add("misses");
+        if (slots_.size() < capacity_) {
+            slots_.push_back(Slot{vpage, stamp_});
+        } else {
+            Slot *victim = &slots_[0];
+            for (Slot &slot : slots_) {
+                if (slot.lastUse < victim->lastUse)
+                    victim = &slot;
+            }
+            *victim = Slot{vpage, stamp_};
+        }
+        return false;
+    }
+
+    /** Remove any entry for @p vpage (single-page invalidation). */
+    void
+    invalidate(VirtAddr vpage)
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].vpage == vpage) {
+                slots_[i] = slots_.back();
+                slots_.pop_back();
+                stats_.add("invalidations");
+                return;
+            }
+        }
+    }
+
+    /** Full shootdown. */
+    void
+    flush()
+    {
+        slots_.clear();
+        stats_.add("flushes");
+    }
+
+    /** @return TLB statistics. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        VirtAddr vpage = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t capacity_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Slot> slots_;
+    StatSet stats_;
+};
+
+} // namespace safemem

@@ -1,0 +1,100 @@
+#include "pageprot/page_watch.h"
+
+#include "common/logging.h"
+
+namespace safemem {
+
+PageWatchBackend::PageWatchBackend(Machine &machine)
+    : machine_(machine)
+{
+}
+
+void
+PageWatchBackend::install()
+{
+    machine_.kernel().registerSegvHandler(
+        [this](VirtAddr addr) { return onSegv(addr); });
+}
+
+void
+PageWatchBackend::setFaultCallback(WatchFaultCallback callback)
+{
+    callback_ = std::move(callback);
+}
+
+void
+PageWatchBackend::watch(VirtAddr base, std::size_t size, WatchKind kind,
+                        std::uint64_t cookie)
+{
+    if (!isAligned(base, kPageSize) || !isAligned(size, kPageSize)
+        || size == 0)
+        panic("PageWatchBackend: region ", base, "+", size,
+              " is not page aligned");
+    for (std::size_t off = 0; off < size; off += kPageSize) {
+        if (pageToRegion_.count(base + off))
+            panic("PageWatchBackend: page ", base + off,
+                  " already watched");
+    }
+
+    machine_.kernel().mprotectRange(base, size, false);
+
+    for (std::size_t off = 0; off < size; off += kPageSize)
+        pageToRegion_[base + off] = base;
+    regions_[base] = Region{base, size, kind, cookie};
+    watchedBytes_ += size;
+    stats_.add("regions_watched");
+    stats_.maxOf("peak_watched_bytes", watchedBytes_);
+}
+
+void
+PageWatchBackend::unwatch(VirtAddr base)
+{
+    auto it = regions_.find(base);
+    if (it == regions_.end())
+        panic("PageWatchBackend: unwatch of unknown region ", base);
+    const Region &region = it->second;
+
+    machine_.kernel().mprotectRange(region.base, region.size, true);
+    for (std::size_t off = 0; off < region.size; off += kPageSize)
+        pageToRegion_.erase(region.base + off);
+    watchedBytes_ -= region.size;
+    regions_.erase(it);
+    stats_.add("regions_unwatched");
+}
+
+bool
+PageWatchBackend::isWatched(VirtAddr base) const
+{
+    return regions_.count(base) != 0;
+}
+
+bool
+PageWatchBackend::onSegv(VirtAddr addr)
+{
+    auto page_it = pageToRegion_.find(alignDown(addr, kPageSize));
+    if (page_it == pageToRegion_.end()) {
+        stats_.add("foreign_segvs");
+        return false;
+    }
+
+    auto it = regions_.find(page_it->second);
+    if (it == regions_.end())
+        panic("PageWatchBackend: dangling page->region mapping");
+    Region region = it->second;
+
+    CostScope scope(machine_.clock(),
+                    region.kind == WatchKind::LeakSuspect
+                        ? CostCenter::ToolLeak
+                        : CostCenter::ToolCorruption);
+
+    // First access is all we need: lift the protection, then dispatch.
+    unwatch(region.base);
+    stats_.add("access_faults");
+    if (callback_)
+        callback_(region.base, region.kind, region.cookie,
+                  alignDown(addr, kPageSize),
+                  machine_.kernel().lastAccessWasWrite());
+    return true;
+}
+
+} // namespace safemem

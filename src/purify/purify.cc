@@ -1,0 +1,354 @@
+#include "purify/purify.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/logging.h"
+
+namespace safemem {
+
+namespace {
+
+/** RAII guard suppressing access instrumentation inside tool code. */
+class ToolCodeGuard
+{
+  public:
+    explicit ToolCodeGuard(bool &flag) : flag_(flag), saved_(flag)
+    {
+        flag_ = true;
+    }
+    ~ToolCodeGuard() { flag_ = saved_; }
+
+  private:
+    bool &flag_;
+    bool saved_;
+};
+
+} // namespace
+
+PurifyTool::PurifyTool(Machine &machine, HeapAllocator &allocator,
+                       PurifyConfig config)
+    : machine_(machine), allocator_(allocator), config_(config)
+{
+}
+
+void
+PurifyTool::install()
+{
+    machine_.setAccessHook(
+        [this](VirtAddr addr, std::size_t size, bool is_write) {
+            onAccess(addr, size, is_write);
+        });
+}
+
+void
+PurifyTool::setRootProvider(RootProvider provider)
+{
+    rootProvider_ = std::move(provider);
+}
+
+Cycles
+PurifyTool::appNow() const
+{
+    return machine_.clock().charged(CostCenter::Application);
+}
+
+VirtAddr
+PurifyTool::toolAlloc(std::size_t size, const ShadowStack &stack,
+                      std::uint64_t site_tag)
+{
+    (void)stack;
+    ToolCodeGuard guard(inToolCode_);
+
+    std::size_t rz = config_.redZoneBytes;
+    VirtAddr base = allocator_.allocate(rz + std::max<std::size_t>(size, 1)
+                                        + rz);
+    VirtAddr user = base + rz;
+
+    {
+        CostScope scope(machine_.clock(), CostCenter::ToolAccess);
+        machine_.clock().advance(
+            (size + 2 * rz) * kPurifyShadowByteCycles);
+        shadow_.setRange(base, rz, ByteState::Unallocated);
+        shadow_.setRange(user, size, ByteState::AllocUninit);
+        shadow_.setRange(user + size, rz, ByteState::Unallocated);
+    }
+
+    freed_.erase(user);
+    Block block;
+    block.base = base;
+    block.userAddr = user;
+    block.size = size;
+    block.siteTag = site_tag;
+    live_[user] = block;
+    stats_.add("blocks_instrumented");
+
+    if (config_.leakScans && appNow() - lastSweep_ > config_.sweepPeriod)
+        markAndSweep();
+    return user;
+}
+
+VirtAddr
+PurifyTool::toolCalloc(std::size_t count, std::size_t size,
+                       const ShadowStack &stack, std::uint64_t site_tag)
+{
+    std::size_t bytes = count * size;
+    VirtAddr user = toolAlloc(bytes, stack, site_tag);
+
+    ToolCodeGuard guard(inToolCode_);
+    std::vector<std::uint8_t> zeros(bytes, 0);
+    machine_.write(user, zeros.data(), zeros.size());
+    // calloc's zeroing initialises the block.
+    shadow_.setRange(user, bytes, ByteState::AllocInit);
+    return user;
+}
+
+VirtAddr
+PurifyTool::toolRealloc(VirtAddr addr, std::size_t new_size,
+                        const ShadowStack &stack, std::uint64_t site_tag)
+{
+    if (addr == 0)
+        return toolAlloc(new_size, stack, site_tag);
+    auto it = live_.find(addr);
+    if (it == live_.end())
+        panic("PurifyTool: realloc of unknown block ", addr);
+    std::size_t old_size = it->second.size;
+
+    VirtAddr fresh = toolAlloc(new_size, stack, site_tag);
+    {
+        ToolCodeGuard guard(inToolCode_);
+        std::vector<std::uint8_t> copy(std::min(old_size, new_size));
+        if (!copy.empty()) {
+            machine_.read(addr, copy.data(), copy.size());
+            machine_.write(fresh, copy.data(), copy.size());
+            shadow_.setRange(fresh, copy.size(), ByteState::AllocInit);
+        }
+    }
+    toolFree(addr);
+    return fresh;
+}
+
+void
+PurifyTool::toolFree(VirtAddr addr)
+{
+    ToolCodeGuard guard(inToolCode_);
+    auto it = live_.find(addr);
+    if (it == live_.end())
+        panic("PurifyTool: free of unknown block ", addr);
+    Block block = it->second;
+    live_.erase(it);
+
+    {
+        CostScope scope(machine_.clock(), CostCenter::ToolAccess);
+        machine_.clock().advance(block.size * kPurifyShadowByteCycles);
+        shadow_.setRange(block.userAddr, block.size, ByteState::Freed);
+    }
+
+    freed_[block.userAddr] = block;
+    allocator_.deallocate(block.base);
+    stats_.add("blocks_freed");
+
+    if (config_.leakScans && appNow() - lastSweep_ > config_.sweepPeriod)
+        markAndSweep();
+}
+
+void
+PurifyTool::onCompute(Cycles cycles)
+{
+    // Instrumented code runs computeFactor x slower overall; the
+    // original cycles were already charged to the application.
+    Cycles extra = static_cast<Cycles>(
+        static_cast<double>(cycles) * (config_.computeFactor - 1.0));
+    machine_.clock().advance(extra, CostCenter::ToolAccess);
+}
+
+void
+PurifyTool::reportCorruption(CorruptionKind kind, const Block *block,
+                             VirtAddr fault_addr)
+{
+    // One report per (kind, block) keeps repeated accesses from
+    // flooding the log, like Purify's message suppression.
+    for (const CorruptionReport &existing : corruptionReports_) {
+        if (existing.kind == kind &&
+            existing.userAddr == (block ? block->userAddr : 0))
+            return;
+    }
+    CorruptionReport report;
+    report.kind = kind;
+    report.userAddr = block ? block->userAddr : 0;
+    report.faultAddr = fault_addr;
+    report.objectSize = block ? block->size : 0;
+    report.siteTag = block ? block->siteTag : 0;
+    report.reportTime = appNow();
+    corruptionReports_.push_back(report);
+    stats_.add("corruption_reports");
+}
+
+void
+PurifyTool::onAccess(VirtAddr addr, std::size_t size, bool is_write)
+{
+    if (inToolCode_)
+        return;
+
+    CostScope scope(machine_.clock(), CostCenter::ToolAccess);
+    // Base check plus a word-granularity charge for wide accesses.
+    std::size_t words = (size + 7) / 8;
+    machine_.clock().advance(kPurifyCheckCycles + (words - 1) * 6);
+    stats_.add("accesses_checked");
+
+    bool any_unallocated = false;
+    bool any_freed = false;
+    bool any_uninit_read = false;
+    VirtAddr first_unallocated = 0;
+    VirtAddr first_freed = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+        switch (shadow_.get(addr + i)) {
+          case ByteState::Unallocated:
+            if (!any_unallocated)
+                first_unallocated = addr + i;
+            any_unallocated = true;
+            break;
+          case ByteState::Freed:
+            if (!any_freed)
+                first_freed = addr + i;
+            any_freed = true;
+            break;
+          case ByteState::AllocUninit:
+            if (!is_write)
+                any_uninit_read = true;
+            break;
+          case ByteState::AllocInit:
+            break;
+        }
+    }
+
+    if (any_unallocated) {
+        // Diagnose from the first byte that actually violates, not the
+        // access base (a write may start inside a block and run past
+        // its end).
+        VirtAddr addr = first_unallocated;
+        // Array-bounds error: identify the neighbouring block.
+        const Block *owner = nullptr;
+        CorruptionKind kind = CorruptionKind::OverflowPadding;
+        auto it = live_.upper_bound(addr);
+        if (it != live_.begin()) {
+            auto prev = std::prev(it);
+            // Past the end of the previous block (within its red zone)?
+            if (addr >= prev->second.userAddr + prev->second.size &&
+                addr < prev->second.userAddr + prev->second.size +
+                           config_.redZoneBytes) {
+                owner = &prev->second;
+                kind = CorruptionKind::OverflowPadding;
+            }
+        }
+        if (!owner && it != live_.end() &&
+            addr + config_.redZoneBytes >= it->second.userAddr) {
+            owner = &it->second;
+            kind = CorruptionKind::UnderflowPadding;
+        }
+        reportCorruption(kind, owner, addr);
+    }
+
+    if (any_freed) {
+        const Block *owner = nullptr;
+        auto it = freed_.upper_bound(first_freed);
+        if (it != freed_.begin()) {
+            auto prev = std::prev(it);
+            if (first_freed < prev->second.userAddr + prev->second.size)
+                owner = &prev->second;
+        }
+        reportCorruption(CorruptionKind::UseAfterFree, owner, first_freed);
+    }
+
+    if (any_uninit_read) {
+        ++uninitReads_;
+        stats_.add("uninit_reads");
+    }
+
+    if (is_write) {
+        machine_.clock().advance(size * kPurifyShadowByteCycles);
+        // Mark written bytes initialised (only where allocated).
+        for (std::size_t i = 0; i < size; ++i) {
+            ByteState state = shadow_.get(addr + i);
+            if (state == ByteState::AllocUninit)
+                shadow_.setRange(addr + i, 1, ByteState::AllocInit);
+        }
+    }
+}
+
+void
+PurifyTool::markAndSweep()
+{
+    ToolCodeGuard guard(inToolCode_);
+    CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+    lastSweep_ = appNow();
+    stats_.add("sweeps");
+
+    // Mark phase: conservative BFS from the root set through heap words.
+    std::unordered_set<VirtAddr> marked;
+    std::deque<VirtAddr> worklist;
+
+    auto block_of = [this](VirtAddr value) -> const Block * {
+        auto it = live_.upper_bound(value);
+        if (it == live_.begin())
+            return nullptr;
+        auto prev = std::prev(it);
+        if (value < prev->second.userAddr + prev->second.size)
+            return &prev->second;
+        return nullptr;
+    };
+
+    if (rootProvider_) {
+        for (VirtAddr root : rootProvider_()) {
+            if (const Block *block = block_of(root)) {
+                if (marked.insert(block->userAddr).second)
+                    worklist.push_back(block->userAddr);
+            }
+        }
+    }
+
+    while (!worklist.empty()) {
+        VirtAddr user = worklist.front();
+        worklist.pop_front();
+        const Block &block = live_.at(user);
+
+        // Scan the block's words for values that look like pointers.
+        std::size_t words = block.size / 8;
+        machine_.clock().advance(words * kPurifySweepWordCycles);
+        for (std::size_t i = 0; i < words; ++i) {
+            std::uint64_t value =
+                machine_.load<std::uint64_t>(user + i * 8);
+            if (const Block *target = block_of(value)) {
+                if (marked.insert(target->userAddr).second)
+                    worklist.push_back(target->userAddr);
+            }
+        }
+    }
+
+    // Sweep phase: unmarked live blocks are leaks.
+    for (const auto &[user, block] : live_) {
+        if (marked.count(user) || reportedLeaked_.count(user))
+            continue;
+        reportedLeaked_.insert(user);
+        LeakReport report;
+        report.kind = LeakKind::Always;
+        report.objectSize = block.size;
+        report.signature = 0;
+        report.siteTag = block.siteTag;
+        report.liveCount = 1;
+        report.reportTime = appNow();
+        leakReports_.push_back(report);
+        stats_.add("leaked_blocks");
+    }
+}
+
+void
+PurifyTool::finish()
+{
+    if (config_.leakScans)
+        markAndSweep();
+}
+
+} // namespace safemem

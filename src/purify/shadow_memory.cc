@@ -1,0 +1,39 @@
+#include "purify/shadow_memory.h"
+
+namespace safemem {
+
+void
+ShadowMemory::setRange(VirtAddr addr, std::size_t len, ByteState state)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        VirtAddr byte = addr + i;
+        VirtAddr vpage = alignDown(byte, kPageSize);
+        ShadowPage &page = pages_[vpage]; // zero-filled on first touch
+        std::size_t offset = byte - vpage;
+        std::size_t slot = offset / 4;
+        unsigned shift = static_cast<unsigned>((offset % 4) * 2);
+        page[slot] = static_cast<std::uint8_t>(
+            (page[slot] & ~(0x3u << shift)) |
+            (static_cast<unsigned>(state) << shift));
+    }
+}
+
+ByteState
+ShadowMemory::get(VirtAddr addr) const
+{
+    VirtAddr vpage = alignDown(addr, kPageSize);
+    auto it = pages_.find(vpage);
+    if (it == pages_.end())
+        return ByteState::Unallocated;
+    std::size_t offset = addr - vpage;
+    unsigned shift = static_cast<unsigned>((offset % 4) * 2);
+    return static_cast<ByteState>((it->second[offset / 4] >> shift) & 0x3u);
+}
+
+bool
+ShadowMemory::covered(VirtAddr addr) const
+{
+    return pages_.count(alignDown(addr, kPageSize)) != 0;
+}
+
+} // namespace safemem

@@ -1,0 +1,32 @@
+#include "safemem/callstack.h"
+
+namespace safemem {
+
+namespace {
+
+std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+callStackSignature(const std::uint64_t *frames, std::size_t count)
+{
+    std::uint64_t signature = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        signature = rotl64(signature, 7) ^ frames[i];
+    return signature;
+}
+
+std::uint64_t
+callStackSignature(const ShadowStack &stack)
+{
+    std::uint64_t frames[kSignatureFrames];
+    std::size_t count = stack.topFrames(frames, kSignatureFrames);
+    return callStackSignature(frames, count);
+}
+
+} // namespace safemem

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Call-stack signature used to group memory objects.
+ *
+ * Paper §3, footnote 1: "The call-stack signature is calculated by
+ * individually applying the exclusive-or and rotate functions to the
+ * return addresses of the most recent four functions in the current
+ * stack."
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/shadow_stack.h"
+
+namespace safemem {
+
+/** Number of innermost frames folded into the signature. */
+inline constexpr std::size_t kSignatureFrames = 4;
+
+/** @return the xor/rotate fold of up to four innermost return addresses. */
+std::uint64_t callStackSignature(const ShadowStack &stack);
+
+/** Fold an explicit frame array (used by tests). */
+std::uint64_t callStackSignature(const std::uint64_t *frames,
+                                 std::size_t count);
+
+} // namespace safemem

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tunable parameters of the SafeMem runtime.
+ *
+ * All times are in application CPU cycles (the paper's lifetime analysis
+ * explicitly uses the monitored program's CPU time, §3), so tool overhead
+ * and idle gaps between requests do not distort lifetimes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace safemem {
+
+struct SafeMemConfig
+{
+    /** Enable the §3 memory-leak detector (ML). */
+    bool detectLeaks = true;
+
+    /** Enable the §4 memory-corruption detector (MC). */
+    bool detectCorruption = true;
+
+    /**
+     * Extension sketched in §4: watch each new buffer so the first
+     * *read* before any write is reported as an uninitialised read;
+     * the first write retires the watch silently. Off by default (not
+     * part of the paper's evaluated prototype).
+     */
+    bool detectUninitializedReads = false;
+
+    /**
+     * Minimum app-CPU time between outlier-detection passes; detection
+     * runs only at allocation/deallocation time once this has elapsed
+     * (paper §3.2.2 "checking-period").
+     */
+    Cycles checkingPeriod = 500'000;
+
+    /** No detection at all before this much app CPU time has passed.
+     *  Must comfortably exceed program start-up plus aleakRecentWindow
+     *  so init-time pools are never mistaken for growing groups. */
+    Cycles warmupTime = 15'000'000;
+
+    /**
+     * A freed object's lifetime within this factor of the group maximum
+     * keeps the maximum "stable"; beyond it the maximum is raised and
+     * stable time resets (paper §3.2.1 "tolerable range").
+     */
+    double lifetimeTolerance = 1.25;
+
+    /** SLeak: suspect objects alive longer than this multiple of the
+     *  group's expected maximal lifetime (paper uses 2x). */
+    double sleakLifetimeMultiplier = 2.0;
+
+    /** SLeak: required stable time of the group maximum before outliers
+     *  are trusted (paper §3.2.2 condition 2). */
+    Cycles minStableTime = 24'000'000;
+
+    /** SLeak: only the oldest few objects per group are examined, since
+     *  the live list is allocation-ordered (paper §3.2.2). */
+    std::uint32_t sleakTopK = 4;
+
+    /** ALeak: live-object count a never-freed group must exceed. */
+    std::uint32_t aleakLiveThreshold = 64;
+
+    /** ALeak: the group must have allocated within this window to count
+     *  as "still growing" (paper §3.2.2). */
+    Cycles aleakRecentWindow = 10'000'000;
+
+    /** ALeak: how many of the group's oldest objects to watch. */
+    std::uint32_t aleakWatchCount = 2;
+
+    /** A watched suspect untouched this long is reported as a leak
+     *  (paper §3.2.3 "threshold of time"). */
+    Cycles leakReportThreshold = 12'000'000;
+
+    /** After a suspect of a group proves false, leave the group alone
+     *  for this long before re-suspecting. */
+    Cycles suspectCooldown = 5'000'000;
+
+    /** Guard padding on each side of a buffer, in watch granules
+     *  (paper §4 uses one cache line per end). */
+    std::uint32_t paddingGranules = 1;
+};
+
+} // namespace safemem

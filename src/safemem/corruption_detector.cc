@@ -1,0 +1,257 @@
+#include "safemem/corruption_detector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+CorruptionDetector::CorruptionDetector(const SafeMemConfig &config,
+                                       WatchBackend &backend,
+                                       HeapAllocator &allocator,
+                                       Machine &machine,
+                                       std::function<Cycles()> cpu_now)
+    : config_(config), backend_(backend), allocator_(allocator),
+      machine_(machine), cpuNow_(std::move(cpu_now))
+{
+}
+
+VirtAddr
+CorruptionDetector::rearGuardAddr(const Buffer &buffer) const
+{
+    return buffer.userAddr + buffer.bodyBytes;
+}
+
+VirtAddr
+CorruptionDetector::allocate(std::size_t size, std::uint64_t site_tag)
+{
+    std::size_t granule = backend_.granule();
+    std::size_t guard_bytes = config_.paddingGranules * granule;
+    std::size_t body_bytes = alignUp(std::max<std::size_t>(size, 1),
+                                     granule);
+    std::size_t total = guard_bytes + body_bytes + guard_bytes;
+
+    VirtAddr base = allocator_.allocate(total, granule);
+
+    // If the allocator recycled a block whose freed body is still being
+    // watched, reallocation disables that monitoring (§4).
+    auto freed_it = freedByBase_.find(base);
+    if (freed_it != freedByBase_.end()) {
+        if (freed_it->second.bodyWatched &&
+            backend_.isWatched(freed_it->second.buffer.userAddr))
+            backend_.unwatch(freed_it->second.buffer.userAddr);
+        freedByBase_.erase(freed_it);
+        stats_.add("freed_watches_recycled");
+    }
+
+    Buffer buffer;
+    buffer.base = base;
+    buffer.userAddr = base + guard_bytes;
+    buffer.size = size;
+    buffer.bodyBytes = body_bytes;
+    buffer.siteTag = site_tag;
+
+    backend_.watch(base, guard_bytes, WatchKind::GuardFront,
+                   buffer.userAddr);
+    buffer.frontWatched = true;
+    backend_.watch(rearGuardAddr(buffer), guard_bytes,
+                   WatchKind::GuardRear, buffer.userAddr);
+    buffer.rearWatched = true;
+
+    if (config_.detectUninitializedReads) {
+        // Extension (§4): watch the fresh body; the first write retires
+        // the watch, a first read is an uninitialised-read bug.
+        backend_.watch(buffer.userAddr, body_bytes,
+                       WatchKind::UninitBuffer, buffer.userAddr);
+        buffer.uninitWatched = true;
+    }
+
+    userBytes_ += size;
+    wasteBytes_ += allocator_.blockCapacity(base) - size;
+    stats_.add("buffers_guarded");
+
+    VirtAddr user = buffer.userAddr;
+    live_.emplace(user, buffer);
+    return user;
+}
+
+void
+CorruptionDetector::deallocate(VirtAddr user_addr)
+{
+    auto it = live_.find(user_addr);
+    if (it == live_.end())
+        panic("CorruptionDetector: free of unknown buffer ", user_addr);
+    Buffer buffer = it->second;
+    live_.erase(it);
+
+    if (buffer.frontWatched && backend_.isWatched(buffer.base))
+        backend_.unwatch(buffer.base);
+    if (buffer.rearWatched && backend_.isWatched(rearGuardAddr(buffer)))
+        backend_.unwatch(rearGuardAddr(buffer));
+    if (buffer.uninitWatched && backend_.isWatched(buffer.userAddr)) {
+        // Never written *or* read; the freed-body watch takes over.
+        backend_.unwatch(buffer.userAddr);
+        stats_.add("uninit_watches_expired");
+    }
+
+    // Watch the freed body to catch dangling accesses (§4).
+    FreedBuffer freed;
+    freed.buffer = buffer;
+    backend_.watch(buffer.userAddr, buffer.bodyBytes,
+                   WatchKind::FreedBuffer, buffer.userAddr);
+    freed.bodyWatched = true;
+
+    if (allocator_.isSlabBacked(buffer.base)) {
+        // The block returns to the allocator's free list; the watch is
+        // lifted when this exact block is handed out again.
+        allocator_.deallocate(buffer.base);
+    } else {
+        // Large direct-mapped block: returning it would unmap watched,
+        // pinned pages, so quarantine it until the end of the run.
+        freed.quarantined = true;
+        stats_.add("large_blocks_quarantined");
+    }
+
+    freedByBase_.emplace(buffer.base, freed);
+    stats_.add("buffers_released");
+}
+
+VirtAddr
+CorruptionDetector::reallocate(VirtAddr user_addr, std::size_t new_size,
+                               std::uint64_t site_tag)
+{
+    if (user_addr == 0)
+        return allocate(new_size, site_tag);
+    auto it = live_.find(user_addr);
+    if (it == live_.end())
+        panic("CorruptionDetector: realloc of unknown buffer ", user_addr);
+    std::size_t old_size = it->second.size;
+
+    VirtAddr fresh = allocate(new_size, site_tag);
+    std::vector<std::uint8_t> copy(std::min(old_size, new_size));
+    if (!copy.empty()) {
+        machine_.read(user_addr, copy.data(), copy.size());
+        machine_.write(fresh, copy.data(), copy.size());
+    }
+    deallocate(user_addr);
+    return fresh;
+}
+
+bool
+CorruptionDetector::owns(VirtAddr user_addr) const
+{
+    return live_.count(user_addr) != 0;
+}
+
+std::size_t
+CorruptionDetector::userSize(VirtAddr user_addr) const
+{
+    auto it = live_.find(user_addr);
+    if (it == live_.end())
+        panic("CorruptionDetector: userSize of unknown buffer ",
+              user_addr);
+    return it->second.size;
+}
+
+void
+CorruptionDetector::emitReport(CorruptionKind kind, const Buffer &buffer,
+                               VirtAddr fault_addr)
+{
+    CorruptionReport report;
+    report.kind = kind;
+    report.userAddr = buffer.userAddr;
+    report.faultAddr = fault_addr;
+    report.objectSize = buffer.size;
+    report.siteTag = buffer.siteTag;
+    report.reportTime = cpuNow_();
+    reports_.push_back(report);
+    stats_.add("corruption_reports");
+}
+
+void
+CorruptionDetector::onWatchFault(VirtAddr base, WatchKind kind,
+                                 std::uint64_t cookie, VirtAddr fault_addr,
+                                 bool is_write)
+{
+    // cookie carries the buffer's user address for every kind.
+    (void)base;
+    switch (kind) {
+      case WatchKind::UninitBuffer: {
+        auto it = live_.find(cookie);
+        if (it == live_.end())
+            panic("CorruptionDetector: uninit fault for unknown buffer ",
+                  cookie);
+        it->second.uninitWatched = false;
+        if (is_write) {
+            // First write: expected initialisation, retire silently.
+            stats_.add("uninit_watches_retired");
+        } else {
+            emitReport(CorruptionKind::UninitializedRead, it->second,
+                       fault_addr);
+        }
+        break;
+      }
+      case WatchKind::GuardFront:
+      case WatchKind::GuardRear: {
+        auto it = live_.find(cookie);
+        if (it == live_.end())
+            panic("CorruptionDetector: guard fault for unknown buffer ",
+                  cookie);
+        Buffer &buffer = it->second;
+        if (kind == WatchKind::GuardFront) {
+            buffer.frontWatched = false;
+            emitReport(CorruptionKind::UnderflowPadding, buffer,
+                       fault_addr);
+        } else {
+            buffer.rearWatched = false;
+            emitReport(CorruptionKind::OverflowPadding, buffer,
+                       fault_addr);
+        }
+        // The paper pauses here so a debugger can attach; in the
+        // reproduction we record the bug and let the run continue.
+        break;
+      }
+      case WatchKind::FreedBuffer: {
+        std::size_t guard_bytes =
+            config_.paddingGranules * backend_.granule();
+        auto it = freedByBase_.find(cookie - guard_bytes);
+        if (it == freedByBase_.end())
+            panic("CorruptionDetector: freed-buffer fault for unknown "
+                  "buffer ", cookie);
+        it->second.bodyWatched = false;
+        emitReport(CorruptionKind::UseAfterFree, it->second.buffer,
+                   fault_addr);
+        break;
+      }
+      case WatchKind::LeakSuspect:
+        panic("CorruptionDetector: received a leak-suspect fault");
+    }
+}
+
+void
+CorruptionDetector::finish()
+{
+    // Drop guard watches of still-live buffers.
+    for (auto &[user, buffer] : live_) {
+        if (buffer.frontWatched && backend_.isWatched(buffer.base))
+            backend_.unwatch(buffer.base);
+        if (buffer.rearWatched &&
+            backend_.isWatched(rearGuardAddr(buffer)))
+            backend_.unwatch(rearGuardAddr(buffer));
+        buffer.frontWatched = buffer.rearWatched = false;
+    }
+
+    // Drop freed-body watches and flush the quarantine.
+    for (auto &[base, freed] : freedByBase_) {
+        if (freed.bodyWatched &&
+            backend_.isWatched(freed.buffer.userAddr))
+            backend_.unwatch(freed.buffer.userAddr);
+        freed.bodyWatched = false;
+        if (freed.quarantined)
+            allocator_.deallocate(freed.buffer.base);
+    }
+    freedByBase_.clear();
+}
+
+} // namespace safemem

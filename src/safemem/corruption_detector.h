@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The memory-corruption detector (paper §4).
+ *
+ * Buffer overflow: every buffer is granule-aligned and padded with one
+ * watched granule at each end; any access to the padding is a bug.
+ *
+ * Use-after-free: on free the guards are released and the freed body is
+ * watched; any access is a bug. When the allocator hands the same block
+ * out again, the freed-body watch is removed first (§4: "When a freed
+ * memory buffer is reallocated, ECC monitoring for this buffer will be
+ * disabled").
+ *
+ * The only per-event costs are the watch/unwatch syscalls at allocation
+ * and deallocation time — no per-access interception, which is the whole
+ * point of the paper.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "common/stats.h"
+#include "safemem/config.h"
+#include "safemem/report.h"
+#include "safemem/watch_backend.h"
+
+namespace safemem {
+
+class CorruptionDetector
+{
+  public:
+    CorruptionDetector(const SafeMemConfig &config, WatchBackend &backend,
+                       HeapAllocator &allocator, Machine &machine,
+                       std::function<Cycles()> cpu_now);
+
+    /** Padded, guarded allocation. @return the user-visible address. */
+    VirtAddr allocate(std::size_t size, std::uint64_t site_tag);
+
+    /** Release @p user_addr: drop guards, watch the freed body. */
+    void deallocate(VirtAddr user_addr);
+
+    /** Guarded realloc: new guarded block, copy, free old. */
+    VirtAddr reallocate(VirtAddr user_addr, std::size_t new_size,
+                        std::uint64_t site_tag);
+
+    /** @return true when @p user_addr is a live guarded buffer. */
+    bool owns(VirtAddr user_addr) const;
+
+    /** @return requested size of live buffer @p user_addr. */
+    std::size_t userSize(VirtAddr user_addr) const;
+
+    /** Watch-backend fault dispatched by the facade. */
+    void onWatchFault(VirtAddr base, WatchKind kind, std::uint64_t cookie,
+                      VirtAddr fault_addr, bool is_write);
+
+    /** End of run: release all remaining watches and quarantine. */
+    void finish();
+
+    /** @return corruption reports emitted so far. */
+    const std::vector<CorruptionReport> &reports() const
+    {
+        return reports_;
+    }
+
+    /** @name Table 4 space accounting */
+    /// @{
+
+    /** Sum over all allocations of (capacity - requested) bytes. */
+    std::uint64_t cumulativeWasteBytes() const { return wasteBytes_; }
+
+    /** Sum over all allocations of requested bytes. */
+    std::uint64_t cumulativeUserBytes() const { return userBytes_; }
+    /// @}
+
+    /** @return detector statistics. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Buffer
+    {
+        VirtAddr base = 0;      ///< block base (front guard start)
+        VirtAddr userAddr = 0;  ///< base + one guard
+        std::size_t size = 0;   ///< requested size
+        std::size_t bodyBytes = 0; ///< user body rounded to granules
+        std::uint64_t siteTag = 0;
+        bool frontWatched = false;
+        bool rearWatched = false;
+        bool uninitWatched = false;
+    };
+
+    struct FreedBuffer
+    {
+        Buffer buffer;
+        bool bodyWatched = false;
+        bool quarantined = false; ///< large block withheld from reuse
+    };
+
+    VirtAddr rearGuardAddr(const Buffer &buffer) const;
+    void emitReport(CorruptionKind kind, const Buffer &buffer,
+                    VirtAddr fault_addr);
+
+    const SafeMemConfig &config_;
+    WatchBackend &backend_;
+    HeapAllocator &allocator_;
+    Machine &machine_;
+    std::function<Cycles()> cpuNow_;
+
+    /** Live guarded buffers keyed by user address. */
+    std::unordered_map<VirtAddr, Buffer> live_;
+    /** Freed, still-watched buffers keyed by block base. */
+    std::unordered_map<VirtAddr, FreedBuffer> freedByBase_;
+
+    std::uint64_t wasteBytes_ = 0;
+    std::uint64_t userBytes_ = 0;
+    std::vector<CorruptionReport> reports_;
+    StatSet stats_;
+};
+
+} // namespace safemem

@@ -1,0 +1,382 @@
+#include "safemem/leak_detector.h"
+
+#include <algorithm>
+
+#include "common/costs.h"
+#include "common/logging.h"
+
+namespace safemem {
+
+LeakDetector::LeakDetector(const SafeMemConfig &config,
+                           WatchBackend &backend,
+                           std::function<Cycles()> cpu_now,
+                           std::function<void(Cycles)> charge)
+    : config_(config), backend_(backend), cpuNow_(std::move(cpu_now)),
+      charge_(std::move(charge))
+{
+}
+
+LeakDetector::~LeakDetector() = default;
+
+ObjectGroup &
+LeakDetector::groupFor(std::uint64_t size, std::uint64_t signature)
+{
+    GroupKey key{size, signature};
+    auto it = groups_.find(key);
+    if (it != groups_.end())
+        return *it->second;
+
+    auto group = std::make_unique<ObjectGroup>();
+    group->key = key;
+    Cycles now = cpuNow_();
+    group->firstAllocTime = now;
+    group->lastLifetimeUpdate = now;
+    group->lastMaxChange = now;
+    ObjectGroup &ref = *group;
+    groups_.emplace(key, std::move(group));
+    stats_.add("groups_created");
+    return ref;
+}
+
+void
+LeakDetector::onAlloc(VirtAddr addr, std::size_t size,
+                      std::uint64_t signature, std::uint64_t site_tag)
+{
+    Cycles now = cpuNow_();
+    if (!sawFirstEvent_) {
+        sawFirstEvent_ = true;
+        startTime_ = now;
+        lastCheck_ = now;
+    }
+
+    ObjectGroup &group = groupFor(size, signature);
+    if (group.liveCount == 0 && group.deallocCount == 0)
+        group.siteTag = site_tag;
+
+    auto object = std::make_unique<LiveObject>();
+    object->addr = addr;
+    object->size = size;
+    object->group = &group;
+    object->allocTime = now;
+    object->originalAllocTime = now;
+    object->siteTag = site_tag;
+
+    group.liveList.push_back(object.get());
+    object->listPos = std::prev(group.liveList.end());
+    ++group.liveCount;
+    group.lastAllocTime = now;
+    group.totalBytes += size;
+
+    objects_.emplace(addr, std::move(object));
+    stats_.add("allocs_tracked");
+
+    maybeRunDetection();
+}
+
+void
+LeakDetector::onFree(VirtAddr addr)
+{
+    auto it = objects_.find(addr);
+    if (it == objects_.end())
+        panic("LeakDetector: free of untracked object ", addr);
+    LiveObject &object = *it->second;
+    ObjectGroup &group = *object.group;
+    Cycles now = cpuNow_();
+
+    if (object.suspect) {
+        // Being freed proves the suspect was a false positive too; the
+        // program still held a reference to it.
+        unwatchSuspect(object);
+        ++prunedSuspects_;
+        stats_.add("suspects_freed");
+    }
+
+    // Step 1 (§3.2.1): update the group's lifetime information.
+    Cycles lifetime = now - object.originalAllocTime;
+    Cycles tolerated = static_cast<Cycles>(
+        static_cast<double>(group.maxLifetime) * config_.lifetimeTolerance);
+    if (group.deallocCount == 0 || lifetime > tolerated) {
+        group.maxLifetime = std::max(group.maxLifetime, lifetime);
+        group.stableTime = 0;
+        group.lastMaxChange = now;
+        group.maxHistory.emplace_back(now, group.maxLifetime);
+    } else {
+        group.stableTime += now - group.lastLifetimeUpdate;
+    }
+    group.lastLifetimeUpdate = now;
+    ++group.deallocCount;
+
+    --group.liveCount;
+    group.totalBytes -= object.size;
+    group.liveList.erase(object.listPos);
+    objects_.erase(it);
+    stats_.add("frees_tracked");
+
+    maybeRunDetection();
+}
+
+bool
+LeakDetector::tracksObject(VirtAddr addr) const
+{
+    return objects_.count(addr) != 0;
+}
+
+void
+LeakDetector::maybeRunDetection()
+{
+    Cycles now = cpuNow_();
+    if (now - startTime_ < config_.warmupTime)
+        return;
+    if (now - lastCheck_ < config_.checkingPeriod)
+        return;
+    lastCheck_ = now;
+    stats_.add("detection_passes");
+    if (charge_)
+        charge_(kDetectPassCycles +
+                groups_.size() * kDetectPerGroupCycles);
+
+    // Report suspects that stayed silent past the threshold (§3.2.3).
+    std::vector<LiveObject *> overdue;
+    for (auto &[addr, object] : suspects_) {
+        if (now - object->suspectSince > config_.leakReportThreshold)
+            overdue.push_back(object);
+    }
+    for (LiveObject *object : overdue)
+        reportLeak(*object, now);
+
+    // Step 2 (§3.2.2): outlier detection per group.
+    for (auto &[key, group] : groups_) {
+        if (group->reportedLeak || now < group->cooldownUntil)
+            continue;
+        if (group->everFreed())
+            detectSLeak(*group, now);
+        else
+            detectALeak(*group, now);
+    }
+}
+
+void
+LeakDetector::detectALeak(ObjectGroup &group, Cycles now)
+{
+    if (group.liveCount <= config_.aleakLiveThreshold)
+        return;
+    // Growing only counts if the group allocated recently; otherwise it
+    // is probably an init-time pool used for the whole run (§3.2.2).
+    if (now - group.lastAllocTime > config_.aleakRecentWindow)
+        return;
+
+    // Keep one batch of suspects outstanding per group; piling fresh
+    // watches on every pass would creep past the oldest objects and
+    // manufacture unprunable suspects.
+    if (group.suspectCount >= config_.aleakWatchCount)
+        return;
+
+    group.everSuspected = true;
+    std::uint32_t placed = 0;
+    for (LiveObject *object : group.liveList) {
+        if (group.suspectCount >= config_.aleakWatchCount)
+            break;
+        if (object->suspect || object->reported)
+            continue;
+        watchSuspect(*object, now);
+        ++placed;
+    }
+    if (placed > 0)
+        stats_.add("aleak_suspicions");
+}
+
+void
+LeakDetector::detectSLeak(ObjectGroup &group, Cycles now)
+{
+    // Condition 2 first: the group's maximal lifetime must have been
+    // stable long enough to trust (§3.2.2).
+    if (group.deallocCount < 3)
+        return;
+    if (now - group.lastMaxChange < config_.minStableTime)
+        return;
+    if (group.maxLifetime == 0)
+        return;
+
+    Cycles outlier_bar = static_cast<Cycles>(
+        static_cast<double>(group.maxLifetime) *
+        config_.sleakLifetimeMultiplier);
+
+    // The live list is allocation-ordered, so the oldest few objects at
+    // the front are the only possible outliers (§3.2.2).
+    std::uint32_t examined = 0;
+    for (LiveObject *object : group.liveList) {
+        if (++examined > config_.sleakTopK)
+            break;
+        if (object->suspect || object->reported)
+            continue;
+        if (now - object->allocTime > outlier_bar) {
+            watchSuspect(*object, now);
+            group.everSuspected = true;
+            stats_.add("sleak_suspicions");
+        }
+    }
+}
+
+void
+LeakDetector::watchSuspect(LiveObject &object, Cycles now)
+{
+    // The corruption detector may still hold an uninitialised-buffer
+    // watch over this object; leave it be and retry later.
+    if (backend_.isWatched(object.addr))
+        return;
+
+    std::size_t granule = backend_.granule();
+    std::size_t watch_size = alignUp(std::max<std::size_t>(object.size, 1),
+                                     granule);
+    backend_.watch(object.addr, watch_size, WatchKind::LeakSuspect,
+                   kCookie);
+    object.suspect = true;
+    object.suspectSince = now;
+    ++object.group->suspectCount;
+    suspects_[object.addr] = &object;
+    stats_.add("suspects_watched");
+}
+
+void
+LeakDetector::unwatchSuspect(LiveObject &object)
+{
+    if (!object.suspect)
+        return;
+    if (backend_.isWatched(object.addr))
+        backend_.unwatch(object.addr);
+    object.suspect = false;
+    --object.group->suspectCount;
+    suspects_.erase(object.addr);
+}
+
+void
+LeakDetector::onSuspectAccessed(VirtAddr base)
+{
+    auto it = objects_.find(base);
+    if (it == objects_.end())
+        panic("LeakDetector: fault on unknown suspect ", base);
+    LiveObject &object = *it->second;
+    if (!object.suspect)
+        panic("LeakDetector: fault on non-suspect object ", base);
+    ObjectGroup &group = *object.group;
+    Cycles now = cpuNow_();
+
+    // The backend already removed the watch; fix our bookkeeping.
+    object.suspect = false;
+    --group.suspectCount;
+    suspects_.erase(base);
+    ++prunedSuspects_;
+    stats_.add("suspects_pruned");
+    group.cooldownUntil = now + config_.suspectCooldown;
+
+    if (group.everFreed()) {
+        // §3.2.3: reset the object's clock and raise the group maximum
+        // to the suspect's current living time so similar false
+        // positives are not flagged again.
+        Cycles living = now - object.originalAllocTime;
+        object.allocTime = now;
+        if (living > group.maxLifetime) {
+            group.maxLifetime = living;
+            group.stableTime = 0;
+            group.lastMaxChange = now;
+            group.lastLifetimeUpdate = now;
+            group.maxHistory.emplace_back(now, group.maxLifetime);
+        }
+    }
+}
+
+void
+LeakDetector::reportLeak(LiveObject &object, Cycles now)
+{
+    ObjectGroup &group = *object.group;
+
+    unwatchSuspect(object);
+    object.reported = true;
+
+    if (group.reportedLeak)
+        return; // one report per group / allocation site
+    group.reportedLeak = true;
+
+    LeakReport report;
+    report.kind =
+        group.everFreed() ? LeakKind::Sometimes : LeakKind::Always;
+    report.objectSize = group.key.size;
+    report.signature = group.key.signature;
+    report.siteTag = object.siteTag;
+    report.liveCount = group.liveCount;
+    report.reportTime = now;
+    reports_.push_back(report);
+    stats_.add("leaks_reported");
+}
+
+void
+LeakDetector::finish()
+{
+    Cycles now = cpuNow_();
+    std::vector<LiveObject *> overdue;
+    for (auto &[addr, object] : suspects_) {
+        if (now - object->suspectSince > config_.leakReportThreshold)
+            overdue.push_back(object);
+    }
+    for (LiveObject *object : overdue)
+        reportLeak(*object, now);
+
+    // Drop remaining watches so the backend ends the run clean.
+    while (!suspects_.empty())
+        unwatchSuspect(*suspects_.begin()->second);
+}
+
+std::vector<LeakReport>
+LeakDetector::suspectedGroupReports() const
+{
+    std::vector<LeakReport> result;
+    for (const auto &[key, group] : groups_) {
+        if (!group->everSuspected)
+            continue;
+        LeakReport report;
+        report.kind =
+            group->everFreed() ? LeakKind::Sometimes : LeakKind::Always;
+        report.objectSize = key.size;
+        report.signature = key.signature;
+        report.siteTag = group->siteTag;
+        report.liveCount = group->liveCount;
+        result.push_back(report);
+    }
+    return result;
+}
+
+std::vector<LeakDetector::GroupStability>
+LeakDetector::stabilityData() const
+{
+    std::vector<GroupStability> result;
+    Cycles now = cpuNow_();
+    Cycles teardown_start =
+        startTime_ + (now - startTime_) / 10 * 9;
+    for (const auto &[key, group] : groups_) {
+        if (!group->everFreed() || group->maxHistory.empty())
+            continue;
+        // Pools released only during program teardown produce a single
+        // end-of-run lifetime sample; the paper's servers were sampled
+        // mid-operation and never shut down, so skip those groups.
+        if (group->maxHistory.front().first > teardown_start)
+            continue;
+        // Warm-up ends the first time the maximum reaches within the
+        // tolerance band of its final value: later raises inside the
+        // band would not have changed the detector's behaviour.
+        Cycles final_max = group->maxHistory.back().second;
+        Cycles band = static_cast<Cycles>(
+            static_cast<double>(final_max) / config_.lifetimeTolerance);
+        Cycles warm_up = group->maxHistory.back().first;
+        for (const auto &[when, value] : group->maxHistory) {
+            if (value >= band) {
+                warm_up = when;
+                break;
+            }
+        }
+        result.push_back(GroupStability{
+            key, warm_up > startTime_ ? warm_up - startTime_ : 0});
+    }
+    return result;
+}
+
+} // namespace safemem

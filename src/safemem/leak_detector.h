@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The memory-leak detector (paper §3).
+ *
+ * Three-step pipeline, all driven from allocation/deallocation events —
+ * never from individual memory accesses:
+ *
+ *  1. collect per-group memory-usage behaviour (§3.2.1);
+ *  2. detect outliers: ALeak groups that only ever grow, and SLeak
+ *     objects that outlive their group's stable maximal lifetime
+ *     (§3.2.2);
+ *  3. watch suspects with the backend; a first access prunes the false
+ *     positive, prolonged silence becomes a leak report (§3.2.3).
+ *
+ * All times are application CPU cycles supplied by the cpu_now callback.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "safemem/config.h"
+#include "safemem/object_group.h"
+#include "safemem/report.h"
+#include "safemem/watch_backend.h"
+
+namespace safemem {
+
+class LeakDetector
+{
+  public:
+    /** Cookie namespace for this detector's watches. */
+    static constexpr std::uint64_t kCookie = 0x4c454b; // "LEK"
+
+    /**
+     * @param cpu_now returns the application CPU time
+     * @param charge  bills detector work to the tool's cost center;
+     *                may be null (unit tests)
+     */
+    LeakDetector(const SafeMemConfig &config, WatchBackend &backend,
+                 std::function<Cycles()> cpu_now,
+                 std::function<void(Cycles)> charge = nullptr);
+    ~LeakDetector();
+
+    LeakDetector(const LeakDetector &) = delete;
+    LeakDetector &operator=(const LeakDetector &) = delete;
+
+    /** Record an allocation (wrapped malloc/calloc/realloc). */
+    void onAlloc(VirtAddr addr, std::size_t size, std::uint64_t signature,
+                 std::uint64_t site_tag);
+
+    /** Record a deallocation. @p addr must be a tracked object. */
+    void onFree(VirtAddr addr);
+
+    /** @return true when @p addr is a tracked live object. */
+    bool tracksObject(VirtAddr addr) const;
+
+    /** Watch-backend fault: the suspect based at @p base was accessed. */
+    void onSuspectAccessed(VirtAddr base);
+
+    /** Final sweep at program end: overdue suspects become reports. */
+    void finish();
+
+    /** @return leak reports emitted so far. */
+    const std::vector<LeakReport> &reports() const { return reports_; }
+
+    /**
+     * @return one entry per group that was ever suspected — what the
+     * detector would have reported with no ECC pruning (Table 5's
+     * "before" column).
+     */
+    std::vector<LeakReport> suspectedGroupReports() const;
+
+    /** @return count of suspect objects whose access pruned them. */
+    std::uint64_t prunedSuspects() const { return prunedSuspects_; }
+
+    /**
+     * Figure 3 data: (group, warm-up time) for every group with at least
+     * one deallocation. Warm-up time is the app CPU time at which the
+     * group's maximal lifetime last changed.
+     */
+    struct GroupStability
+    {
+        GroupKey key;
+        Cycles warmUpTime = 0;
+    };
+    std::vector<GroupStability> stabilityData() const;
+
+    /** @return detector statistics. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    ObjectGroup &groupFor(std::uint64_t size, std::uint64_t signature);
+
+    /** Run the §3.2.2 outlier pass when the checking period elapsed. */
+    void maybeRunDetection();
+
+    void detectALeak(ObjectGroup &group, Cycles now);
+    void detectSLeak(ObjectGroup &group, Cycles now);
+
+    /** Place a suspect watch over @p object. */
+    void watchSuspect(LiveObject &object, Cycles now);
+
+    /** Remove the suspect watch from @p object (if any). */
+    void unwatchSuspect(LiveObject &object);
+
+    /** Turn an overdue suspect into a leak report. */
+    void reportLeak(LiveObject &object, Cycles now);
+
+    const SafeMemConfig &config_;
+    WatchBackend &backend_;
+    std::function<Cycles()> cpuNow_;
+    std::function<void(Cycles)> charge_;
+
+    std::unordered_map<GroupKey, std::unique_ptr<ObjectGroup>,
+                       GroupKeyHash> groups_;
+    std::unordered_map<VirtAddr, std::unique_ptr<LiveObject>> objects_;
+    /** Currently watched suspects, keyed by object base address. */
+    std::unordered_map<VirtAddr, LiveObject *> suspects_;
+
+    Cycles lastCheck_ = 0;
+    Cycles startTime_ = 0;
+    bool sawFirstEvent_ = false;
+
+    std::vector<LeakReport> reports_;
+    std::uint64_t prunedSuspects_ = 0;
+    StatSet stats_;
+};
+
+} // namespace safemem

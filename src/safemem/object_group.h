@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Memory-object groups and per-object records (paper §3).
+ *
+ * Objects are grouped by the tuple (size, call-stack signature); each
+ * group tracks the lifetime statistics the outlier detector consumes:
+ * the current maximal lifetime, how long that maximum has been stable,
+ * live-object bookkeeping, and the group's warm-up time (when the
+ * maximum last changed — the quantity Figure 3 plots).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace safemem {
+
+/** Grouping key: (object size, call-stack signature). */
+struct GroupKey
+{
+    std::uint64_t size = 0;
+    std::uint64_t signature = 0;
+
+    bool
+    operator==(const GroupKey &other) const
+    {
+        return size == other.size && signature == other.signature;
+    }
+};
+
+/** Hash for GroupKey. */
+struct GroupKeyHash
+{
+    std::size_t
+    operator()(const GroupKey &key) const
+    {
+        std::uint64_t h = key.size * 0x9e3779b97f4a7c15ULL;
+        h ^= key.signature + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+struct ObjectGroup;
+
+/** One live (not yet deallocated) memory object. */
+struct LiveObject
+{
+    VirtAddr addr = 0;
+    std::size_t size = 0;
+    ObjectGroup *group = nullptr;
+    /** Allocation time in app CPU cycles; reset when a suspect proves
+     *  live again (paper §3.2.3). */
+    Cycles allocTime = 0;
+    /** True allocation time, never reset (lifetime bookkeeping). */
+    Cycles originalAllocTime = 0;
+    /** Workload ground-truth tag; opaque to the detector. */
+    std::uint64_t siteTag = 0;
+    /** Currently watched as a leak suspect. */
+    bool suspect = false;
+    /** App CPU time the suspect watch was placed. */
+    Cycles suspectSince = 0;
+    /** Already counted in a leak report. */
+    bool reported = false;
+    /** Position in the group's allocation-ordered live list. */
+    std::list<LiveObject *>::iterator listPos;
+};
+
+/** Statistics for one (size, signature) group. */
+struct ObjectGroup
+{
+    GroupKey key;
+
+    /** @name Lifetime information (paper §3.2.1) */
+    /// @{
+    Cycles maxLifetime = 0;
+    /** How long maxLifetime has been stable. */
+    Cycles stableTime = 0;
+    /** Last time stableTime was accumulated into. */
+    Cycles lastLifetimeUpdate = 0;
+    /** App CPU time when maxLifetime last increased (warm-up point). */
+    Cycles lastMaxChange = 0;
+    /** History of (time, new maximum) raises — Figure 3's warm-up
+     *  metric reads the first time the maximum got within tolerance of
+     *  its final value. Raises are rare, so this stays tiny. */
+    std::vector<std::pair<Cycles, Cycles>> maxHistory;
+    /// @}
+
+    /** @name Memory usage information (paper §3.2.1) */
+    /// @{
+    std::uint64_t liveCount = 0;
+    Cycles lastAllocTime = 0;
+    std::uint64_t totalBytes = 0;
+    /// @}
+
+    Cycles firstAllocTime = 0;
+    std::uint64_t deallocCount = 0;
+    bool everFreed() const { return deallocCount > 0; }
+
+    /** Live objects in allocation order (oldest at the front). */
+    std::list<LiveObject *> liveList;
+
+    /** Ground-truth tag of the group's allocation site. */
+    std::uint64_t siteTag = 0;
+
+    /** Live objects of this group currently watched as suspects. */
+    std::uint32_t suspectCount = 0;
+
+    /** Group already reported as leaking. */
+    bool reportedLeak = false;
+    /** Do not re-suspect this group before this time (after a prune). */
+    Cycles cooldownUntil = 0;
+    /** Ever flagged as a suspect (Table 5 "before pruning" counting). */
+    bool everSuspected = false;
+};
+
+} // namespace safemem

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bug reports emitted by the detectors.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace safemem {
+
+/** Which kind of continuous leak a report describes (paper §3.1). */
+enum class LeakKind : std::uint8_t
+{
+    Always,   ///< ALeak: the group is never freed on any path
+    Sometimes ///< SLeak: freed on some paths, leaked on others
+};
+
+/** One reported memory leak (per memory-object group). */
+struct LeakReport
+{
+    LeakKind kind = LeakKind::Always;
+    std::uint64_t objectSize = 0;   ///< the group's object size
+    std::uint64_t signature = 0;    ///< the group's call-stack signature
+    std::uint64_t siteTag = 0;      ///< workload ground-truth label
+    std::uint64_t liveCount = 0;    ///< live objects in the group at report
+    Cycles reportTime = 0;          ///< app CPU time of the report
+};
+
+/** Categories of memory corruption SafeMem detects (paper §4). */
+enum class CorruptionKind : std::uint8_t
+{
+    UnderflowPadding,  ///< access below the buffer (front guard)
+    OverflowPadding,   ///< access beyond the buffer (rear guard)
+    UseAfterFree,      ///< access to a freed buffer
+    UninitializedRead  ///< read of a never-written buffer (extension)
+};
+
+/** One reported memory-corruption bug. */
+struct CorruptionReport
+{
+    CorruptionKind kind = CorruptionKind::OverflowPadding;
+    VirtAddr userAddr = 0;      ///< user base of the involved buffer
+    VirtAddr faultAddr = 0;     ///< line address of the illegal access
+    std::uint64_t objectSize = 0;
+    std::uint64_t siteTag = 0;  ///< ground-truth label of the alloc site
+    Cycles reportTime = 0;
+};
+
+/** @return a short human-readable name for @p kind. */
+inline const char *
+corruptionKindName(CorruptionKind kind)
+{
+    switch (kind) {
+      case CorruptionKind::UnderflowPadding: return "buffer-underflow";
+      case CorruptionKind::OverflowPadding: return "buffer-overflow";
+      case CorruptionKind::UseAfterFree: return "use-after-free";
+      case CorruptionKind::UninitializedRead: return "uninitialised-read";
+    }
+    return "?";
+}
+
+} // namespace safemem

@@ -1,0 +1,163 @@
+#include "safemem/safemem.h"
+
+#include <vector>
+
+#include "common/costs.h"
+#include "common/logging.h"
+#include "safemem/callstack.h"
+
+namespace safemem {
+
+SafeMemTool::SafeMemTool(Machine &machine, HeapAllocator &allocator,
+                         WatchBackend &backend, SafeMemConfig config)
+    : machine_(machine), allocator_(allocator), backend_(backend),
+      config_(config)
+{
+    auto cpu_now = [this] { return cpuNow(); };
+
+    if (config_.detectLeaks)
+        leak_ = std::make_unique<LeakDetector>(
+            config_, backend_, cpu_now,
+            [this](Cycles cycles) { machine_.clock().advance(cycles); });
+    if (config_.detectCorruption)
+        corruption_ = std::make_unique<CorruptionDetector>(
+            config_, backend_, allocator_, machine_, cpu_now);
+
+    backend_.setFaultCallback(
+        [this](VirtAddr base, WatchKind kind, std::uint64_t cookie,
+               VirtAddr fault_addr, bool is_write) {
+            if (kind == WatchKind::LeakSuspect) {
+                if (!leak_)
+                    panic("SafeMemTool: leak fault with ML disabled");
+                leak_->onSuspectAccessed(base);
+            } else {
+                if (!corruption_)
+                    panic("SafeMemTool: corruption fault with MC "
+                          "disabled");
+                corruption_->onWatchFault(base, kind, cookie, fault_addr,
+                                          is_write);
+            }
+        });
+}
+
+SafeMemTool::~SafeMemTool() = default;
+
+Cycles
+SafeMemTool::cpuNow() const
+{
+    return machine_.clock().charged(CostCenter::Application);
+}
+
+VirtAddr
+SafeMemTool::toolAlloc(std::size_t size, const ShadowStack &stack,
+                       std::uint64_t site_tag)
+{
+    VirtAddr user;
+    if (corruption_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
+        machine_.clock().advance(kWrapperEventCycles);
+        user = corruption_->allocate(size, site_tag);
+    } else if (leak_) {
+        // Leak monitoring alone still needs watchable (granule-aligned)
+        // buffers, at the price of alignment waste only.
+        user = allocator_.allocate(size, backend_.granule());
+    } else {
+        user = allocator_.allocate(size);
+    }
+
+    if (leak_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        machine_.clock().advance(kWrapperEventCycles);
+        leak_->onAlloc(user, size, callStackSignature(stack), site_tag);
+    }
+    return user;
+}
+
+VirtAddr
+SafeMemTool::toolCalloc(std::size_t count, std::size_t size,
+                        const ShadowStack &stack, std::uint64_t site_tag)
+{
+    std::size_t bytes = count * size;
+    VirtAddr user = toolAlloc(bytes, stack, site_tag);
+    std::vector<std::uint8_t> zeros(bytes, 0);
+    machine_.write(user, zeros.data(), zeros.size());
+    return user;
+}
+
+VirtAddr
+SafeMemTool::toolRealloc(VirtAddr addr, std::size_t new_size,
+                         const ShadowStack &stack, std::uint64_t site_tag)
+{
+    if (addr == 0)
+        return toolAlloc(new_size, stack, site_tag);
+
+    if (leak_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        machine_.clock().advance(kWrapperEventCycles);
+        leak_->onFree(addr);
+    }
+
+    VirtAddr fresh;
+    if (corruption_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
+        machine_.clock().advance(kWrapperEventCycles);
+        fresh = corruption_->reallocate(addr, new_size, site_tag);
+    } else {
+        fresh = allocator_.reallocate(addr, new_size);
+    }
+
+    if (leak_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        leak_->onAlloc(fresh, new_size, callStackSignature(stack),
+                       site_tag);
+    }
+    return fresh;
+}
+
+void
+SafeMemTool::toolFree(VirtAddr addr)
+{
+    if (leak_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        machine_.clock().advance(kWrapperEventCycles);
+        leak_->onFree(addr);
+    }
+    if (corruption_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
+        machine_.clock().advance(kWrapperEventCycles);
+        corruption_->deallocate(addr);
+    } else {
+        allocator_.deallocate(addr);
+    }
+}
+
+void
+SafeMemTool::finish()
+{
+    if (leak_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        leak_->finish();
+    }
+    if (corruption_) {
+        CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
+        corruption_->finish();
+    }
+}
+
+const LeakDetector &
+SafeMemTool::leakDetector() const
+{
+    if (!leak_)
+        panic("SafeMemTool: leak detection is disabled");
+    return *leak_;
+}
+
+const CorruptionDetector &
+SafeMemTool::corruptionDetector() const
+{
+    if (!corruption_)
+        panic("SafeMemTool: corruption detection is disabled");
+    return *corruption_;
+}
+
+} // namespace safemem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SafeMem: the user-level runtime the paper describes, assembled as a
+ * Tool the workload Env can interpose.
+ *
+ * Wraps malloc/free/calloc/realloc (the paper preloads a shared library
+ * for this), feeding the leak detector (§3) and corruption detector (§4),
+ * both built over a WatchBackend. With the ECC backend this is SafeMem
+ * proper; with the page-protection backend it is the paper's
+ * page-granularity comparison point (Tables 2 and 4).
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "alloc/heap_allocator.h"
+#include "common/tool.h"
+#include "os/machine.h"
+#include "safemem/config.h"
+#include "safemem/corruption_detector.h"
+#include "safemem/leak_detector.h"
+#include "safemem/watch_backend.h"
+
+namespace safemem {
+
+class SafeMemTool : public Tool
+{
+  public:
+    /**
+     * @param machine   the simulated machine to monitor on
+     * @param allocator the heap allocator being interposed
+     * @param backend   watch mechanism (ECC or page protection); must
+     *                  already be wired into the machine's fault paths
+     * @param config    detection thresholds
+     */
+    SafeMemTool(Machine &machine, HeapAllocator &allocator,
+                WatchBackend &backend, SafeMemConfig config);
+    ~SafeMemTool() override;
+
+    /** @name Tool interface (malloc wrapper family) */
+    /// @{
+    VirtAddr toolAlloc(std::size_t size, const ShadowStack &stack,
+                       std::uint64_t site_tag) override;
+    VirtAddr toolCalloc(std::size_t count, std::size_t size,
+                        const ShadowStack &stack,
+                        std::uint64_t site_tag) override;
+    VirtAddr toolRealloc(VirtAddr addr, std::size_t new_size,
+                         const ShadowStack &stack,
+                         std::uint64_t site_tag) override;
+    void toolFree(VirtAddr addr) override;
+    void finish() override;
+    /// @}
+
+    /** @return the leak detector (reports, Figure 3 data). */
+    const LeakDetector &leakDetector() const;
+
+    /** @return the corruption detector (reports, Table 4 data). */
+    const CorruptionDetector &corruptionDetector() const;
+
+    /** @return the active configuration. */
+    const SafeMemConfig &config() const { return config_; }
+
+  private:
+    /** App CPU time: cycles charged to the application bucket. */
+    Cycles cpuNow() const;
+
+    Machine &machine_;
+    HeapAllocator &allocator_;
+    WatchBackend &backend_;
+    SafeMemConfig config_;
+    std::unique_ptr<LeakDetector> leak_;
+    std::unique_ptr<CorruptionDetector> corruption_;
+};
+
+} // namespace safemem

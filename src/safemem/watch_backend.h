@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Abstraction over the two memory-watch mechanisms the paper compares:
+ * ECC protection (cache-line granularity) and page protection (mprotect,
+ * page granularity). The detectors are written against this interface so
+ * the Table 2/4 comparisons run the *same* detection logic over both
+ * mechanisms, differing only in granularity and cost.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace safemem {
+
+/** Why a region is being watched; reported back on faults. */
+enum class WatchKind : std::uint8_t
+{
+    LeakSuspect, ///< §3.2.3 false-positive pruning
+    GuardFront,  ///< §4 padding before a buffer
+    GuardRear,   ///< §4 padding after a buffer
+    FreedBuffer, ///< §4 freed-memory watch
+    UninitBuffer ///< §4 extension: unwritten allocation watch
+};
+
+/**
+ * Callback invoked on the first access to a watched region.
+ *
+ * @param base       base address of the watched region
+ * @param kind       why the region was watched
+ * @param cookie     opaque value supplied at watch time
+ * @param fault_addr watch-granule address of the offending access
+ * @param is_write   the faulting access was a store
+ *
+ * By the time the callback runs, the backend has already removed the
+ * watch on the region (both mechanisms only need the *first* access,
+ * paper §2.2.1), so the faulting access can restart cleanly.
+ */
+using WatchFaultCallback = std::function<void(
+    VirtAddr base, WatchKind kind, std::uint64_t cookie,
+    VirtAddr fault_addr, bool is_write)>;
+
+class WatchBackend
+{
+  public:
+    virtual ~WatchBackend() = default;
+
+    /** Watch granule in bytes: 64 for ECC, 4096 for page protection. */
+    virtual std::size_t granule() const = 0;
+
+    /** Install the fault callback. */
+    virtual void setFaultCallback(WatchFaultCallback callback) = 0;
+
+    /**
+     * Watch a granule-aligned region.
+     * @param cookie opaque value echoed to the fault callback.
+     */
+    virtual void watch(VirtAddr base, std::size_t size, WatchKind kind,
+                       std::uint64_t cookie) = 0;
+
+    /** Remove the watch on the region based at @p base (must exist). */
+    virtual void unwatch(VirtAddr base) = 0;
+
+    /** @return true when a region based at @p base is watched. */
+    virtual bool isWatched(VirtAddr base) const = 0;
+
+    /** @return number of currently watched regions. */
+    virtual std::size_t regionCount() const = 0;
+
+    /** @return bytes currently consumed by watches (for Table 4). */
+    virtual std::uint64_t watchedBytes() const = 0;
+
+    /** @return backend statistics. */
+    virtual const StatSet &stats() const = 0;
+};
+
+} // namespace safemem

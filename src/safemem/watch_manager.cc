@@ -1,0 +1,236 @@
+#include "safemem/watch_manager.h"
+
+#include "common/logging.h"
+
+namespace safemem {
+
+EccWatchManager::EccWatchManager(Machine &machine)
+    : machine_(machine), scramble_(defaultScramblePattern())
+{
+}
+
+void
+EccWatchManager::installFaultHandler()
+{
+    machine_.kernel().registerEccFaultHandler(
+        [this](const UserEccFault &fault) { return onEccFault(fault); });
+}
+
+void
+EccWatchManager::installScrubHooks()
+{
+    machine_.kernel().setScrubHooks(
+        [this] {
+            // Lift every watch so the scrubber sees clean lines
+            // (paper §2.2.2: SafeMem temporarily unmonitors all watched
+            // regions and blocks the program until scrubbing finishes).
+            while (!regions_.empty()) {
+                auto it = regions_.begin();
+                scrubParked_.push_back(it->second);
+                dropRegion(it);
+            }
+            stats_.add("scrub_unwatch_passes");
+        },
+        [this] {
+            for (const Region &region : scrubParked_)
+                watch(region.base, region.size, region.kind, region.cookie);
+            scrubParked_.clear();
+        });
+}
+
+void
+EccWatchManager::installSwapHooks()
+{
+    machine_.kernel().setSwapHooks(
+        [this](VirtAddr vpage) {
+            // Pre swap-out: park every watched region that intersects
+            // the departing page.
+            std::vector<VirtAddr> bases;
+            for (const auto &[base, region] : regions_) {
+                if (base < vpage + kPageSize &&
+                    base + region.size > vpage)
+                    bases.push_back(base);
+            }
+            for (VirtAddr base : bases) {
+                auto it = regions_.find(base);
+                swapParked_.push_back(it->second);
+                dropRegion(it);
+                stats_.add("regions_swap_parked");
+            }
+        },
+        [this](VirtAddr vpage) {
+            // Post swap-in: restore the parked regions of this page.
+            // Detach them from the parking list first — watch()
+            // consults it for overlaps.
+            std::vector<Region> restore;
+            std::vector<Region> keep;
+            for (const Region &region : swapParked_) {
+                if (region.base < vpage + kPageSize &&
+                    region.base + region.size > vpage)
+                    restore.push_back(region);
+                else
+                    keep.push_back(region);
+            }
+            swapParked_ = std::move(keep);
+            for (const Region &region : restore) {
+                watch(region.base, region.size, region.kind,
+                      region.cookie);
+                stats_.add("regions_swap_restored");
+            }
+        });
+}
+
+void
+EccWatchManager::setFaultCallback(WatchFaultCallback callback)
+{
+    callback_ = std::move(callback);
+}
+
+void
+EccWatchManager::watch(VirtAddr base, std::size_t size, WatchKind kind,
+                       std::uint64_t cookie)
+{
+    if (!isAligned(base, kCacheLineSize) || !isAligned(size, kCacheLineSize)
+        || size == 0)
+        panic("EccWatchManager: region ", base, "+", size,
+              " is not line aligned");
+
+    for (std::size_t off = 0; off < size; off += kCacheLineSize) {
+        if (lineToRegion_.count(base + off))
+            panic("EccWatchManager: line ", base + off, " already watched");
+    }
+    for (const Region &parked : swapParked_) {
+        if (base < parked.base + parked.size && parked.base < base + size)
+            panic("EccWatchManager: region ", base,
+                  " overlaps a swap-parked watch at ", parked.base);
+    }
+
+    Region region;
+    region.base = base;
+    region.size = size;
+    region.kind = kind;
+    region.cookie = cookie;
+
+    // Save the original contents into SafeMem's private memory — the
+    // hardware-error discriminator needs them (§2.2.2).
+    region.originalWords.resize(size / kEccGroupSize);
+    machine_.read(base, region.originalWords.data(), size);
+
+    machine_.kernel().watchMemory(base, size);
+
+    for (std::size_t off = 0; off < size; off += kCacheLineSize)
+        lineToRegion_[base + off] = base;
+    watchedBytes_ += size;
+    stats_.add("regions_watched");
+    stats_.maxOf("peak_watched_bytes", watchedBytes_);
+    regions_.emplace(base, std::move(region));
+}
+
+void
+EccWatchManager::dropRegion(std::map<VirtAddr, Region>::iterator it)
+{
+    const Region &region = it->second;
+    machine_.kernel().disableWatchMemory(region.base, region.size);
+    for (std::size_t off = 0; off < region.size; off += kCacheLineSize)
+        lineToRegion_.erase(region.base + off);
+    watchedBytes_ -= region.size;
+    regions_.erase(it);
+}
+
+void
+EccWatchManager::unwatch(VirtAddr base)
+{
+    auto it = regions_.find(base);
+    if (it != regions_.end()) {
+        dropRegion(it);
+        stats_.add("regions_unwatched");
+        return;
+    }
+    // A region parked while its page is swapped out is still logically
+    // watched; cancelling it only removes the parking entry (its lines
+    // were already unscrambled when it was parked).
+    for (auto parked = swapParked_.begin(); parked != swapParked_.end();
+         ++parked) {
+        if (parked->base == base) {
+            swapParked_.erase(parked);
+            stats_.add("parked_regions_cancelled");
+            return;
+        }
+    }
+    panic("EccWatchManager: unwatch of unknown region ", base);
+}
+
+bool
+EccWatchManager::isWatched(VirtAddr base) const
+{
+    if (regions_.count(base) != 0)
+        return true;
+    for (const Region &region : swapParked_) {
+        if (region.base == base)
+            return true;
+    }
+    return false;
+}
+
+FaultDecision
+EccWatchManager::onEccFault(const UserEccFault &fault)
+{
+    VirtAddr vline = alignDown(fault.vaddr, kCacheLineSize);
+    auto line_it = lineToRegion_.find(vline);
+    if (line_it == lineToRegion_.end()) {
+        // Not one of ours: a genuine hardware error somewhere else.
+        stats_.add("foreign_faults");
+        return FaultDecision::HardwareError;
+    }
+
+    auto it = regions_.find(line_it->second);
+    if (it == regions_.end())
+        panic("EccWatchManager: dangling line->region mapping");
+    const Region &region = it->second;
+
+    // Everything from here on is monitoring work, not application work.
+    CostScope scope(machine_.clock(),
+                    region.kind == WatchKind::LeakSuspect
+                        ? CostCenter::ToolLeak
+                        : CostCenter::ToolCorruption);
+
+    // Recompute the scramble signature for the faulting line and compare
+    // against memory: a mismatch means a real hardware error struck the
+    // watched line (§2.2.2).
+    MemoryController &controller = machine_.controller();
+    std::size_t first_word = (vline - region.base) / kEccGroupSize;
+    bool signature_intact = true;
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+        std::uint64_t current = controller.peekWord(
+            alignDown(fault.lineAddr, kCacheLineSize) + i * kEccGroupSize);
+        std::uint64_t expected =
+            scramble_.apply(region.originalWords[first_word + i]);
+        if (current != expected) {
+            signature_intact = false;
+            break;
+        }
+    }
+
+    if (!signature_intact) {
+        // Hardware error under a watch. The watched data is expendable
+        // (padding or a suspected leak) and we hold a pristine copy:
+        // repair the region, then report the hardware error.
+        stats_.add("hardware_errors_detected");
+        Region saved = region;
+        dropRegion(it);
+        machine_.write(saved.base, saved.originalWords.data(), saved.size);
+        return FaultDecision::HardwareError;
+    }
+
+    // Access fault: remove the watch (only the first access matters),
+    // then hand the event to the owning detector.
+    stats_.add("access_faults");
+    Region saved = region;
+    dropRegion(it);
+    if (callback_)
+        callback_(saved.base, saved.kind, saved.cookie, vline,
+                  fault.isWrite);
+    return FaultDecision::Handled;
+}
+
+} // namespace safemem

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The ECC watch backend — SafeMem's user-level library side of the
+ * mechanism (paper §2.2).
+ *
+ * Responsibilities beyond calling the kernel's WatchMemory /
+ * DisableWatchMemory:
+ *
+ *  - keep a private copy of each watched line's original contents, used
+ *    to recompute the scramble signature and tell access faults apart
+ *    from genuine hardware ECC errors (§2.2.2 "Data Scrambling");
+ *  - dispatch verified access faults to the owning detector through the
+ *    WatchFaultCallback, after disabling the watch (only the first
+ *    access matters, §2.2.1);
+ *  - coordinate with memory scrubbing: unwatch everything before a scrub
+ *    pass and rewatch afterwards (§2.2.2 "Dealing with ECC Memory
+ *    Scrubbing").
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "ecc/scramble.h"
+#include "os/machine.h"
+#include "safemem/watch_backend.h"
+
+namespace safemem {
+
+class EccWatchManager : public WatchBackend
+{
+  public:
+    explicit EccWatchManager(Machine &machine);
+
+    /** Wire this manager into the kernel's ECC fault delivery. */
+    void installFaultHandler();
+
+    /** Register the pre/post scrub hooks with the kernel. */
+    void installScrubHooks();
+
+    /**
+     * Register swap hooks for the kernel's UnwatchRewatch policy
+     * (paper §2.2.2's proposed alternative to pinning): watches on a
+     * page that swaps out are parked, and re-established when the page
+     * swaps back in.
+     */
+    void installSwapHooks();
+
+    /** @name WatchBackend interface */
+    /// @{
+    std::size_t granule() const override { return kCacheLineSize; }
+    void setFaultCallback(WatchFaultCallback callback) override;
+    void watch(VirtAddr base, std::size_t size, WatchKind kind,
+               std::uint64_t cookie) override;
+    void unwatch(VirtAddr base) override;
+    bool isWatched(VirtAddr base) const override;
+    std::size_t regionCount() const override { return regions_.size(); }
+    std::uint64_t watchedBytes() const override { return watchedBytes_; }
+    const StatSet &stats() const override { return stats_; }
+    /// @}
+
+    /**
+     * The user-level ECC fault handler (registered via the kernel).
+     * Classifies the fault by scramble signature and dispatches access
+     * faults; hardware errors are repaired from the private copy.
+     */
+    FaultDecision onEccFault(const UserEccFault &fault);
+
+  private:
+    struct Region
+    {
+        VirtAddr base = 0;
+        std::size_t size = 0;
+        WatchKind kind = WatchKind::LeakSuspect;
+        std::uint64_t cookie = 0;
+        /** Private copy of the original data (one word per ECC group). */
+        std::vector<std::uint64_t> originalWords;
+    };
+
+    /** Remove @p region's kernel watches and bookkeeping. */
+    void dropRegion(std::map<VirtAddr, Region>::iterator it);
+
+    Machine &machine_;
+    const ScramblePattern &scramble_;
+    WatchFaultCallback callback_;
+
+    /** Watched regions keyed by base address. */
+    std::map<VirtAddr, Region> regions_;
+    /** Line address -> owning region base. */
+    std::unordered_map<VirtAddr, VirtAddr> lineToRegion_;
+
+    /** Regions temporarily lifted for a scrub pass. */
+    std::vector<Region> scrubParked_;
+    /** Regions parked while their page is swapped out. */
+    std::vector<Region> swapParked_;
+
+    std::uint64_t watchedBytes_ = 0;
+    StatSet stats_;
+};
+
+} // namespace safemem

@@ -1,0 +1,42 @@
+#include "workloads/app.h"
+
+#include "workloads/gzip_app.h"
+#include "workloads/proftpd.h"
+#include "workloads/squid.h"
+#include "workloads/tar_app.h"
+#include "workloads/ypserv.h"
+
+namespace safemem {
+
+std::unique_ptr<App>
+makeApp(const std::string &name)
+{
+    if (name == "ypserv1")
+        return std::make_unique<YpservApp>(YpservApp::Variant::AlwaysLeak);
+    if (name == "ypserv2")
+        return std::make_unique<YpservApp>(
+            YpservApp::Variant::SometimesLeak);
+    if (name == "proftpd")
+        return std::make_unique<ProftpdApp>();
+    if (name == "squid1")
+        return std::make_unique<SquidApp>(SquidApp::Variant::Leak);
+    if (name == "squid2")
+        return std::make_unique<SquidApp>(SquidApp::Variant::Corruption);
+    if (name == "gzip")
+        return std::make_unique<GzipApp>();
+    if (name == "tar")
+        return std::make_unique<TarApp>();
+    return nullptr;
+}
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names = {
+        "ypserv1", "proftpd", "squid1", "ypserv2",
+        "gzip",    "tar",     "squid2",
+    };
+    return names;
+}
+
+} // namespace safemem

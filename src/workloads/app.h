@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Base interface of the seven workload applications (paper Table 1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/env.h"
+
+namespace safemem {
+
+/** Run parameters shared by all applications. */
+struct RunParams
+{
+    /** Number of requests / work items to process. */
+    std::uint64_t requests = 2000;
+    /** Buggy inputs: the injected bug triggers. Normal inputs do not
+     *  exercise the bug (the paper measures overhead on normal inputs). */
+    bool buggy = false;
+    /** Deterministic seed for the request stream. */
+    std::uint64_t seed = 1;
+};
+
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Short application name as used in the paper's tables. */
+    virtual const char *name() const = 0;
+
+    /** Execute the workload in @p env. */
+    virtual void run(Env &env, const RunParams &params) = 0;
+};
+
+/** @return the application registered under @p name (or nullptr). */
+std::unique_ptr<App> makeApp(const std::string &name);
+
+/** @return all seven application names in paper order. */
+const std::vector<std::string> &appNames();
+
+} // namespace safemem

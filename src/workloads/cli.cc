@@ -1,0 +1,136 @@
+#include "workloads/cli.h"
+
+#include <sstream>
+
+#include "workloads/report_writer.h"
+
+namespace safemem {
+
+std::optional<ToolKind>
+toolKindFromName(const std::string &name)
+{
+    for (ToolKind kind : {ToolKind::None, ToolKind::SafeMemML,
+                          ToolKind::SafeMemMC, ToolKind::SafeMemBoth,
+                          ToolKind::PageProtBoth, ToolKind::Purify}) {
+        if (name == toolKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::string
+cliUsage()
+{
+    std::ostringstream os;
+    os << "usage: safemem_run <app> [options]\n"
+       << "\n"
+       << "apps:";
+    for (const std::string &name : appNames())
+        os << " " << name;
+    os << "\n\noptions:\n"
+       << "  --tool <name>     none | safemem-ml | safemem-mc | safemem |"
+          " pageprot | purify\n"
+       << "                    (default: safemem)\n"
+       << "  --buggy           use bug-triggering inputs\n"
+       << "  --requests <n>    work items to process (default: per app)\n"
+       << "  --seed <n>        request-stream seed (default: 42)\n"
+       << "  --overhead        also run uninstrumented and report the "
+          "overhead\n"
+       << "  --stats[=prefix]  dump run counters (optionally filtered)\n";
+    return os.str();
+}
+
+CliParse
+parseCliArguments(const std::vector<std::string> &args)
+{
+    CliParse result;
+    if (args.empty()) {
+        result.message = cliUsage();
+        return result;
+    }
+
+    CliOptions options;
+    options.params.seed = 42;
+    options.params.requests = 0; // resolved after the app is known
+
+    std::size_t i = 0;
+    options.app = args[i++];
+    if (!makeApp(options.app)) {
+        result.message = "unknown application '" + options.app + "'\n\n" +
+                         cliUsage();
+        return result;
+    }
+
+    auto need_value = [&](const std::string &flag) -> const std::string * {
+        if (i >= args.size()) {
+            result.message = flag + " needs a value\n\n" + cliUsage();
+            return nullptr;
+        }
+        return &args[i++];
+    };
+
+    while (i < args.size()) {
+        const std::string &arg = args[i++];
+        if (arg == "--buggy") {
+            options.params.buggy = true;
+        } else if (arg == "--overhead") {
+            options.compareBaseline = true;
+        } else if (arg == "--stats") {
+            options.dumpStats = true;
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            options.dumpStats = true;
+            options.statsPrefix = arg.substr(8);
+        } else if (arg == "--tool") {
+            const std::string *value = need_value("--tool");
+            if (!value)
+                return result;
+            auto kind = toolKindFromName(*value);
+            if (!kind) {
+                result.message =
+                    "unknown tool '" + *value + "'\n\n" + cliUsage();
+                return result;
+            }
+            options.tool = *kind;
+        } else if (arg == "--requests") {
+            const std::string *value = need_value("--requests");
+            if (!value)
+                return result;
+            options.params.requests = std::stoull(*value);
+        } else if (arg == "--seed") {
+            const std::string *value = need_value("--seed");
+            if (!value)
+                return result;
+            options.params.seed = std::stoull(*value);
+        } else {
+            result.message =
+                "unknown option '" + arg + "'\n\n" + cliUsage();
+            return result;
+        }
+    }
+
+    if (options.params.requests == 0)
+        options.params.requests = defaultRequests(options.app);
+    result.options = options;
+    return result;
+}
+
+std::string
+runCli(const CliOptions &options)
+{
+    std::ostringstream os;
+    RunResult result =
+        runWorkload(options.app, options.tool, options.params);
+    os << formatRunSummary(result);
+
+    if (options.compareBaseline && options.tool != ToolKind::None) {
+        RunResult baseline =
+            runWorkload(options.app, ToolKind::None, options.params);
+        os << "  " << formatOverhead(result, baseline) << "\n";
+    }
+    if (options.dumpStats)
+        os << "\ncounters:\n"
+           << formatStats(result, options.statsPrefix);
+    return os.str();
+}
+
+} // namespace safemem

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Argument parsing for the `safemem_run` command-line harness, kept in
+ * the library so it is unit-testable; the tool's main() is a thin shim.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/driver.h"
+
+namespace safemem {
+
+/** Parsed command line of the safemem_run tool. */
+struct CliOptions
+{
+    std::string app;
+    ToolKind tool = ToolKind::SafeMemBoth;
+    RunParams params;
+    bool compareBaseline = false; ///< --overhead: also run uninstrumented
+    bool dumpStats = false;       ///< --stats: print every counter
+    std::string statsPrefix;      ///< --stats=<prefix>
+};
+
+/** Outcome of parsing: options, or an error/usage message. */
+struct CliParse
+{
+    std::optional<CliOptions> options;
+    std::string message; ///< error or usage text when !options
+};
+
+/** Parse argv (without the program name). */
+CliParse parseCliArguments(const std::vector<std::string> &args);
+
+/** @return the tool kind named by @p name, if any. */
+std::optional<ToolKind> toolKindFromName(const std::string &name);
+
+/** @return the usage text. */
+std::string cliUsage();
+
+/** Execute the parsed run(s) and return the formatted report. */
+std::string runCli(const CliOptions &options);
+
+} // namespace safemem

@@ -1,0 +1,120 @@
+#include "workloads/components.h"
+
+#include "common/logging.h"
+
+namespace safemem {
+
+SimPointerTable::SimPointerTable(Env &env, std::size_t slots,
+                                 std::uint64_t site_tag)
+    : slots_(slots)
+{
+    base_ = env.callocBytes(slots, sizeof(std::uint64_t), site_tag);
+}
+
+void
+SimPointerTable::destroy(Env &env)
+{
+    env.free(base_);
+    base_ = 0;
+    slots_ = 0;
+}
+
+std::uint64_t
+SimPointerTable::get(Env &env, std::size_t slot) const
+{
+    if (slot >= slots_)
+        panic("SimPointerTable: slot ", slot, " out of range");
+    return env.load<std::uint64_t>(base_ + slot * sizeof(std::uint64_t));
+}
+
+void
+SimPointerTable::set(Env &env, std::size_t slot, std::uint64_t value)
+{
+    if (slot >= slots_)
+        panic("SimPointerTable: slot ", slot, " out of range");
+    env.store<std::uint64_t>(base_ + slot * sizeof(std::uint64_t), value);
+}
+
+void
+ChurnPoolSite::tick(Env &env, std::uint64_t request)
+{
+    // Retire objects whose hold expired; long-lived ones get touched
+    // first, which is what prunes the SLeak suspicion.
+    while (!held_.empty() && held_.front().freeAt <= request) {
+        Held item = held_.front();
+        held_.pop_front();
+        if (item.longLived && params_.touchBeforeFree) {
+            std::uint64_t value = env.load<std::uint64_t>(item.addr);
+            env.store<std::uint64_t>(item.addr, value + 1);
+        }
+        env.free(item.addr);
+    }
+
+    if (params_.allocEvery > 1 && request % params_.allocEvery != 0)
+        return;
+
+    ++counter_;
+    bool long_lived =
+        params_.longEvery > 0 && counter_ % params_.longEvery == 0;
+
+    FrameGuard frame(env.stack(), params_.functionId);
+    Held item;
+    item.addr = env.alloc(params_.objectSize, params_.siteTag);
+    item.longLived = long_lived;
+    item.freeAt = request +
+        (long_lived ? params_.longHold : params_.shortHold);
+    env.store<std::uint64_t>(item.addr, counter_);
+
+    // Keep the deque ordered by freeAt: long objects go to the back but
+    // have larger deadlines, so insertion order already works when
+    // longHold > shortHold.
+    held_.push_back(item);
+    if (held_.size() >= 2) {
+        // Stable-order fix-up: the common (short) case appends in order;
+        // rotate the rare out-of-order element into place.
+        auto it = held_.end() - 1;
+        while (it != held_.begin() &&
+               (it - 1)->freeAt > it->freeAt) {
+            std::swap(*(it - 1), *it);
+            --it;
+        }
+    }
+}
+
+void
+ChurnPoolSite::drain(Env &env)
+{
+    for (const Held &item : held_)
+        env.free(item.addr);
+    held_.clear();
+}
+
+void
+GrowingPoolSite::tick(Env &env, std::uint64_t request)
+{
+    if (params_.growEvery > 0 && request % params_.growEvery == 0) {
+        FrameGuard frame(env.stack(), params_.functionId);
+        VirtAddr addr = env.alloc(params_.objectSize, params_.siteTag);
+        env.store<std::uint64_t>(addr, request);
+        entries_.push_back(addr);
+    }
+
+    if (params_.touchEvery > 0 && request % params_.touchEvery == 0) {
+        std::size_t touches =
+            std::min<std::size_t>(params_.touchCount, entries_.size());
+        for (std::size_t i = 0; i < touches; ++i) {
+            std::uint64_t value = env.load<std::uint64_t>(entries_[i]);
+            env.store<std::uint64_t>(entries_[i], value + 1);
+        }
+    }
+}
+
+void
+GrowingPoolSite::drain(Env &env)
+{
+    for (VirtAddr addr : entries_)
+        env.free(addr);
+    entries_.clear();
+}
+
+} // namespace safemem

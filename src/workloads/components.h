@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Building blocks shared by the workload applications.
+ *
+ * SimPointerTable keeps an index of heap pointers *inside simulated
+ * memory*, the way a real server keeps its hash buckets on the heap —
+ * this is what makes Purify's conservative mark-and-sweep actually
+ * traverse something.
+ *
+ * ChurnPoolSite and GrowingPoolSite reproduce the two memory-usage
+ * behaviours that generate leak false positives in real servers (paper
+ * §6.4): objects from a mostly-short-lived group that occasionally live
+ * far past the group's maximal lifetime and are then touched
+ * (keep-alive client state), and append-only pools that keep growing
+ * but whose old entries are still consulted now and then (in-memory
+ * logs, growing indexes).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "workloads/env.h"
+
+namespace safemem {
+
+/** Fixed-size array of 64-bit slots (pointers) in simulated memory. */
+class SimPointerTable
+{
+  public:
+    /** Allocate the table via @p env (all slots zeroed). */
+    SimPointerTable(Env &env, std::size_t slots, std::uint64_t site_tag);
+
+    /** Free the table. */
+    void destroy(Env &env);
+
+    /** @return the value stored in @p slot. */
+    std::uint64_t get(Env &env, std::size_t slot) const;
+
+    /** Store @p value into @p slot. */
+    void set(Env &env, std::size_t slot, std::uint64_t value);
+
+    /** @return number of slots. */
+    std::size_t size() const { return slots_; }
+
+    /** @return base address of the table. */
+    VirtAddr base() const { return base_; }
+
+  private:
+    VirtAddr base_ = 0;
+    std::size_t slots_ = 0;
+};
+
+/**
+ * A mostly-short-lived allocation site where every Nth object is held
+ * much longer, then *touched* and freed — an SLeak false positive.
+ */
+class ChurnPoolSite
+{
+  public:
+    struct Params
+    {
+        std::uint64_t siteTag = 0;
+        std::uint64_t functionId = 0; ///< shadow-stack frame for the site
+        std::size_t objectSize = 96;
+        std::uint32_t allocEvery = 6;  ///< allocate every Nth request
+        std::uint32_t shortHold = 3;   ///< requests a normal object lives
+        std::uint32_t longEvery = 8;   ///< every Nth object is long-lived
+        std::uint32_t longHold = 12;   ///< requests a long object lives
+        bool touchBeforeFree = true;   ///< touch long objects (prunes FP)
+    };
+
+    explicit ChurnPoolSite(Params params) : params_(params) {}
+
+    /** Advance one request: allocate one object, retire due ones. */
+    void tick(Env &env, std::uint64_t request);
+
+    /** Free everything still held. */
+    void drain(Env &env);
+
+  private:
+    struct Held
+    {
+        VirtAddr addr = 0;
+        std::uint64_t freeAt = 0;
+        bool longLived = false;
+    };
+
+    Params params_;
+    std::deque<Held> held_;
+    std::uint64_t counter_ = 0;
+};
+
+/**
+ * An append-only pool that grows past the ALeak live-object threshold
+ * while periodically re-reading its oldest entries — an ALeak false
+ * positive.
+ */
+class GrowingPoolSite
+{
+  public:
+    struct Params
+    {
+        std::uint64_t siteTag = 0;
+        std::uint64_t functionId = 0;
+        std::size_t objectSize = 64;
+        std::uint32_t growEvery = 4;  ///< append every Nth request
+        std::uint32_t touchEvery = 4; ///< re-read oldest entries period
+        std::uint32_t touchCount = 4; ///< how many oldest to re-read
+    };
+
+    explicit GrowingPoolSite(Params params) : params_(params) {}
+
+    /** Advance one request. */
+    void tick(Env &env, std::uint64_t request);
+
+    /** Free the whole pool. */
+    void drain(Env &env);
+
+  private:
+    Params params_;
+    std::vector<VirtAddr> entries_;
+};
+
+} // namespace safemem

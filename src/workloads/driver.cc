@@ -1,0 +1,223 @@
+#include "workloads/driver.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "pageprot/page_watch.h"
+#include "purify/purify.h"
+#include "safemem/safemem.h"
+#include "safemem/watch_manager.h"
+#include "workloads/null_tool.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+const char *
+toolKindName(ToolKind kind)
+{
+    switch (kind) {
+      case ToolKind::None: return "none";
+      case ToolKind::SafeMemML: return "safemem-ml";
+      case ToolKind::SafeMemMC: return "safemem-mc";
+      case ToolKind::SafeMemBoth: return "safemem";
+      case ToolKind::PageProtBoth: return "pageprot";
+      case ToolKind::Purify: return "purify";
+    }
+    return "?";
+}
+
+std::uint64_t
+defaultRequests(const std::string &app_name)
+{
+    if (app_name == "gzip")
+        return 80; // blocks
+    if (app_name == "tar")
+        return 400; // files
+    return 2000; // server requests
+}
+
+namespace {
+
+/** Copy every counter of @p stats into @p out under @p prefix. */
+void
+mergeStats(std::map<std::string, std::uint64_t> &out,
+           const std::string &prefix, const StatSet &stats)
+{
+    for (const auto &[name, value] : stats.all())
+        out[prefix + "." + name] = value;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const std::string &app_name, ToolKind tool,
+            const RunParams &params)
+{
+    std::unique_ptr<App> app = makeApp(app_name);
+    if (!app)
+        fatal("runWorkload: unknown application '", app_name, "'");
+
+    MachineConfig machine_config;
+    machine_config.memoryBytes = 192u << 20;
+    Machine machine(machine_config);
+    HeapAllocator allocator(machine);
+
+    RunResult result;
+    result.app = app_name;
+    result.tool = tool;
+    result.buggy = params.buggy;
+
+    // Assemble the tool stack for this configuration.
+    std::unique_ptr<EccWatchManager> ecc_backend;
+    std::unique_ptr<PageWatchBackend> page_backend;
+    std::unique_ptr<SafeMemTool> safemem_tool;
+    std::unique_ptr<PurifyTool> purify_tool;
+    std::unique_ptr<NullTool> null_tool;
+    Tool *active = nullptr;
+
+    auto make_safemem = [&](WatchBackend &backend, bool ml, bool mc) {
+        SafeMemConfig config;
+        config.detectLeaks = ml;
+        config.detectCorruption = mc;
+        safemem_tool = std::make_unique<SafeMemTool>(machine, allocator,
+                                                     backend, config);
+        active = safemem_tool.get();
+    };
+
+    switch (tool) {
+      case ToolKind::None:
+        null_tool = std::make_unique<NullTool>(machine, allocator);
+        active = null_tool.get();
+        break;
+
+      case ToolKind::SafeMemML:
+      case ToolKind::SafeMemMC:
+      case ToolKind::SafeMemBoth:
+        ecc_backend = std::make_unique<EccWatchManager>(machine);
+        ecc_backend->installFaultHandler();
+        ecc_backend->installScrubHooks();
+        make_safemem(*ecc_backend, tool != ToolKind::SafeMemMC,
+                     tool != ToolKind::SafeMemML);
+        break;
+
+      case ToolKind::PageProtBoth:
+        page_backend = std::make_unique<PageWatchBackend>(machine);
+        page_backend->install();
+        make_safemem(*page_backend, true, true);
+        break;
+
+      case ToolKind::Purify:
+        purify_tool = std::make_unique<PurifyTool>(machine, allocator);
+        purify_tool->install();
+        active = purify_tool.get();
+        break;
+    }
+
+    Env env(machine, allocator, *active);
+    if (purify_tool)
+        purify_tool->setRootProvider([&env] { return env.roots(); });
+
+    app->run(env, params);
+    active->finish();
+
+    result.totalCycles = machine.clock().now();
+    result.appCycles = machine.clock().charged(CostCenter::Application);
+
+    // Score detector output against the workloads' ground truth.
+    if (safemem_tool) {
+        if (safemem_tool->config().detectLeaks) {
+            const LeakDetector &leak = safemem_tool->leakDetector();
+            for (const LeakReport &report : leak.reports()) {
+                if (isBuggySite(report.siteTag)) {
+                    ++result.leakReportsTrue;
+                } else {
+                    ++result.leakReportsFalse;
+                    result.stats["leak.false_report_site." +
+                                 std::to_string(report.siteTag &
+                                                0xffffffffULL)] += 1;
+                }
+            }
+            for (const LeakReport &report : leak.suspectedGroupReports()) {
+                if (isBuggySite(report.siteTag)) {
+                    ++result.suspectedTrue;
+                } else {
+                    ++result.suspectedFalse;
+                    result.stats["leak.suspected_site." +
+                                 std::to_string(report.siteTag &
+                                                0xffffffffULL)] += 1;
+                }
+            }
+            result.prunedSuspects = leak.prunedSuspects();
+            for (const auto &entry : leak.stabilityData())
+                result.stabilityWarmups.push_back(entry.warmUpTime);
+            mergeStats(result.stats, "leak", leak.stats());
+        }
+        if (safemem_tool->config().detectCorruption) {
+            const CorruptionDetector &corruption =
+                safemem_tool->corruptionDetector();
+            for (const CorruptionReport &report : corruption.reports()) {
+                if (isBuggySite(report.siteTag))
+                    ++result.corruptionTrue;
+                else
+                    ++result.corruptionFalse;
+            }
+            result.wasteBytes = corruption.cumulativeWasteBytes();
+            result.userBytes = corruption.cumulativeUserBytes();
+            mergeStats(result.stats, "corruption", corruption.stats());
+        }
+    }
+
+    if (purify_tool) {
+        for (const CorruptionReport &report :
+             purify_tool->corruptionReports()) {
+            if (isBuggySite(report.siteTag)) {
+                ++result.corruptionTrue;
+            } else {
+                ++result.corruptionFalse;
+                result.stats[std::string("purify.false_report.") +
+                             corruptionKindName(report.kind) + ".site" +
+                             std::to_string(report.siteTag &
+                                            0xffffffffULL) + ".fault" +
+                             std::to_string(report.faultAddr) + ".user" +
+                             std::to_string(report.userAddr)] += 1;
+            }
+        }
+        std::uint64_t leak_blocks_true = 0;
+        for (const LeakReport &report : purify_tool->leakReports()) {
+            if (isBuggySite(report.siteTag))
+                ++leak_blocks_true;
+            else
+                ++result.leakReportsFalse;
+        }
+        // Purify reports per block; collapse the bug site to one hit.
+        result.leakReportsTrue = leak_blocks_true > 0 ? 1 : 0;
+        mergeStats(result.stats, "purify", purify_tool->stats());
+    }
+
+    if (ecc_backend)
+        mergeStats(result.stats, "watch", ecc_backend->stats());
+    if (page_backend)
+        mergeStats(result.stats, "watch", page_backend->stats());
+    mergeStats(result.stats, "kernel", machine.kernel().stats());
+    mergeStats(result.stats, "tlb", machine.kernel().tlb().stats());
+    mergeStats(result.stats, "cache", machine.cache().stats());
+    mergeStats(result.stats, "controller", machine.controller().stats());
+    mergeStats(result.stats, "alloc", allocator.stats());
+
+    result.bugDetected =
+        result.leakReportsTrue > 0 || result.corruptionTrue > 0;
+    return result;
+}
+
+double
+overheadPercent(const RunResult &run, const RunResult &baseline)
+{
+    if (baseline.totalCycles == 0)
+        return 0.0;
+    return 100.0 *
+           (static_cast<double>(run.totalCycles) -
+            static_cast<double>(baseline.totalCycles)) /
+           static_cast<double>(baseline.totalCycles);
+}
+
+} // namespace safemem

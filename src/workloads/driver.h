@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The experiment driver: runs (application x tool x input mode) and
+ * collects everything the paper's tables need from one run.
+ *
+ * Ground truth comes from the workload site tags (bit 63 marks the
+ * injected bug site); the driver — never the detectors — uses it to
+ * split reports into true detections and false positives.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workloads/app.h"
+
+namespace safemem {
+
+/** Monitoring configurations compared in the paper. */
+enum class ToolKind
+{
+    None,         ///< uninstrumented baseline
+    SafeMemML,    ///< SafeMem, leak detection only (Table 3 "Only ML")
+    SafeMemMC,    ///< SafeMem, corruption only (Table 3 "Only MC")
+    SafeMemBoth,  ///< SafeMem, ML + MC (the headline configuration)
+    PageProtBoth, ///< same detectors over page protection (Tables 2, 4)
+    Purify        ///< the Purify model
+};
+
+/** @return a short printable name for @p kind. */
+const char *toolKindName(ToolKind kind);
+
+/** Everything measured from one run. */
+struct RunResult
+{
+    std::string app;
+    ToolKind tool = ToolKind::None;
+    bool buggy = false;
+
+    /** @name Time (Table 3) */
+    /// @{
+    Cycles totalCycles = 0; ///< wall clock of the run
+    Cycles appCycles = 0;   ///< cycles attributed to the application
+    /// @}
+
+    /** @name Leak detection (Tables 3 and 5) */
+    /// @{
+    std::uint64_t leakReportsTrue = 0;  ///< reports at the bug site
+    std::uint64_t leakReportsFalse = 0; ///< reports elsewhere (FPs)
+    std::uint64_t suspectedTrue = 0;    ///< suspected groups, bug site
+    std::uint64_t suspectedFalse = 0;   ///< suspected groups, FPs
+    std::uint64_t prunedSuspects = 0;   ///< suspects cleared by access
+    /// @}
+
+    /** @name Corruption detection (Table 3) */
+    /// @{
+    std::uint64_t corruptionTrue = 0;
+    std::uint64_t corruptionFalse = 0;
+    /// @}
+
+    /** Any true report of the app's injected bug. */
+    bool bugDetected = false;
+
+    /** @name Space accounting (Table 4) */
+    /// @{
+    std::uint64_t wasteBytes = 0; ///< padding + alignment, cumulative
+    std::uint64_t userBytes = 0;  ///< requested bytes, cumulative
+    /// @}
+
+    /** Figure 3: per-group warm-up times (app CPU cycles), SafeMem ML. */
+    std::vector<Cycles> stabilityWarmups;
+
+    /** Assorted named counters from the run's components. */
+    std::map<std::string, std::uint64_t> stats;
+
+    /** @return waste as a percentage of requested bytes. */
+    double
+    wastePercent() const
+    {
+        return userBytes == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(wasteBytes) /
+                         static_cast<double>(userBytes);
+    }
+};
+
+/**
+ * Run @p app_name under @p tool with @p params on a fresh machine.
+ */
+RunResult runWorkload(const std::string &app_name, ToolKind tool,
+                      const RunParams &params);
+
+/** @return overhead of @p run over @p baseline, in percent. */
+double overheadPercent(const RunResult &run, const RunResult &baseline);
+
+/** Default request counts per app (utilities process fewer items). */
+std::uint64_t defaultRequests(const std::string &app_name);
+
+} // namespace safemem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The execution environment handed to workload applications.
+ *
+ * Env is the seam between an application and whatever tool is (or is
+ * not) monitoring it: dynamic-memory calls route through the Tool
+ * (malloc-wrapper interposition), loads/stores go to the simulated
+ * machine (where the Purify access hook and ECC watchpoints live), and
+ * compute() charges pure-CPU work.
+ *
+ * Env also tracks the application's *root set* — which heap pointers the
+ * program currently holds in globals/locals. alloc() registers the new
+ * pointer; free() and dropRef() forget it. dropRef() is how a workload
+ * models a leak: the memory stays allocated but the last reference is
+ * gone. The root set feeds Purify's conservative mark-and-sweep;
+ * SafeMem never looks at it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "common/shadow_stack.h"
+#include "common/tool.h"
+#include "os/machine.h"
+
+namespace safemem {
+
+class Env
+{
+  public:
+    Env(Machine &machine, HeapAllocator &allocator, Tool &tool);
+
+    /** @name Dynamic memory (interposed through the Tool) */
+    /// @{
+    VirtAddr alloc(std::size_t size, std::uint64_t site_tag = 0);
+    VirtAddr callocBytes(std::size_t count, std::size_t size,
+                         std::uint64_t site_tag = 0);
+    VirtAddr reallocBytes(VirtAddr addr, std::size_t new_size,
+                          std::uint64_t site_tag = 0);
+    void free(VirtAddr addr);
+
+    /** Forget the pointer without freeing: this is a leak. */
+    void dropRef(VirtAddr addr);
+    /// @}
+
+    /** @name Memory accesses (via the simulated machine) */
+    /// @{
+    void read(VirtAddr addr, void *out, std::size_t size);
+    void write(VirtAddr addr, const void *in, std::size_t size);
+
+    template <typename T>
+    T
+    load(VirtAddr addr)
+    {
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    store(VirtAddr addr, T value)
+    {
+        write(addr, &value, sizeof(T));
+    }
+
+    /** memset analog. */
+    void fill(VirtAddr addr, std::uint8_t value, std::size_t size);
+
+    /** memcpy analog (simulated memory to simulated memory). */
+    void copy(VirtAddr dst, VirtAddr src, std::size_t size);
+    /// @}
+
+    /** Pure computation of @p cycles (hashing, parsing, I/O waits...). */
+    void compute(Cycles cycles);
+
+    /** @return application CPU time (excludes tool overhead). */
+    Cycles appNow() const;
+
+    /** @return the shadow call stack (apps push frames around sites). */
+    ShadowStack &stack() { return stack_; }
+
+    /** @return the current root set (pointer values the app holds). */
+    std::vector<VirtAddr> roots() const;
+
+    /** @return the underlying machine. */
+    Machine &machine() { return machine_; }
+
+    /** @return the underlying allocator. */
+    HeapAllocator &allocator() { return allocator_; }
+
+  private:
+    Machine &machine_;
+    HeapAllocator &allocator_;
+    Tool &tool_;
+    ShadowStack stack_;
+    std::unordered_set<VirtAddr> roots_;
+};
+
+} // namespace safemem

@@ -1,0 +1,171 @@
+#include "workloads/gzip_app.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+namespace {
+
+constexpr std::uint64_t kSiteHashTable = makeSite(kAppGzip, 1);
+constexpr std::uint64_t kSiteInput = makeSite(kAppGzip, 2);
+constexpr std::uint64_t kSiteOutput = makeSite(kAppGzip, 3, true);
+
+constexpr std::uint64_t kFnDeflate = funcId(kAppGzip, 1);
+constexpr std::uint64_t kFnFlush = funcId(kAppGzip, 2);
+
+constexpr std::size_t kBlockSize = 8192;
+constexpr std::size_t kHashSlots = 4096;
+constexpr std::size_t kTrailerBytes = 16;
+/** Blocks per input file; buffers are allocated per file, like gzip. */
+constexpr std::size_t kBlocksPerFile = 16;
+
+/** Deflate-style per-byte compute cost (match search, Huffman). */
+constexpr Cycles kPerByteCycles = 180;
+
+} // namespace
+
+void
+GzipApp::run(Env &env, const RunParams &params)
+{
+    Rng rng(params.seed * 50021 + 17);
+    FrameGuard main_frame(env.stack(), funcId(kAppGzip, 0));
+
+    // Hash-chain heads, shared across blocks like gzip's window state.
+    VirtAddr hash_table =
+        env.callocBytes(kHashSlots, sizeof(std::uint32_t), kSiteHashTable);
+
+    std::vector<std::uint8_t> input(kBlockSize);
+    std::vector<std::uint8_t> output(kBlockSize + kTrailerBytes + 64);
+
+    static const char kPhrase[] =
+        "the quick brown fox jumps over the lazy dog while gzip packs ";
+
+    VirtAddr in_buf = 0;
+    VirtAddr out_buf = 0;
+    for (std::uint64_t block = 0; block < params.requests; ++block) {
+        FrameGuard frame(env.stack(), kFnDeflate);
+
+        // gzip allocates its buffers once per input file, not per block.
+        if (block % kBlocksPerFile == 0) {
+            if (in_buf != 0) {
+                env.free(out_buf);
+                env.free(in_buf);
+            }
+            in_buf = env.alloc(kBlockSize, kSiteInput);
+            out_buf = env.alloc(kBlockSize, kSiteOutput);
+        }
+
+        // Produce the block's input. Normal inputs are text-like and
+        // compress well; buggy inputs are incompressible noise.
+        if (params.buggy) {
+            for (auto &byte : input)
+                byte = static_cast<std::uint8_t>(rng.next());
+        } else {
+            for (std::size_t i = 0; i < kBlockSize; ++i)
+                input[i] = static_cast<std::uint8_t>(
+                    kPhrase[(i + block) % (sizeof(kPhrase) - 1)]);
+        }
+
+        env.write(in_buf, input.data(), kBlockSize);
+
+        // LZ77 with 3-byte hashing: greedy matches against the last
+        // occurrence of the hash, literals otherwise. Output bytes are
+        // staged in a 64-byte buffer and flushed to the output buffer
+        // in chunks, the way gzip batches its bit stream.
+        std::size_t out_pos = 0;
+        std::size_t pos = 0;
+        std::uint8_t staging[64];
+        std::size_t staged = 0;
+        std::size_t flush_base = 0;
+
+        auto flush_staging = [&] {
+            if (staged == 0)
+                return;
+            // Deflate's own output writes are clamped to the buffer;
+            // only the trailer below goes out unchecked.
+            std::size_t limit =
+                flush_base < kBlockSize ? kBlockSize - flush_base : 0;
+            std::size_t n = std::min(staged, limit);
+            if (n > 0)
+                env.write(out_buf + flush_base, staging, n);
+            flush_base += staged;
+            staged = 0;
+        };
+        auto emit = [&](std::uint8_t byte) {
+            staging[staged++] = byte;
+            ++out_pos;
+            if (staged == sizeof(staging))
+                flush_staging();
+        };
+
+        std::uint32_t last_pos[kHashSlots];
+        std::memset(last_pos, 0xff, sizeof(last_pos));
+
+        while (pos + 3 <= kBlockSize) {
+            std::uint32_t h = (input[pos] * 33u + input[pos + 1]) * 33u +
+                              input[pos + 2];
+            std::size_t slot = h % kHashSlots;
+
+            // Consult and update the hash chain in simulated memory
+            // every few positions (gzip touches its window constantly).
+            if (pos % 64 == 0) {
+                env.load<std::uint32_t>(
+                    hash_table + slot * sizeof(std::uint32_t));
+                env.store<std::uint32_t>(
+                    hash_table + slot * sizeof(std::uint32_t),
+                    static_cast<std::uint32_t>(pos));
+            }
+
+            std::size_t match_len = 0;
+            std::uint32_t candidate = last_pos[slot];
+            if (candidate != 0xffffffffu) {
+                std::size_t cand = candidate;
+                while (pos + match_len < kBlockSize && match_len < 255 &&
+                       input[cand + match_len] == input[pos + match_len])
+                    ++match_len;
+            }
+            last_pos[slot] = static_cast<std::uint32_t>(pos);
+
+            if (match_len >= 4) {
+                // Emit a 3-byte back-reference token.
+                emit(0xff);
+                emit(static_cast<std::uint8_t>(match_len));
+                emit(static_cast<std::uint8_t>(candidate));
+                pos += match_len;
+            } else {
+                emit(input[pos]);
+                ++pos;
+            }
+        }
+        flush_staging();
+        env.compute(kBlockSize * kPerByteCycles);
+
+        // The gzip bug: the trailer (CRC32 + ISIZE) is appended with no
+        // space check. out_pos is clamped to the buffer for the data
+        // writes above, but the trailer write happens regardless.
+        {
+            FrameGuard flush_frame(env.stack(), kFnFlush);
+            std::uint8_t trailer[kTrailerBytes] = {0xde, 0xad, 0xbe, 0xef};
+            std::size_t trailer_at = std::min(out_pos, kBlockSize);
+            env.write(out_buf + trailer_at, trailer, kTrailerBytes);
+        }
+
+        // "Write the compressed block out": read it back once.
+        std::size_t produced =
+            std::min(out_pos + kTrailerBytes, kBlockSize);
+        env.read(out_buf, output.data(), produced);
+    }
+
+    if (in_buf != 0) {
+        env.free(out_buf);
+        env.free(in_buf);
+    }
+    env.free(hash_table);
+}
+
+} // namespace safemem

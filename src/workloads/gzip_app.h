@@ -1,0 +1,26 @@
+/**
+ * @file
+ * gzip — a compression utility model (paper Table 1).
+ *
+ * Compresses a stream of 8 KiB blocks with a small LZ77-style coder
+ * whose hash-chain table, input and output buffers live in simulated
+ * memory. The injected bug: the 16-byte stream trailer is written
+ * without checking the remaining output space. Normal (compressible)
+ * inputs leave plenty of room; buggy (incompressible) inputs fill the
+ * output buffer completely and the trailer lands past its end.
+ */
+
+#pragma once
+
+#include "workloads/app.h"
+
+namespace safemem {
+
+class GzipApp : public App
+{
+  public:
+    const char *name() const override { return "gzip"; }
+    void run(Env &env, const RunParams &params) override;
+};
+
+} // namespace safemem

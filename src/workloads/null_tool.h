@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The uninstrumented baseline: malloc family passes straight through to
+ * the heap allocator. Table 3 overheads are measured against runs under
+ * this tool.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "common/tool.h"
+#include "os/machine.h"
+
+namespace safemem {
+
+class NullTool : public Tool
+{
+  public:
+    NullTool(Machine &machine, HeapAllocator &allocator)
+        : machine_(machine), allocator_(allocator)
+    {}
+
+    VirtAddr
+    toolAlloc(std::size_t size, const ShadowStack &, std::uint64_t) override
+    {
+        return allocator_.allocate(size);
+    }
+
+    VirtAddr
+    toolCalloc(std::size_t count, std::size_t size, const ShadowStack &,
+               std::uint64_t) override
+    {
+        VirtAddr addr = allocator_.allocate(count * size);
+        std::vector<std::uint8_t> zeros(count * size, 0);
+        machine_.write(addr, zeros.data(), zeros.size());
+        return addr;
+    }
+
+    VirtAddr
+    toolRealloc(VirtAddr addr, std::size_t new_size, const ShadowStack &,
+                std::uint64_t) override
+    {
+        return allocator_.reallocate(addr, new_size);
+    }
+
+    void toolFree(VirtAddr addr) override { allocator_.deallocate(addr); }
+
+  private:
+    Machine &machine_;
+    HeapAllocator &allocator_;
+};
+
+} // namespace safemem

@@ -1,0 +1,157 @@
+#include "workloads/proftpd.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/components.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+namespace {
+
+constexpr std::uint64_t kSiteSession = makeSite(kAppProftpd, 1);
+constexpr std::uint64_t kSiteControlBuf = makeSite(kAppProftpd, 2);
+constexpr std::uint64_t kSiteListing = makeSite(kAppProftpd, 3);
+constexpr std::uint64_t kSiteXferBuf = makeSite(kAppProftpd, 4);
+constexpr std::uint64_t kSiteConvBuf = makeSite(kAppProftpd, 5, true);
+
+constexpr std::uint64_t kFnLogin = funcId(kAppProftpd, 1);
+constexpr std::uint64_t kFnList = funcId(kAppProftpd, 2);
+constexpr std::uint64_t kFnRetr = funcId(kAppProftpd, 3);
+constexpr std::uint64_t kFnConvert = funcId(kAppProftpd, 4);
+constexpr std::uint64_t kFnFpBase = funcId(kAppProftpd, 16);
+
+constexpr std::size_t kMaxSessions = 8;
+
+constexpr Cycles kAuthCycles = 960'000;
+constexpr Cycles kListCycles = 780'000;
+constexpr Cycles kBlockCycles = 270'000;
+constexpr Cycles kConvertCycles = 360'000;
+constexpr Cycles kCwdCycles = 1'260'000;
+constexpr Cycles kQuitCycles = 450'000;
+
+struct Session
+{
+    VirtAddr state = 0;   ///< session struct
+    VirtAddr control = 0; ///< control-connection buffer
+    bool active = false;
+};
+
+} // namespace
+
+void
+ProftpdApp::run(Env &env, const RunParams &params)
+{
+    Rng rng(params.seed * 6271 + 5);
+    FrameGuard main_frame(env.stack(), funcId(kAppProftpd, 0));
+
+    std::vector<Session> sessions(kMaxSessions);
+
+    // Background FP pressure: 9 sites (Table 5).
+    std::vector<ChurnPoolSite> churn;
+    std::vector<GrowingPoolSite> growing;
+    for (std::size_t i = 0; i < 5; ++i) {
+        ChurnPoolSite::Params p;
+        p.siteTag = makeSite(kAppProftpd,
+                             32 + static_cast<std::uint32_t>(i));
+        p.functionId = kFnFpBase + i * 0x40;
+        p.objectSize = 80 + i * 48;
+        p.allocEvery = 5 + static_cast<std::uint32_t>(i);
+        churn.emplace_back(p);
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        GrowingPoolSite::Params p;
+        p.siteTag = makeSite(kAppProftpd,
+                             48 + static_cast<std::uint32_t>(i));
+        p.functionId = kFnFpBase + 0x400 + i * 0x40;
+        p.objectSize = 64 + i * 32;
+        growing.emplace_back(p);
+    }
+
+    std::uint8_t scratch[4096];
+    for (std::uint64_t r = 0; r < params.requests; ++r) {
+        for (auto &site : churn)
+            site.tick(env, r);
+        for (auto &site : growing)
+            site.tick(env, r);
+
+        Session &session = sessions[rng.range(0, kMaxSessions - 1)];
+        if (!session.active) {
+            // LOGIN: allocate per-session state.
+            FrameGuard frame(env.stack(), kFnLogin);
+            session.state = env.alloc(256, kSiteSession);
+            session.control = env.alloc(512, kSiteControlBuf);
+            env.fill(session.state, 0x5a, 256);
+            env.fill(session.control, 0, 128);
+            env.compute(kAuthCycles);
+            session.active = true;
+            continue;
+        }
+
+        double dice = rng.real();
+        if (dice < 0.30) {
+            // LIST: build a directory listing and send it.
+            FrameGuard frame(env.stack(), kFnList);
+            VirtAddr listing = env.alloc(2048, kSiteListing);
+            for (std::size_t e = 0; e < 2048 / 64; ++e) {
+                for (std::size_t b = 0; b < 64; ++b)
+                    scratch[b] = static_cast<std::uint8_t>(e + b);
+                env.write(listing + e * 64, scratch, 64);
+            }
+            env.compute(kListCycles);
+            env.read(listing, scratch, 2048); // send
+            env.free(listing);
+        } else if (dice < 0.70) {
+            // RETR: transfer a file in four 1 KiB blocks.
+            FrameGuard frame(env.stack(), kFnRetr);
+            VirtAddr xfer = env.alloc(4096, kSiteXferBuf);
+            for (std::size_t block = 0; block < 4; ++block) {
+                env.fill(xfer + block * 1024,
+                         static_cast<std::uint8_t>(r + block), 1024);
+                env.compute(kBlockCycles);
+                env.read(xfer + block * 1024, scratch, 1024); // send
+            }
+
+            // Line-ending conversion pass. Buggy inputs request ASCII
+            // mode 25% of the time; that path leaks the buffer.
+            bool ascii = params.buggy && rng.chance(0.25);
+            {
+                FrameGuard conv_frame(env.stack(), kFnConvert);
+                VirtAddr conv = env.alloc(1024, kSiteConvBuf);
+                env.copy(conv, xfer, 1024);
+                env.compute(kConvertCycles);
+                if (ascii)
+                    env.dropRef(conv); // the proftpd leak
+                else
+                    env.free(conv);
+            }
+            env.free(xfer);
+        } else if (dice < 0.90) {
+            // CWD: path resolution, touches session state only.
+            env.read(session.state, scratch, 256);
+            env.write(session.control, scratch, 64);
+            env.compute(kCwdCycles);
+        } else {
+            // QUIT: tear the session down.
+            env.compute(kQuitCycles);
+            env.free(session.control);
+            env.free(session.state);
+            session.active = false;
+        }
+    }
+
+    for (Session &session : sessions) {
+        if (session.active) {
+            env.free(session.control);
+            env.free(session.state);
+            session.active = false;
+        }
+    }
+    for (auto &site : churn)
+        site.drain(env);
+    for (auto &site : growing)
+        site.drain(env);
+}
+
+} // namespace safemem

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * proftpd — an FTP server model (paper Table 1).
+ *
+ * A pool of concurrent sessions processes LIST / RETR / CWD / QUIT
+ * commands. The injected bug (buggy inputs only): RETR transfers in
+ * ASCII mode leak the line-ending conversion buffer — binary-mode
+ * transfers free it, making this a sometimes-leak. Nine background
+ * behaviours provide the false-positive pressure of Table 5.
+ */
+
+#pragma once
+
+#include "workloads/app.h"
+
+namespace safemem {
+
+class ProftpdApp : public App
+{
+  public:
+    const char *name() const override { return "proftpd"; }
+    void run(Env &env, const RunParams &params) override;
+};
+
+} // namespace safemem

@@ -1,0 +1,106 @@
+#include "workloads/report_writer.h"
+
+#include <sstream>
+
+#include "common/types.h"
+
+namespace safemem {
+
+namespace {
+
+/** Seconds of simulated CPU time, formatted. */
+std::string
+seconds(Cycles cycles)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed
+       << static_cast<double>(cycles) / kCpuFrequencyHz << " s";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+formatVerdict(const RunResult &result)
+{
+    std::ostringstream os;
+    if (result.bugDetected) {
+        os << "BUG DETECTED in " << result.app << ":";
+        if (result.leakReportsTrue > 0)
+            os << " memory leak at the injected site";
+        if (result.corruptionTrue > 0)
+            os << " memory corruption at the injected site";
+    } else if (result.leakReportsFalse > 0 ||
+               result.corruptionFalse > 0) {
+        os << result.app << ": no injected bug found, but "
+           << (result.leakReportsFalse + result.corruptionFalse)
+           << " other finding(s) reported";
+    } else {
+        os << result.app << ": clean run, nothing reported";
+    }
+    return os.str();
+}
+
+std::string
+formatRunSummary(const RunResult &result)
+{
+    std::ostringstream os;
+    os << "=== " << result.app << " under " << toolKindName(result.tool)
+       << " (" << (result.buggy ? "buggy" : "normal") << " inputs) ===\n";
+    os << "  simulated time     " << seconds(result.totalCycles)
+       << " total, " << seconds(result.appCycles) << " application\n";
+
+    if (result.tool == ToolKind::SafeMemML ||
+        result.tool == ToolKind::SafeMemBoth ||
+        result.tool == ToolKind::PageProtBoth ||
+        result.tool == ToolKind::Purify) {
+        os << "  leak findings      " << result.leakReportsTrue
+           << " at the bug site, " << result.leakReportsFalse
+           << " elsewhere";
+        if (result.prunedSuspects > 0)
+            os << " (" << result.prunedSuspects
+               << " suspects pruned by access)";
+        os << "\n";
+    }
+    if (result.tool != ToolKind::None &&
+        result.tool != ToolKind::SafeMemML) {
+        os << "  corruption findings " << result.corruptionTrue
+           << " at the bug site, " << result.corruptionFalse
+           << " elsewhere\n";
+    }
+    if (result.userBytes > 0) {
+        os.precision(2);
+        os << std::fixed << "  monitoring space   "
+           << result.wasteBytes << " padding bytes over "
+           << result.userBytes << " requested ("
+           << result.wastePercent() << "%)\n";
+    }
+    os << "  " << formatVerdict(result) << "\n";
+    return os.str();
+}
+
+std::string
+formatOverhead(const RunResult &run, const RunResult &baseline)
+{
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << toolKindName(run.tool) << " overhead on "
+       << run.app << ": " << overheadPercent(run, baseline) << "% ("
+       << seconds(run.totalCycles) << " vs "
+       << seconds(baseline.totalCycles) << ")";
+    return os.str();
+}
+
+std::string
+formatStats(const RunResult &result, const std::string &prefix)
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : result.stats) {
+        if (name.rfind(prefix, 0) == 0)
+            os << "  " << name << " = " << value << "\n";
+    }
+    return os.str();
+}
+
+} // namespace safemem

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable reports over RunResult — what a deployed SafeMem would
+ * print to its log. Used by the CLI runner and available to library
+ * users who want formatted findings instead of raw structs.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "workloads/driver.h"
+
+namespace safemem {
+
+/** Multi-line summary of one run: tool, timing, findings, space. */
+std::string formatRunSummary(const RunResult &result);
+
+/**
+ * One-line verdict: "BUG DETECTED: ..." / "clean run" — the line an
+ * operator greps for.
+ */
+std::string formatVerdict(const RunResult &result);
+
+/** Overhead line comparing @p run against @p baseline. */
+std::string formatOverhead(const RunResult &run,
+                           const RunResult &baseline);
+
+/** Render selected named counters, one per line, indented. */
+std::string formatStats(const RunResult &result,
+                        const std::string &prefix);
+
+} // namespace safemem

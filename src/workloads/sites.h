@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Allocation-site tags and synthetic function ids.
+ *
+ * Each workload allocation site carries a 64-bit tag: the low bits name
+ * the app and site, bit 63 is the ground-truth "this site is the bug"
+ * marker. Detectors treat tags as opaque; only the experiment driver
+ * interprets them, to score detections (Table 3) and false positives
+ * (Table 5).
+ *
+ * Function ids act as the return addresses pushed on the shadow stack;
+ * they determine call-stack signatures, so two sites calling malloc from
+ * different synthetic functions land in different memory-object groups.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace safemem {
+
+/** Ground-truth marker: the tagged site is the injected bug. */
+inline constexpr std::uint64_t kBuggySiteBit = 1ULL << 63;
+
+/** Compose a site tag. */
+constexpr std::uint64_t
+makeSite(std::uint32_t app_id, std::uint32_t site_id, bool buggy = false)
+{
+    return (static_cast<std::uint64_t>(app_id) << 32) | site_id |
+           (buggy ? kBuggySiteBit : 0);
+}
+
+/** @return true when @p tag marks the injected bug site. */
+constexpr bool
+isBuggySite(std::uint64_t tag)
+{
+    return (tag & kBuggySiteBit) != 0;
+}
+
+/** Synthetic function id ("return address") for the shadow stack. */
+constexpr std::uint64_t
+funcId(std::uint32_t app_id, std::uint32_t function)
+{
+    return 0x400000ULL + (static_cast<std::uint64_t>(app_id) << 20) +
+           function * 0x40ULL;
+}
+
+/** App ids. */
+inline constexpr std::uint32_t kAppYpserv = 1;
+inline constexpr std::uint32_t kAppProftpd = 2;
+inline constexpr std::uint32_t kAppSquid = 3;
+inline constexpr std::uint32_t kAppGzip = 4;
+inline constexpr std::uint32_t kAppTar = 5;
+
+} // namespace safemem

@@ -1,0 +1,247 @@
+#include "workloads/squid.h"
+
+#include <deque>
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/components.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+namespace {
+
+constexpr std::uint64_t kSiteIndex = makeSite(kAppSquid, 1);
+constexpr std::uint64_t kSiteEntry = makeSite(kAppSquid, 2);
+constexpr std::uint64_t kSiteData = makeSite(kAppSquid, 3);
+constexpr std::uint64_t kSiteInflight = makeSite(kAppSquid, 4, true);
+constexpr std::uint64_t kSiteInflightOk = makeSite(kAppSquid, 4);
+constexpr std::uint64_t kSiteConn = makeSite(kAppSquid, 5, true);
+
+constexpr std::uint64_t kFnFetch = funcId(kAppSquid, 1);
+constexpr std::uint64_t kFnInstall = funcId(kAppSquid, 2);
+constexpr std::uint64_t kFnAccept = funcId(kAppSquid, 3);
+constexpr std::uint64_t kFnFpBase = funcId(kAppSquid, 16);
+
+constexpr std::size_t kIndexSlots = 512;
+constexpr std::size_t kEntryBytes = 128;
+
+constexpr Cycles kHitCycles = 780'000;
+constexpr Cycles kFetchCycles = 1'260'000;
+constexpr Cycles kInstallCycles = 360'000;
+constexpr Cycles kAbortCycles = 480'000;
+constexpr Cycles kConnCycles = 180'000;
+
+/** Entry layout offsets. */
+constexpr std::size_t kOffKey = 0;
+constexpr std::size_t kOffDataPtr = 8;
+constexpr std::size_t kOffSize = 16;
+constexpr std::size_t kOffInstalled = 24;
+
+/** Cached objects expire after this many requests (squid's TTL). */
+constexpr std::uint64_t kTtlRequests = 60;
+/** Index slots probed for expiry each request (maintenance cursor). */
+constexpr std::size_t kExpiryProbes = 8;
+
+} // namespace
+
+void
+SquidApp::run(Env &env, const RunParams &params)
+{
+    Rng rng(params.seed * 104729 + 3);
+    bool leak_variant = variant_ == Variant::Leak;
+    FrameGuard main_frame(env.stack(), funcId(kAppSquid, 0));
+
+    SimPointerTable index(env, kIndexSlots, kSiteIndex);
+
+    // Pending connection-completion events (squid2's corruption): the
+    // event fires one request later and writes a status word into the
+    // connection buffer.
+    struct PendingEvent
+    {
+        std::uint64_t due = 0;
+        VirtAddr conn = 0;
+        bool freedEarly = false; ///< the abort path already freed it
+    };
+    std::deque<PendingEvent> events;
+
+    // FP pressure (Table 5: squid1 has the most, 13 before pruning).
+    std::vector<ChurnPoolSite> churn;
+    std::vector<GrowingPoolSite> growing;
+    std::size_t churn_sites = leak_variant ? 8 : 2;
+    std::size_t growing_sites = leak_variant ? 4 : 1;
+    for (std::size_t i = 0; i < churn_sites; ++i) {
+        ChurnPoolSite::Params p;
+        p.siteTag = makeSite(kAppSquid, 32 + static_cast<std::uint32_t>(i));
+        p.functionId = kFnFpBase + i * 0x40;
+        p.objectSize = 96 + i * 32;
+        p.allocEvery = 5 + static_cast<std::uint32_t>(i % 3);
+        churn.emplace_back(p);
+    }
+    if (leak_variant) {
+        // One behaviour whose long-lived objects are touched only after
+        // the report threshold: squid1's single residual false positive
+        // (Table 5 "after pruning" = 1).
+        ChurnPoolSite::Params p;
+        p.siteTag = makeSite(kAppSquid, 63);
+        p.functionId = kFnFpBase + 0x800;
+        p.objectSize = 160;
+        p.allocEvery = 6;
+        p.longEvery = 24;
+        p.longHold = 60;
+        churn.emplace_back(p);
+    }
+    for (std::size_t i = 0; i < growing_sites; ++i) {
+        GrowingPoolSite::Params p;
+        p.siteTag = makeSite(kAppSquid, 48 + static_cast<std::uint32_t>(i));
+        p.functionId = kFnFpBase + 0x400 + i * 0x40;
+        p.objectSize = 64 + i * 32;
+        growing.emplace_back(p);
+    }
+
+    std::uint8_t scratch[4096];
+    std::size_t expiry_cursor = 0;
+    for (std::uint64_t r = 0; r < params.requests; ++r) {
+        for (auto &site : churn)
+            site.tick(env, r);
+        for (auto &site : growing)
+            site.tick(env, r);
+
+        // Cache maintenance: sweep a couple of slots per request and
+        // expire objects past their TTL, like squid's periodic cleanup.
+        for (std::size_t probe = 0; probe < kExpiryProbes; ++probe) {
+            std::size_t slot = expiry_cursor;
+            expiry_cursor = (expiry_cursor + 1) % kIndexSlots;
+            VirtAddr stale = index.get(env, slot);
+            if (stale == 0)
+                continue;
+            std::uint64_t installed =
+                env.load<std::uint64_t>(stale + kOffInstalled);
+            if (r - installed > kTtlRequests) {
+                VirtAddr stale_data =
+                    env.load<std::uint64_t>(stale + kOffDataPtr);
+                env.free(stale_data);
+                env.free(stale);
+                index.set(env, slot, 0);
+            }
+        }
+
+        // Fire due completion events *before* any allocation this
+        // request makes, so a prematurely freed connection buffer has
+        // not been recycled yet.
+        while (!events.empty() && events.front().due <= r) {
+            PendingEvent event = events.front();
+            events.pop_front();
+            // Status write into the connection buffer. If the abort
+            // path freed the buffer already, this is squid2's
+            // use-after-free.
+            env.store<std::uint64_t>(event.conn + 32, 0x200 /* OK */);
+            if (!event.freedEarly)
+                env.free(event.conn);
+        }
+
+        // Accept a connection (squid2 models the buggy teardown).
+        if (!leak_variant) {
+            FrameGuard frame(env.stack(), kFnAccept);
+            VirtAddr conn = env.alloc(1536, kSiteConn);
+            env.fill(conn, static_cast<std::uint8_t>(r), 256);
+            env.compute(kConnCycles);
+
+            PendingEvent event;
+            event.due = r + 1;
+            event.conn = conn;
+            if (params.buggy && rng.chance(0.03)) {
+                // Client aborted: the buggy path frees the connection
+                // without cancelling the scheduled completion event.
+                env.free(conn);
+                event.freedEarly = true;
+                env.compute(kAbortCycles);
+            }
+            events.push_back(event);
+        }
+
+        // Cache lookup: skewed key popularity gives hot entries.
+        std::uint64_t key =
+            (rng.range(0, 63) * rng.range(0, 63)) % (kIndexSlots * 4);
+        std::size_t slot = key % kIndexSlots;
+
+        VirtAddr entry = index.get(env, slot);
+        bool hit = false;
+        if (entry != 0) {
+            std::uint64_t stored_key =
+                env.load<std::uint64_t>(entry + kOffKey);
+            hit = stored_key == key;
+        }
+
+        if (hit) {
+            VirtAddr data = env.load<std::uint64_t>(entry + kOffDataPtr);
+            std::uint64_t size = env.load<std::uint64_t>(entry + kOffSize);
+            env.read(data, scratch, static_cast<std::size_t>(size));
+            env.compute(kHitCycles);
+            continue;
+        }
+
+        // MISS: fetch from the origin through an in-flight buffer.
+        FrameGuard frame(env.stack(), kFnFetch);
+        std::uint64_t inflight_tag =
+            leak_variant ? kSiteInflight : kSiteInflightOk;
+        VirtAddr inflight = env.alloc(1024, inflight_tag);
+        env.fill(inflight, static_cast<std::uint8_t>(key), 1024);
+        env.compute(kFetchCycles);
+
+        if (leak_variant && params.buggy && rng.chance(0.05)) {
+            // Aborted fetch: squid1's leak — the in-flight buffer is
+            // forgotten instead of freed.
+            env.compute(kAbortCycles);
+            env.dropRef(inflight);
+            continue;
+        }
+
+        // Install the object in the cache.
+        FrameGuard install_frame(env.stack(), kFnInstall);
+        std::size_t object_size = 256 + (key % 7) * 256;
+        VirtAddr new_entry = env.alloc(kEntryBytes, kSiteEntry);
+        VirtAddr data = env.alloc(object_size, kSiteData);
+        env.copy(data, inflight, std::min<std::size_t>(object_size, 1024));
+        env.free(inflight);
+
+        env.store<std::uint64_t>(new_entry + kOffKey, key);
+        env.store<std::uint64_t>(new_entry + kOffDataPtr, data);
+        env.store<std::uint64_t>(new_entry + kOffSize, object_size);
+        env.store<std::uint64_t>(new_entry + kOffInstalled, r);
+        env.compute(kInstallCycles);
+
+        if (entry != 0) {
+            // Evict the colliding entry.
+            VirtAddr old_data =
+                env.load<std::uint64_t>(entry + kOffDataPtr);
+            env.free(old_data);
+            env.free(entry);
+        }
+        index.set(env, slot, new_entry);
+    }
+
+    // Orderly shutdown: run out the event queue, then free the cache.
+    while (!events.empty()) {
+        PendingEvent event = events.front();
+        events.pop_front();
+        env.store<std::uint64_t>(event.conn + 32, 0x200);
+        if (!event.freedEarly)
+            env.free(event.conn);
+    }
+    for (std::size_t slot = 0; slot < kIndexSlots; ++slot) {
+        VirtAddr entry = index.get(env, slot);
+        if (entry == 0)
+            continue;
+        VirtAddr data = env.load<std::uint64_t>(entry + kOffDataPtr);
+        env.free(data);
+        env.free(entry);
+    }
+    index.destroy(env);
+    for (auto &site : churn)
+        site.drain(env);
+    for (auto &site : growing)
+        site.drain(env);
+}
+
+} // namespace safemem

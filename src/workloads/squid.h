@@ -1,0 +1,46 @@
+/**
+ * @file
+ * squid — a web proxy cache model (paper Table 1).
+ *
+ * A hash-indexed object cache (index and entries live in simulated
+ * memory, so conservative heap scans traverse real pointers) services
+ * GET requests; misses fetch through an in-flight buffer and install a
+ * cache entry, evicting any slot collision. Two variants:
+ *
+ *  - squid1 (memory leak): aborted fetches on buggy inputs leak the
+ *    in-flight buffer (freed on the normal completion path → SLeak).
+ *  - squid2 (memory corruption): aborted client connections on buggy
+ *    inputs free the connection buffer while a completion event is
+ *    still scheduled; the event's status write is a use-after-free.
+ */
+
+#pragma once
+
+#include "workloads/app.h"
+
+namespace safemem {
+
+class SquidApp : public App
+{
+  public:
+    enum class Variant
+    {
+        Leak,      ///< squid1
+        Corruption ///< squid2
+    };
+
+    explicit SquidApp(Variant variant) : variant_(variant) {}
+
+    const char *
+    name() const override
+    {
+        return variant_ == Variant::Leak ? "squid1" : "squid2";
+    }
+
+    void run(Env &env, const RunParams &params) override;
+
+  private:
+    Variant variant_;
+};
+
+} // namespace safemem

@@ -1,0 +1,99 @@
+#include "workloads/tar_app.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+namespace {
+
+constexpr std::uint64_t kSiteArchive = makeSite(kAppTar, 1);
+constexpr std::uint64_t kSiteHeader = makeSite(kAppTar, 2);
+constexpr std::uint64_t kSiteName = makeSite(kAppTar, 3, true);
+
+constexpr std::uint64_t kFnAddFile = funcId(kAppTar, 1);
+constexpr std::uint64_t kFnChecksum = funcId(kAppTar, 2);
+
+constexpr std::size_t kNameBufBytes = 128;
+constexpr std::size_t kHeaderBytes = 512;
+constexpr std::size_t kArchiveBytes = 64 * 1024;
+
+constexpr Cycles kStatCycles = 140'000;
+constexpr Cycles kChecksumCycles = 160'000;
+constexpr Cycles kPerBlockCycles = 40'000;
+
+} // namespace
+
+void
+TarApp::run(Env &env, const RunParams &params)
+{
+    Rng rng(params.seed * 31337 + 23);
+    FrameGuard main_frame(env.stack(), funcId(kAppTar, 0));
+
+    VirtAddr archive = env.alloc(kArchiveBytes, kSiteArchive);
+    std::size_t archive_pos = 0;
+    std::uint8_t block[512];
+
+    for (std::uint64_t file = 0; file < params.requests; ++file) {
+        FrameGuard frame(env.stack(), kFnAddFile);
+
+        // Build the path. Buggy inputs contain deeply nested paths that
+        // exceed the 128-byte name buffer every ~40th file.
+        std::string path = "backup/home/user" +
+            std::to_string(file % 17) + "/documents/file" +
+            std::to_string(file) + ".dat";
+        if (params.buggy && file % 40 == 7) {
+            while (path.size() < 140)
+                path += "/deeply-nested-directory";
+            path.resize(140);
+        }
+
+        env.compute(kStatCycles);
+
+        // The tar bug: the path is copied with no length check into a
+        // fixed-size name buffer.
+        VirtAddr name_buf = env.alloc(kNameBufBytes, kSiteName);
+        env.write(name_buf, path.data(), path.size() + 1);
+
+        // Header: name, metadata fields, checksum.
+        VirtAddr header = env.alloc(kHeaderBytes, kSiteHeader);
+        env.copy(header, name_buf,
+                 std::min(path.size() + 1, kNameBufBytes));
+        std::uint64_t size_field = 512 + rng.range(0, 15) * 512;
+        env.store<std::uint64_t>(header + 124, size_field);
+        env.store<std::uint64_t>(header + 136, 0644);
+        {
+            FrameGuard sum_frame(env.stack(), kFnChecksum);
+            env.read(header, block, kHeaderBytes);
+            env.compute(kChecksumCycles);
+            env.store<std::uint64_t>(header + 148, file * 7919);
+        }
+
+        // Append header, then the file's data blocks.
+        if (archive_pos + kHeaderBytes > kArchiveBytes)
+            archive_pos = 0; // archive buffer drained to disk
+        env.copy(archive + archive_pos, header, kHeaderBytes);
+        archive_pos += kHeaderBytes;
+
+        for (std::uint64_t off = 0; off < size_field; off += 512) {
+            for (std::size_t b = 0; b < 512; ++b)
+                block[b] = static_cast<std::uint8_t>(file + off + b);
+            if (archive_pos + 512 > kArchiveBytes)
+                archive_pos = 0;
+            env.write(archive + archive_pos, block, 512);
+            archive_pos += 512;
+            env.compute(kPerBlockCycles);
+        }
+
+        env.free(header);
+        env.free(name_buf);
+    }
+
+    env.free(archive);
+}
+
+} // namespace safemem

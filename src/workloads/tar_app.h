@@ -1,0 +1,25 @@
+/**
+ * @file
+ * tar — an archiving utility model (paper Table 1).
+ *
+ * Appends files to an archive buffer: a 512-byte header (name, mode,
+ * size, checksum) followed by the file data in 512-byte blocks. The
+ * injected bug: the file name is copied into a fixed 128-byte name
+ * buffer with no length check; buggy inputs contain over-long paths
+ * that overflow it.
+ */
+
+#pragma once
+
+#include "workloads/app.h"
+
+namespace safemem {
+
+class TarApp : public App
+{
+  public:
+    const char *name() const override { return "tar"; }
+    void run(Env &env, const RunParams &params) override;
+};
+
+} // namespace safemem

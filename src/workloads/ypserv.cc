@@ -1,0 +1,156 @@
+#include "workloads/ypserv.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+namespace {
+
+/** Allocation sites. */
+constexpr std::uint64_t kSiteMapIndex = makeSite(kAppYpserv, 1);
+constexpr std::uint64_t kSiteMapRecord = makeSite(kAppYpserv, 2);
+constexpr std::uint64_t kSiteRequestCtx = makeSite(kAppYpserv, 3);
+constexpr std::uint64_t kSiteRequestCtxBuggy =
+    makeSite(kAppYpserv, 3, true);
+constexpr std::uint64_t kSiteMatchResp = makeSite(kAppYpserv, 4);
+constexpr std::uint64_t kSiteYpAllBatch = makeSite(kAppYpserv, 5, true);
+
+/** Synthetic functions (shadow-stack frames). */
+constexpr std::uint64_t kFnBuildMaps = funcId(kAppYpserv, 1);
+constexpr std::uint64_t kFnYpMatch = funcId(kAppYpserv, 2);
+constexpr std::uint64_t kFnYpAll = funcId(kAppYpserv, 3);
+constexpr std::uint64_t kFnFpBase = funcId(kAppYpserv, 16);
+
+constexpr std::size_t kNumRecords = 256;
+constexpr std::size_t kRecordSize = 128;
+constexpr std::size_t kIndexSlots = 512;
+
+/** Per-request compute budget (cycles): parse, hash, serialise, send. */
+constexpr Cycles kParseCycles = 240'000;
+constexpr Cycles kLookupCycles = 360'000;
+constexpr Cycles kSerializeCycles = 720'000;
+constexpr Cycles kSendCycles = 360'000;
+constexpr Cycles kErrorPathCycles = 1'260'000;
+constexpr Cycles kYpAllCycles = 1'440'000;
+
+} // namespace
+
+void
+YpservApp::run(Env &env, const RunParams &params)
+{
+    Rng rng(params.seed * 7919 + 11);
+    bool aleak_variant = variant_ == Variant::AlwaysLeak;
+
+    // ---- Startup: build the NIS maps -------------------------------
+    FrameGuard main_frame(env.stack(), funcId(kAppYpserv, 0));
+
+    SimPointerTable index(env, kIndexSlots, kSiteMapIndex);
+    std::vector<VirtAddr> records;
+    {
+        FrameGuard frame(env.stack(), kFnBuildMaps);
+        for (std::size_t i = 0; i < kNumRecords; ++i) {
+            VirtAddr record = env.alloc(kRecordSize, kSiteMapRecord);
+            std::uint8_t payload[kRecordSize];
+            for (std::size_t b = 0; b < kRecordSize; ++b)
+                payload[b] = static_cast<std::uint8_t>(i + b);
+            env.write(record, payload, kRecordSize);
+            index.set(env, i * 2, record);
+            records.push_back(record);
+            env.compute(2'000);
+        }
+    }
+
+    // ---- Background behaviours that create FP pressure -------------
+    std::vector<ChurnPoolSite> churn;
+    std::vector<GrowingPoolSite> growing;
+    std::size_t churn_sites = aleak_variant ? 4 : 1;
+    std::size_t growing_sites = aleak_variant ? 3 : 1;
+    for (std::size_t i = 0; i < churn_sites; ++i) {
+        ChurnPoolSite::Params p;
+        p.siteTag = makeSite(kAppYpserv, 32 + static_cast<std::uint32_t>(i));
+        p.functionId = kFnFpBase + i * 0x40;
+        p.objectSize = 96 + i * 32;
+        churn.emplace_back(p);
+    }
+    for (std::size_t i = 0; i < growing_sites; ++i) {
+        GrowingPoolSite::Params p;
+        p.siteTag = makeSite(kAppYpserv, 48 + static_cast<std::uint32_t>(i));
+        p.functionId = kFnFpBase + 0x400 + i * 0x40;
+        p.objectSize = 64 + i * 64;
+        growing.emplace_back(p);
+    }
+
+    // ---- Request loop -----------------------------------------------
+    std::uint8_t scratch[1024];
+    for (std::uint64_t r = 0; r < params.requests; ++r) {
+        for (auto &site : churn)
+            site.tick(env, r);
+        for (auto &site : growing)
+            site.tick(env, r);
+
+        bool yp_all = aleak_variant && params.buggy && rng.chance(0.30);
+        if (yp_all) {
+            // yp_all: enumerate a whole map into one batch buffer. The
+            // ypserv1 bug: the batch buffer is never freed.
+            FrameGuard frame(env.stack(), kFnYpAll);
+            VirtAddr batch = env.alloc(1024, kSiteYpAllBatch);
+            for (std::size_t i = 0; i < 8; ++i) {
+                env.read(records[rng.range(0, kNumRecords - 1)], scratch,
+                         kRecordSize);
+                env.write(batch + i * kRecordSize, scratch, kRecordSize);
+            }
+            env.compute(kYpAllCycles);
+            env.read(batch, scratch, 1024); // "send" to the client
+            env.dropRef(batch);             // the leak
+            continue;
+        }
+
+        // yp_match: the common request.
+        FrameGuard frame(env.stack(), kFnYpMatch);
+        bool sleak_variant = variant_ == Variant::SometimesLeak;
+        std::uint64_t ctx_tag =
+            sleak_variant ? kSiteRequestCtxBuggy : kSiteRequestCtx;
+        VirtAddr ctx = env.alloc(192, ctx_tag);
+        env.fill(ctx, static_cast<std::uint8_t>(r), 64);
+        env.compute(kParseCycles);
+
+        // Buggy ypserv2 inputs contain keys that miss the map.
+        bool miss = sleak_variant && params.buggy && rng.chance(0.06);
+        if (miss) {
+            env.compute(kErrorPathCycles);
+            // The ypserv2 bug: the error path returns without freeing
+            // the request context.
+            env.dropRef(ctx);
+            continue;
+        }
+
+        std::size_t key = rng.range(0, kNumRecords - 1);
+        VirtAddr record = index.get(env, key * 2);
+        env.read(record, scratch, kRecordSize);
+        env.compute(kLookupCycles);
+
+        VirtAddr resp = env.alloc(256, kSiteMatchResp);
+        env.write(resp, scratch, kRecordSize);
+        env.compute(kSerializeCycles);
+        env.read(resp, scratch, 256); // "send"
+        env.compute(kSendCycles);
+
+        env.free(resp);
+        env.free(ctx);
+    }
+
+    // ---- Orderly shutdown -------------------------------------------
+    for (auto &site : churn)
+        site.drain(env);
+    for (auto &site : growing)
+        site.drain(env);
+    for (VirtAddr record : records)
+        env.free(record);
+    index.destroy(env);
+}
+
+} // namespace safemem

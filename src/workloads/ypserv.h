@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ypserv — a NIS (YP) directory server model (paper Table 1).
+ *
+ * Serves yp_match lookups against in-memory maps built at startup. Two
+ * variants reproduce the paper's two buggy versions:
+ *
+ *  - ypserv1 (ALeak): with buggy inputs, yp_all batch transfers leak
+ *    their response buffer on every path — the group is never freed.
+ *  - ypserv2 (SLeak): with buggy inputs, some lookups miss, and the
+ *    error path forgets to free the per-request context buffer.
+ *
+ * Normal inputs exercise neither path, matching the paper's overhead
+ * methodology. The false-positive pressure of a real server (keep-alive
+ * client state, append-only statistics) is reproduced with ChurnPool /
+ * GrowingPool sites: 7 for ypserv1 and 2 for ypserv2 (Table 5).
+ */
+
+#pragma once
+
+#include "workloads/app.h"
+#include "workloads/components.h"
+
+namespace safemem {
+
+class YpservApp : public App
+{
+  public:
+    enum class Variant
+    {
+        AlwaysLeak,   ///< ypserv1
+        SometimesLeak ///< ypserv2
+    };
+
+    explicit YpservApp(Variant variant) : variant_(variant) {}
+
+    const char *
+    name() const override
+    {
+        return variant_ == Variant::AlwaysLeak ? "ypserv1" : "ypserv2";
+    }
+
+    void run(Env &env, const RunParams &params) override;
+
+  private:
+    Variant variant_;
+};
+
+} // namespace safemem

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * In-memory WatchBackend fake for detector unit tests: records watches,
+ * lets tests fire faults by hand, no machine required.
+ */
+
+#pragma once
+
+#include <map>
+
+#include "common/logging.h"
+#include "safemem/watch_backend.h"
+
+namespace safemem {
+
+class FakeBackend : public WatchBackend
+{
+  public:
+    struct Region
+    {
+        std::size_t size = 0;
+        WatchKind kind = WatchKind::LeakSuspect;
+        std::uint64_t cookie = 0;
+    };
+
+    std::size_t granule() const override { return kCacheLineSize; }
+
+    void
+    setFaultCallback(WatchFaultCallback callback) override
+    {
+        callback_ = std::move(callback);
+    }
+
+    void
+    watch(VirtAddr base, std::size_t size, WatchKind kind,
+          std::uint64_t cookie) override
+    {
+        if (regions_.count(base))
+            panic("FakeBackend: double watch at ", base);
+        regions_[base] = Region{size, kind, cookie};
+        ++watchCount;
+    }
+
+    void
+    unwatch(VirtAddr base) override
+    {
+        if (!regions_.erase(base))
+            panic("FakeBackend: unwatch of unknown region ", base);
+        ++unwatchCount;
+    }
+
+    bool isWatched(VirtAddr base) const override
+    {
+        return regions_.count(base) != 0;
+    }
+
+    std::size_t regionCount() const override { return regions_.size(); }
+
+    std::uint64_t
+    watchedBytes() const override
+    {
+        std::uint64_t total = 0;
+        for (const auto &[base, region] : regions_)
+            total += region.size;
+        return total;
+    }
+
+    const StatSet &stats() const override { return stats_; }
+
+    /** Simulate the first access to watched region @p base. */
+    void
+    fireAccess(VirtAddr base, bool is_write = false)
+    {
+        auto it = regions_.find(base);
+        if (it == regions_.end())
+            panic("FakeBackend: fireAccess on unwatched region ", base);
+        Region region = it->second;
+        regions_.erase(it);
+        if (callback_)
+            callback_(base, region.kind, region.cookie, base, is_write);
+    }
+
+    std::map<VirtAddr, Region> regions_;
+    WatchFaultCallback callback_;
+    int watchCount = 0;
+    int unwatchCount = 0;
+    StatSet stats_;
+};
+
+} // namespace safemem

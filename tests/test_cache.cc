@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the set-associative write-back data cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "common/costs.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "mem/memory_controller.h"
+#include "mem/physical_memory.h"
+
+namespace safemem {
+namespace {
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheTest()
+        : memory(1 << 20), controller(memory, clock),
+          cache(controller, clock, CacheConfig{4, 2})
+    {
+        controller.setInterruptHandler(
+            [this](const EccFaultInfo &) { ++interrupts; });
+    }
+
+    CycleClock clock;
+    PhysicalMemory memory;
+    MemoryController controller;
+    Cache cache; ///< tiny: 4 sets x 2 ways so eviction is easy to force
+    int interrupts = 0;
+};
+
+TEST_F(CacheTest, ReadMissThenHit)
+{
+    std::uint8_t buffer[8] = {};
+    EXPECT_TRUE(cache.read(0, buffer, 8));
+    EXPECT_EQ(cache.stats().get("misses"), 1u);
+    EXPECT_TRUE(cache.read(0, buffer, 8));
+    EXPECT_EQ(cache.stats().get("hits"), 1u);
+}
+
+TEST_F(CacheTest, HitCostVsMissCost)
+{
+    std::uint8_t buffer[8] = {};
+    Cycles t0 = clock.now();
+    cache.read(0, buffer, 8);
+    Cycles miss_cost = clock.now() - t0;
+    t0 = clock.now();
+    cache.read(0, buffer, 8);
+    Cycles hit_cost = clock.now() - t0;
+    EXPECT_EQ(hit_cost, kCacheHitCycles);
+    EXPECT_EQ(miss_cost, kCacheMissMgmtCycles + kDramLineCycles);
+}
+
+TEST_F(CacheTest, WriteReadRoundTrip)
+{
+    std::uint32_t value = 0xfeedface;
+    EXPECT_TRUE(cache.write(100, &value, sizeof(value)));
+    std::uint32_t out = 0;
+    EXPECT_TRUE(cache.read(100, &out, sizeof(out)));
+    EXPECT_EQ(out, value);
+    // Still only in the cache: memory holds the old word.
+    EXPECT_EQ(memory.readWord(96), 0u);
+}
+
+TEST_F(CacheTest, DirtyEvictionWritesBack)
+{
+    std::uint64_t value = 0x1122334455667788ULL;
+    cache.write(0, &value, 8);
+
+    // Fill the same set with enough conflicting lines to evict line 0.
+    // Set index = (addr/64) % 4, so addresses 0, 256, 512 share set 0.
+    std::uint8_t buffer[8];
+    cache.read(256, buffer, 8);
+    cache.read(512, buffer, 8);
+
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_EQ(memory.readWord(0), value) << "writeback happened";
+    EXPECT_GE(cache.stats().get("writebacks"), 1u);
+}
+
+TEST_F(CacheTest, LruVictimSelection)
+{
+    std::uint8_t buffer[8];
+    cache.read(0, buffer, 8);    // way A
+    cache.read(256, buffer, 8);  // way B
+    cache.read(0, buffer, 8);    // touch A: B is now LRU
+    cache.read(512, buffer, 8);  // evicts B
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(256));
+}
+
+TEST_F(CacheTest, FlushLineWritesBackAndInvalidates)
+{
+    std::uint64_t value = 0xabcdULL;
+    cache.write(64, &value, 8);
+    cache.flushLine(64);
+    EXPECT_FALSE(cache.contains(64));
+    EXPECT_EQ(memory.readWord(64), value);
+}
+
+TEST_F(CacheTest, FlushCleanLineJustInvalidates)
+{
+    std::uint8_t buffer[8];
+    cache.read(64, buffer, 8);
+    std::uint64_t before = cache.stats().get("writebacks");
+    cache.flushLine(64);
+    EXPECT_FALSE(cache.contains(64));
+    EXPECT_EQ(cache.stats().get("writebacks"), before);
+}
+
+TEST_F(CacheTest, FlushAbsentLineIsHarmless)
+{
+    cache.flushLine(4096);
+    EXPECT_EQ(cache.stats().get("flushes"), 0u);
+}
+
+TEST_F(CacheTest, FlushAllDrainsEverything)
+{
+    std::uint64_t value = 7;
+    cache.write(0, &value, 8);
+    cache.write(64, &value, 8);
+    cache.flushAll();
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(64));
+    EXPECT_EQ(memory.readWord(0), 7u);
+    EXPECT_EQ(memory.readWord(64), 7u);
+}
+
+TEST_F(CacheTest, CrossLineAccessPanics)
+{
+    std::uint8_t buffer[16];
+    EXPECT_THROW(cache.read(60, buffer, 16), PanicError);
+    EXPECT_THROW(cache.write(60, buffer, 16), PanicError);
+}
+
+TEST_F(CacheTest, FaultedFillNotInstalled)
+{
+    memory.flipDataBit(0, 1);
+    memory.flipDataBit(0, 2);
+    std::uint8_t buffer[8];
+    EXPECT_FALSE(cache.read(0, buffer, 8));
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_EQ(cache.stats().get("faulted_fills"), 1u);
+    EXPECT_EQ(interrupts, 1);
+}
+
+TEST_F(CacheTest, WriteMissDoesReadForOwnership)
+{
+    // Write-allocate: a write to an uncached line fills first — this is
+    // why stores to watched lines still trigger ECC faults (paper
+    // §2.2.2 "Dealing with Cache Effects").
+    memory.flipDataBit(128, 1);
+    memory.flipDataBit(128, 2);
+    std::uint64_t value = 1;
+    EXPECT_FALSE(cache.write(128, &value, 8));
+    EXPECT_EQ(interrupts, 1);
+}
+
+TEST_F(CacheTest, CachedLineNeverRechecksEcc)
+{
+    // The cache filtering effect: once resident, accesses bypass the
+    // controller entirely.
+    std::uint8_t buffer[8];
+    cache.read(0, buffer, 8);
+    std::uint64_t fills = controller.stats().get("line_fills");
+    for (int i = 0; i < 10; ++i)
+        cache.read(0, buffer, 8);
+    EXPECT_EQ(controller.stats().get("line_fills"), fills);
+}
+
+TEST(CacheConfigTest, ZeroGeometryIsFatal)
+{
+    CycleClock clock;
+    PhysicalMemory memory(4096);
+    MemoryController controller(memory, clock);
+    EXPECT_THROW(Cache(controller, clock, CacheConfig{0, 2}), FatalError);
+    EXPECT_THROW(Cache(controller, clock, CacheConfig{4, 0}), FatalError);
+}
+
+/** Parameterized sweep over cache geometries: data integrity holds. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(CacheGeometry, RandomAccessPatternKeepsDataConsistent)
+{
+    auto [sets, ways] = GetParam();
+    CycleClock clock;
+    PhysicalMemory memory(1 << 20);
+    MemoryController controller(memory, clock);
+    Cache cache(controller, clock, CacheConfig{sets, ways});
+
+    // Mirror model in host memory.
+    std::vector<std::uint64_t> mirror(512, 0);
+    Rng rng(sets * 131 + ways);
+    for (int op = 0; op < 4000; ++op) {
+        std::size_t idx = rng.range(0, mirror.size() - 1);
+        PhysAddr addr = idx * 8;
+        if (rng.chance(0.5)) {
+            std::uint64_t value = rng.next();
+            ASSERT_TRUE(cache.write(addr, &value, 8));
+            mirror[idx] = value;
+        } else {
+            std::uint64_t out = 0;
+            ASSERT_TRUE(cache.read(addr, &out, 8));
+            ASSERT_EQ(out, mirror[idx]) << "idx " << idx;
+        }
+    }
+    // Flush and verify memory agrees with the mirror.
+    cache.flushAll();
+    for (std::size_t idx = 0; idx < mirror.size(); ++idx)
+        ASSERT_EQ(memory.readWord(idx * 8), mirror[idx]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(1, 8),
+                      std::make_pair<std::size_t, std::size_t>(4, 2),
+                      std::make_pair<std::size_t, std::size_t>(64, 4),
+                      std::make_pair<std::size_t, std::size_t>(256, 8)));
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the shadow stack and the xor/rotate call-stack signature.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/shadow_stack.h"
+#include "safemem/callstack.h"
+
+namespace safemem {
+namespace {
+
+TEST(ShadowStack, PushPopDepth)
+{
+    ShadowStack stack;
+    EXPECT_EQ(stack.depth(), 0u);
+    stack.push(1);
+    stack.push(2);
+    EXPECT_EQ(stack.depth(), 2u);
+    stack.pop();
+    EXPECT_EQ(stack.depth(), 1u);
+}
+
+TEST(ShadowStack, PopEmptyPanics)
+{
+    ShadowStack stack;
+    EXPECT_THROW(stack.pop(), PanicError);
+}
+
+TEST(ShadowStack, TopFramesInnermostFirst)
+{
+    ShadowStack stack;
+    stack.push(10);
+    stack.push(20);
+    stack.push(30);
+    std::uint64_t frames[4];
+    EXPECT_EQ(stack.topFrames(frames, 4), 3u);
+    EXPECT_EQ(frames[0], 30u);
+    EXPECT_EQ(frames[1], 20u);
+    EXPECT_EQ(frames[2], 10u);
+}
+
+TEST(ShadowStack, FrameGuardBalances)
+{
+    ShadowStack stack;
+    {
+        FrameGuard outer(stack, 1);
+        EXPECT_EQ(stack.depth(), 1u);
+        {
+            FrameGuard inner(stack, 2);
+            EXPECT_EQ(stack.depth(), 2u);
+        }
+        EXPECT_EQ(stack.depth(), 1u);
+    }
+    EXPECT_EQ(stack.depth(), 0u);
+}
+
+TEST(CallStackSignature, UsesFourInnermostFrames)
+{
+    ShadowStack a;
+    for (std::uint64_t f : {1, 2, 3, 4, 5})
+        a.push(f);
+    ShadowStack b;
+    for (std::uint64_t f : {9, 2, 3, 4, 5})
+        b.push(f);
+    // Frames beyond the innermost four do not matter.
+    EXPECT_EQ(callStackSignature(a), callStackSignature(b));
+}
+
+TEST(CallStackSignature, OrderSensitive)
+{
+    std::uint64_t ab[] = {0x100, 0x200};
+    std::uint64_t ba[] = {0x200, 0x100};
+    EXPECT_NE(callStackSignature(ab, 2), callStackSignature(ba, 2));
+}
+
+TEST(CallStackSignature, DifferentCallersDiffer)
+{
+    std::uint64_t a[] = {0x400000, 0x400040};
+    std::uint64_t b[] = {0x400000, 0x400080};
+    EXPECT_NE(callStackSignature(a, 2), callStackSignature(b, 2));
+}
+
+TEST(CallStackSignature, EmptyStackIsZero)
+{
+    ShadowStack stack;
+    EXPECT_EQ(callStackSignature(stack), 0u);
+}
+
+TEST(CallStackSignature, MatchesXorRotateDefinition)
+{
+    // sig = rotl(rotl(0,7) ^ f0, 7) ^ f1 with innermost first.
+    auto rotl = [](std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    };
+    std::uint64_t frames[] = {0xaaaa, 0xbbbb};
+    std::uint64_t expected = rotl(0xaaaa, 7) ^ 0xbbbbULL;
+    EXPECT_EQ(callStackSignature(frames, 2), expected);
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the CLI parsing/reporting layer behind safemem_run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/cli.h"
+#include "workloads/report_writer.h"
+
+namespace safemem {
+namespace {
+
+TEST(Cli, NoArgumentsShowsUsage)
+{
+    CliParse parse = parseCliArguments({});
+    EXPECT_FALSE(parse.options.has_value());
+    EXPECT_NE(parse.message.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownAppRejected)
+{
+    CliParse parse = parseCliArguments({"notepad"});
+    EXPECT_FALSE(parse.options.has_value());
+    EXPECT_NE(parse.message.find("unknown application"),
+              std::string::npos);
+}
+
+TEST(Cli, DefaultsApplied)
+{
+    CliParse parse = parseCliArguments({"gzip"});
+    ASSERT_TRUE(parse.options.has_value());
+    EXPECT_EQ(parse.options->app, "gzip");
+    EXPECT_EQ(parse.options->tool, ToolKind::SafeMemBoth);
+    EXPECT_FALSE(parse.options->params.buggy);
+    EXPECT_EQ(parse.options->params.requests, defaultRequests("gzip"));
+    EXPECT_EQ(parse.options->params.seed, 42u);
+}
+
+TEST(Cli, AllFlagsParsed)
+{
+    CliParse parse = parseCliArguments(
+        {"squid1", "--tool", "purify", "--buggy", "--requests", "123",
+         "--seed", "9", "--overhead", "--stats=leak"});
+    ASSERT_TRUE(parse.options.has_value());
+    EXPECT_EQ(parse.options->tool, ToolKind::Purify);
+    EXPECT_TRUE(parse.options->params.buggy);
+    EXPECT_EQ(parse.options->params.requests, 123u);
+    EXPECT_EQ(parse.options->params.seed, 9u);
+    EXPECT_TRUE(parse.options->compareBaseline);
+    EXPECT_TRUE(parse.options->dumpStats);
+    EXPECT_EQ(parse.options->statsPrefix, "leak");
+}
+
+TEST(Cli, BadToolRejected)
+{
+    CliParse parse = parseCliArguments({"gzip", "--tool", "valgrind"});
+    EXPECT_FALSE(parse.options.has_value());
+    EXPECT_NE(parse.message.find("unknown tool"), std::string::npos);
+}
+
+TEST(Cli, MissingValueRejected)
+{
+    CliParse parse = parseCliArguments({"gzip", "--requests"});
+    EXPECT_FALSE(parse.options.has_value());
+}
+
+TEST(Cli, UnknownFlagRejected)
+{
+    CliParse parse = parseCliArguments({"gzip", "--fast"});
+    EXPECT_FALSE(parse.options.has_value());
+}
+
+TEST(Cli, ToolKindNamesRoundTrip)
+{
+    for (ToolKind kind : {ToolKind::None, ToolKind::SafeMemML,
+                          ToolKind::SafeMemMC, ToolKind::SafeMemBoth,
+                          ToolKind::PageProtBoth, ToolKind::Purify})
+        EXPECT_EQ(toolKindFromName(toolKindName(kind)), kind);
+    EXPECT_FALSE(toolKindFromName("gdb").has_value());
+}
+
+TEST(Cli, EndToEndBuggyRunReportsTheBug)
+{
+    CliParse parse = parseCliArguments(
+        {"tar", "--buggy", "--requests", "120"});
+    ASSERT_TRUE(parse.options.has_value());
+    std::string report = runCli(*parse.options);
+    EXPECT_NE(report.find("BUG DETECTED"), std::string::npos);
+    EXPECT_NE(report.find("memory corruption"), std::string::npos);
+}
+
+TEST(Cli, EndToEndCleanRun)
+{
+    CliParse parse =
+        parseCliArguments({"gzip", "--requests", "20", "--overhead"});
+    ASSERT_TRUE(parse.options.has_value());
+    std::string report = runCli(*parse.options);
+    EXPECT_NE(report.find("clean run"), std::string::npos);
+    EXPECT_NE(report.find("overhead"), std::string::npos);
+}
+
+TEST(ReportWriter, VerdictVariants)
+{
+    RunResult clean;
+    clean.app = "x";
+    EXPECT_NE(formatVerdict(clean).find("clean run"), std::string::npos);
+
+    RunResult leak;
+    leak.app = "x";
+    leak.leakReportsTrue = 1;
+    leak.bugDetected = true;
+    EXPECT_NE(formatVerdict(leak).find("BUG DETECTED"),
+              std::string::npos);
+
+    RunResult fp;
+    fp.app = "x";
+    fp.leakReportsFalse = 2;
+    EXPECT_NE(formatVerdict(fp).find("other finding"),
+              std::string::npos);
+}
+
+TEST(ReportWriter, StatsFilteredByPrefix)
+{
+    RunResult result;
+    result.stats["leak.a"] = 1;
+    result.stats["cache.b"] = 2;
+    std::string all = formatStats(result, "");
+    EXPECT_NE(all.find("leak.a"), std::string::npos);
+    EXPECT_NE(all.find("cache.b"), std::string::npos);
+    std::string filtered = formatStats(result, "leak");
+    EXPECT_NE(filtered.find("leak.a"), std::string::npos);
+    EXPECT_EQ(filtered.find("cache.b"), std::string::npos);
+}
+
+} // namespace
+} // namespace safemem

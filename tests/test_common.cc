@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the common substrate: clock, stats, histogram, RNG, types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace safemem {
+namespace {
+
+TEST(Types, AlignmentHelpers)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_TRUE(isAligned(4096, 4096));
+    EXPECT_FALSE(isAligned(4097, 4096));
+    EXPECT_TRUE(isAligned(0, 64));
+}
+
+TEST(Types, CyclesToMicrosAt2p4GHz)
+{
+    EXPECT_DOUBLE_EQ(cyclesToMicros(2400), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToMicros(4800), 2.0);
+}
+
+TEST(Clock, AdvancesAndAttributes)
+{
+    CycleClock clock;
+    clock.advance(10, CostCenter::Application);
+    clock.advance(5, CostCenter::ToolLeak);
+    clock.advance(3, CostCenter::ToolAccess);
+    EXPECT_EQ(clock.now(), 18u);
+    EXPECT_EQ(clock.charged(CostCenter::Application), 10u);
+    EXPECT_EQ(clock.overheadCycles(), 8u);
+}
+
+TEST(Clock, DefaultCenterFollowsScope)
+{
+    CycleClock clock;
+    clock.advance(1);
+    EXPECT_EQ(clock.charged(CostCenter::Application), 1u);
+    {
+        CostScope outer(clock, CostCenter::ToolCorruption);
+        clock.advance(2);
+        {
+            CostScope inner(clock, CostCenter::Kernel);
+            clock.advance(4);
+        }
+        clock.advance(8);
+    }
+    clock.advance(16);
+    EXPECT_EQ(clock.charged(CostCenter::Application), 17u);
+    EXPECT_EQ(clock.charged(CostCenter::ToolCorruption), 10u);
+    EXPECT_EQ(clock.charged(CostCenter::Kernel), 4u);
+}
+
+TEST(Clock, ResetClearsEverything)
+{
+    CycleClock clock;
+    clock.setCurrentCenter(CostCenter::ToolLeak);
+    clock.advance(100);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0u);
+    EXPECT_EQ(clock.charged(CostCenter::ToolLeak), 0u);
+    EXPECT_EQ(clock.currentCenter(), CostCenter::Application);
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("missing"), 0u);
+    stats.add("hits");
+    stats.add("hits", 4);
+    EXPECT_EQ(stats.get("hits"), 5u);
+    stats.set("hits", 2);
+    EXPECT_EQ(stats.get("hits"), 2u);
+}
+
+TEST(Stats, MaxOfTracksMaximum)
+{
+    StatSet stats;
+    stats.maxOf("peak", 10);
+    stats.maxOf("peak", 5);
+    stats.maxOf("peak", 20);
+    EXPECT_EQ(stats.get("peak"), 20u);
+}
+
+TEST(Stats, AllIsSortedByName)
+{
+    StatSet stats;
+    stats.add("zebra");
+    stats.add("apple");
+    auto it = stats.all().begin();
+    EXPECT_EQ(it->first, "apple");
+}
+
+TEST(Histogram, CumulativeDistribution)
+{
+    Histogram hist(10);
+    for (std::uint64_t v : {1, 5, 15, 25, 95})
+        hist.record(v);
+    EXPECT_EQ(hist.count(), 5u);
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(9), 0.4);
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(19), 0.6);
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(1000), 1.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram hist(10);
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(100), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.next(), b.next());
+    Rng a2(42);
+    EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.range(3, 9);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 9u);
+    }
+    EXPECT_EQ(rng.range(5, 5), 5u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(7);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+} // namespace
+} // namespace safemem

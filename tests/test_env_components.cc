@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the workload framework: Env (interposition, roots, copy
+ * helpers) and the shared components (SimPointerTable, ChurnPoolSite,
+ * GrowingPoolSite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workloads/components.h"
+#include "workloads/env.h"
+#include "workloads/null_tool.h"
+
+namespace safemem {
+namespace {
+
+class EnvTest : public ::testing::Test
+{
+  protected:
+    EnvTest()
+        : machine(MachineConfig{16u << 20}), allocator(machine),
+          tool(machine, allocator), env(machine, allocator, tool)
+    {
+    }
+
+    Machine machine;
+    HeapAllocator allocator;
+    NullTool tool;
+    Env env;
+};
+
+TEST_F(EnvTest, AllocTracksRoot)
+{
+    VirtAddr a = env.alloc(100);
+    VirtAddr b = env.alloc(50);
+    auto roots = env.roots();
+    EXPECT_EQ(roots.size(), 2u);
+    EXPECT_NE(std::find(roots.begin(), roots.end(), a), roots.end());
+    EXPECT_NE(std::find(roots.begin(), roots.end(), b), roots.end());
+}
+
+TEST_F(EnvTest, FreeRemovesRoot)
+{
+    VirtAddr a = env.alloc(100);
+    env.free(a);
+    EXPECT_TRUE(env.roots().empty());
+}
+
+TEST_F(EnvTest, DropRefLeaksButForgets)
+{
+    VirtAddr a = env.alloc(100);
+    env.dropRef(a);
+    EXPECT_TRUE(env.roots().empty());
+    EXPECT_TRUE(allocator.isLive(a)) << "memory still allocated: a leak";
+}
+
+TEST_F(EnvTest, DropRefOfUnknownPanics)
+{
+    EXPECT_THROW(env.dropRef(0x1234), PanicError);
+}
+
+TEST_F(EnvTest, ReallocSwapsRoot)
+{
+    VirtAddr a = env.alloc(16);
+    VirtAddr b = env.reallocBytes(a, 5000);
+    auto roots = env.roots();
+    ASSERT_EQ(roots.size(), 1u);
+    EXPECT_EQ(roots[0], b);
+}
+
+TEST_F(EnvTest, CallocZeroes)
+{
+    VirtAddr a = env.callocBytes(4, 8);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(env.load<std::uint64_t>(a + i * 8), 0u);
+}
+
+TEST_F(EnvTest, FillAndCopy)
+{
+    VirtAddr src = env.alloc(300);
+    VirtAddr dst = env.alloc(300);
+    env.fill(src, 0x7e, 300);
+    env.copy(dst, src, 300);
+    std::uint8_t byte;
+    env.read(dst + 299, &byte, 1);
+    EXPECT_EQ(byte, 0x7e);
+}
+
+TEST_F(EnvTest, AppNowExcludesToolTime)
+{
+    Cycles before = env.appNow();
+    env.compute(1000);
+    EXPECT_EQ(env.appNow() - before, 1000u);
+}
+
+TEST_F(EnvTest, StackIsUsable)
+{
+    FrameGuard frame(env.stack(), 0x400100);
+    EXPECT_EQ(env.stack().depth(), 1u);
+}
+
+TEST_F(EnvTest, SimPointerTableRoundTrip)
+{
+    SimPointerTable table(env, 16, 0);
+    EXPECT_EQ(table.get(env, 3), 0u) << "calloc-zeroed";
+    table.set(env, 3, 0xdeadbeef);
+    EXPECT_EQ(table.get(env, 3), 0xdeadbeefULL);
+    EXPECT_THROW(table.get(env, 16), PanicError);
+    table.destroy(env);
+}
+
+TEST_F(EnvTest, ChurnPoolRetiresOnSchedule)
+{
+    ChurnPoolSite::Params params;
+    params.functionId = 0x400500;
+    params.allocEvery = 2;
+    params.shortHold = 3;
+    params.longEvery = 4;
+    params.longHold = 10;
+    ChurnPoolSite site(params);
+
+    for (std::uint64_t r = 0; r < 60; ++r)
+        site.tick(env, r);
+    site.drain(env);
+    // Everything allocated was eventually freed: no live heap left.
+    EXPECT_EQ(allocator.liveBytes(), 0u);
+    EXPECT_TRUE(env.roots().empty());
+}
+
+TEST_F(EnvTest, GrowingPoolOnlyGrows)
+{
+    GrowingPoolSite::Params params;
+    params.functionId = 0x400600;
+    params.growEvery = 2;
+    params.touchEvery = 4;
+    GrowingPoolSite site(params);
+
+    for (std::uint64_t r = 0; r < 20; ++r)
+        site.tick(env, r);
+    EXPECT_EQ(allocator.stats().get("allocs"), 10u);
+    EXPECT_EQ(allocator.stats().get("frees"), 0u);
+    site.drain(env);
+    EXPECT_EQ(allocator.liveBytes(), 0u);
+}
+
+} // namespace
+} // namespace safemem

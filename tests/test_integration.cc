@@ -1,0 +1,190 @@
+/**
+ * @file
+ * End-to-end tests over the full stack: every paper bug is detected,
+ * overheads are ordered the way Table 3 reports, pruning works, and
+ * the two watch backends behave consistently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workloads/driver.h"
+
+namespace safemem {
+namespace {
+
+RunParams
+paramsFor(const std::string &app, bool buggy)
+{
+    RunParams params;
+    params.requests = defaultRequests(app);
+    params.buggy = buggy;
+    params.seed = 42;
+    return params;
+}
+
+class QuietLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogQuiet(true); }
+};
+
+using IntegrationDetect = QuietLogs;
+
+TEST_F(IntegrationDetect, SafeMemDetectsYpserv1ALeak)
+{
+    RunResult r = runWorkload("ypserv1", ToolKind::SafeMemBoth,
+                              paramsFor("ypserv1", true));
+    EXPECT_TRUE(r.bugDetected);
+    EXPECT_GE(r.leakReportsTrue, 1u);
+}
+
+TEST_F(IntegrationDetect, SafeMemDetectsYpserv2SLeak)
+{
+    RunResult r = runWorkload("ypserv2", ToolKind::SafeMemBoth,
+                              paramsFor("ypserv2", true));
+    EXPECT_TRUE(r.bugDetected);
+    EXPECT_GE(r.leakReportsTrue, 1u);
+}
+
+TEST_F(IntegrationDetect, SafeMemDetectsProftpdLeak)
+{
+    RunResult r = runWorkload("proftpd", ToolKind::SafeMemBoth,
+                              paramsFor("proftpd", true));
+    EXPECT_TRUE(r.bugDetected);
+}
+
+TEST_F(IntegrationDetect, SafeMemDetectsSquid1Leak)
+{
+    RunResult r = runWorkload("squid1", ToolKind::SafeMemBoth,
+                              paramsFor("squid1", true));
+    EXPECT_TRUE(r.bugDetected);
+}
+
+TEST_F(IntegrationDetect, SafeMemDetectsGzipOverflow)
+{
+    RunResult r = runWorkload("gzip", ToolKind::SafeMemBoth,
+                              paramsFor("gzip", true));
+    EXPECT_TRUE(r.bugDetected);
+    EXPECT_GE(r.corruptionTrue, 1u);
+}
+
+TEST_F(IntegrationDetect, SafeMemDetectsTarOverflow)
+{
+    RunResult r = runWorkload("tar", ToolKind::SafeMemBoth,
+                              paramsFor("tar", true));
+    EXPECT_TRUE(r.bugDetected);
+    EXPECT_GE(r.corruptionTrue, 1u);
+}
+
+TEST_F(IntegrationDetect, SafeMemDetectsSquid2UseAfterFree)
+{
+    RunResult r = runWorkload("squid2", ToolKind::SafeMemBoth,
+                              paramsFor("squid2", true));
+    EXPECT_TRUE(r.bugDetected);
+    EXPECT_GE(r.corruptionTrue, 1u);
+}
+
+TEST_F(IntegrationDetect, NoCorruptionFalsePositives)
+{
+    // Paper §6.4: "SafeMem does not have any false positives in memory
+    // corruption detection."
+    for (const std::string &app : appNames()) {
+        RunResult r = runWorkload(app, ToolKind::SafeMemBoth,
+                                  paramsFor(app, false));
+        EXPECT_EQ(r.corruptionTrue, 0u) << app;
+        EXPECT_EQ(r.corruptionFalse, 0u) << app;
+    }
+}
+
+TEST_F(IntegrationDetect, NormalRunsReportNoLeakAtBugSite)
+{
+    for (const std::string &app : appNames()) {
+        RunResult r = runWorkload(app, ToolKind::SafeMemBoth,
+                                  paramsFor(app, false));
+        EXPECT_EQ(r.leakReportsTrue, 0u) << app;
+    }
+}
+
+using IntegrationOverhead = QuietLogs;
+
+TEST_F(IntegrationOverhead, SafeMemIsCheapPurifyIsNot)
+{
+    // Table 3's shape: SafeMem single-digit-ish percent, Purify a
+    // multiple of the baseline, with orders of magnitude between them.
+    for (const std::string &app : {std::string("ypserv1"),
+                                   std::string("gzip")}) {
+        RunParams params = paramsFor(app, false);
+        RunResult base = runWorkload(app, ToolKind::None, params);
+        RunResult sm = runWorkload(app, ToolKind::SafeMemBoth, params);
+        RunResult purify = runWorkload(app, ToolKind::Purify, params);
+
+        double sm_overhead = overheadPercent(sm, base);
+        double purify_overhead = overheadPercent(purify, base);
+
+        EXPECT_GT(sm_overhead, 0.0) << app;
+        EXPECT_LT(sm_overhead, 25.0) << app;
+        EXPECT_GT(purify_overhead, 300.0) << app;
+        EXPECT_GT(purify_overhead / sm_overhead, 20.0) << app;
+    }
+}
+
+TEST_F(IntegrationOverhead, MlOnlyIsCheaperThanMcOnly)
+{
+    RunParams params = paramsFor("ypserv1", false);
+    RunResult base = runWorkload("ypserv1", ToolKind::None, params);
+    RunResult ml = runWorkload("ypserv1", ToolKind::SafeMemML, params);
+    RunResult mc = runWorkload("ypserv1", ToolKind::SafeMemMC, params);
+    EXPECT_LT(overheadPercent(ml, base), overheadPercent(mc, base));
+}
+
+using IntegrationSpace = QuietLogs;
+
+TEST_F(IntegrationSpace, EccWastesFarLessThanPageProtection)
+{
+    // Table 4's shape: page protection wastes ~64-74x more memory.
+    RunParams params = paramsFor("ypserv1", false);
+    RunResult ecc = runWorkload("ypserv1", ToolKind::SafeMemBoth, params);
+    RunResult page =
+        runWorkload("ypserv1", ToolKind::PageProtBoth, params);
+
+    ASSERT_GT(ecc.userBytes, 0u);
+    ASSERT_GT(page.userBytes, 0u);
+    double ratio = page.wastePercent() / ecc.wastePercent();
+    EXPECT_GT(ratio, 20.0);
+}
+
+using IntegrationPruning = QuietLogs;
+
+TEST_F(IntegrationPruning, EccPruningRemovesFalsePositives)
+{
+    // Table 5's shape: several suspected groups, almost all pruned.
+    RunResult r = runWorkload("ypserv1", ToolKind::SafeMemBoth,
+                              paramsFor("ypserv1", true));
+    EXPECT_GE(r.suspectedFalse, 2u);
+    EXPECT_LE(r.leakReportsFalse, 1u);
+    EXPECT_GT(r.prunedSuspects, 0u);
+}
+
+using IntegrationPurify = QuietLogs;
+
+TEST_F(IntegrationPurify, PurifyAlsoDetectsCorruptionBugs)
+{
+    for (const std::string &app : {std::string("gzip"),
+                                   std::string("tar"),
+                                   std::string("squid2")}) {
+        RunResult r = runWorkload(app, ToolKind::Purify,
+                                  paramsFor(app, true));
+        EXPECT_GE(r.corruptionTrue, 1u) << app;
+    }
+}
+
+TEST_F(IntegrationPurify, PurifyFindsLeakedBlocks)
+{
+    RunResult r = runWorkload("ypserv1", ToolKind::Purify,
+                              paramsFor("ypserv1", true));
+    EXPECT_GE(r.leakReportsTrue, 1u);
+}
+
+} // namespace
+} // namespace safemem

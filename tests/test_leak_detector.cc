@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the leak detector's §3 logic, driven with a fake
+ * backend and a hand-controlled clock so every threshold is exercised
+ * deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "safemem/leak_detector.h"
+#include "tests/fake_backend.h"
+
+namespace safemem {
+namespace {
+
+class LeakDetectorTest : public ::testing::Test
+{
+  protected:
+    LeakDetectorTest()
+    {
+        config.warmupTime = 1000;
+        config.checkingPeriod = 100;
+        config.minStableTime = 500;
+        config.aleakRecentWindow = 2000;
+        config.aleakLiveThreshold = 4;
+        config.aleakWatchCount = 2;
+        config.sleakTopK = 4;
+        config.sleakLifetimeMultiplier = 2.0;
+        config.lifetimeTolerance = 1.25;
+        config.leakReportThreshold = 5000;
+        config.suspectCooldown = 1000;
+        detector = std::make_unique<LeakDetector>(
+            config, backend, [this] { return now; });
+        backend.setFaultCallback(
+            [this](VirtAddr base, WatchKind kind, std::uint64_t,
+                   VirtAddr, bool) {
+                ASSERT_EQ(kind, WatchKind::LeakSuspect);
+                detector->onSuspectAccessed(base);
+            });
+    }
+
+    /** Allocate an object with a distinct 64-aligned address. */
+    VirtAddr
+    allocAt(std::uint64_t slot, std::size_t size = 64,
+            std::uint64_t sig = 1, std::uint64_t tag = 0)
+    {
+        VirtAddr addr = 0x100000 + slot * 0x1000;
+        detector->onAlloc(addr, size, sig, tag);
+        return addr;
+    }
+
+    SafeMemConfig config;
+    FakeBackend backend;
+    std::unique_ptr<LeakDetector> detector;
+    Cycles now = 0;
+};
+
+TEST_F(LeakDetectorTest, NoDetectionBeforeWarmup)
+{
+    // A never-freed group far over the live threshold, but still in
+    // warm-up: no suspicion.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        now += 10;
+        allocAt(i);
+    }
+    EXPECT_EQ(backend.watchCount, 0);
+}
+
+TEST_F(LeakDetectorTest, ALeakSuspectsOldestOfGrowingGroup)
+{
+    now = 2000;
+    std::vector<VirtAddr> addrs;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        addrs.push_back(allocAt(i));
+        now += 200;
+    }
+    // Growing, never freed, above threshold: the two oldest watched.
+    EXPECT_EQ(backend.watchCount, 2);
+    EXPECT_TRUE(backend.isWatched(addrs[0]));
+    EXPECT_TRUE(backend.isWatched(addrs[1]));
+}
+
+TEST_F(LeakDetectorTest, StaleGroupIsNotSuspected)
+{
+    now = 2000;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        allocAt(i);
+    // Long silence: group stopped growing before detection could run.
+    now += 50'000;
+    allocAt(100, 32, 2); // different group triggers a pass
+    EXPECT_EQ(backend.watchCount, 0)
+        << "init-time pool must not be suspected";
+}
+
+TEST_F(LeakDetectorTest, ALeakReportedAfterSilentThreshold)
+{
+    now = 2000;
+    std::vector<VirtAddr> addrs;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        addrs.push_back(allocAt(i, 64, 1, 0xbad));
+        now += 200;
+    }
+    ASSERT_EQ(backend.watchCount, 2);
+    now += config.leakReportThreshold + 100;
+    allocAt(50); // allocation drives the periodic check
+    ASSERT_EQ(detector->reports().size(), 1u);
+    EXPECT_EQ(detector->reports()[0].kind, LeakKind::Always);
+    EXPECT_EQ(detector->reports()[0].siteTag, 0xbadULL);
+    // One report per group, ever.
+    now += config.leakReportThreshold + 100;
+    allocAt(51);
+    EXPECT_EQ(detector->reports().size(), 1u);
+}
+
+TEST_F(LeakDetectorTest, AccessPrunesSuspectAndSetsCooldown)
+{
+    now = 2000;
+    std::vector<VirtAddr> addrs;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        addrs.push_back(allocAt(i));
+        now += 200;
+    }
+    ASSERT_TRUE(backend.isWatched(addrs[0]));
+    backend.fireAccess(addrs[0]);
+    EXPECT_EQ(detector->prunedSuspects(), 1u);
+
+    // During the cooldown no fresh suspicion is placed.
+    int watches = backend.watchCount;
+    now += 100;
+    allocAt(60);
+    EXPECT_EQ(backend.watchCount, watches);
+
+    // After the cooldown the group may be suspected again.
+    now += config.suspectCooldown + 200;
+    allocAt(61);
+    EXPECT_GT(backend.watchCount, watches);
+}
+
+TEST_F(LeakDetectorTest, FreeingASuspectPrunesIt)
+{
+    now = 2000;
+    std::vector<VirtAddr> addrs;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        addrs.push_back(allocAt(i));
+        now += 200;
+    }
+    ASSERT_TRUE(backend.isWatched(addrs[0]));
+    detector->onFree(addrs[0]);
+    EXPECT_FALSE(backend.isWatched(addrs[0]));
+    EXPECT_EQ(detector->prunedSuspects(), 1u);
+}
+
+TEST_F(LeakDetectorTest, SLeakOutlierSuspectedOnceStable)
+{
+    // Build a group with a stable max lifetime of ~300 cycles.
+    now = 2000;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        VirtAddr addr = allocAt(i, 128, 7);
+        now += 300;
+        detector->onFree(addr);
+    }
+    // One object that lives on.
+    VirtAddr straggler = allocAt(40, 128, 7);
+    // Keep the group deallocating so stability accumulates.
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        VirtAddr addr = allocAt(50 + i, 128, 7);
+        now += 300;
+        detector->onFree(addr);
+    }
+    // Straggler is now far past 2x the stable maximum.
+    EXPECT_TRUE(backend.isWatched(straggler));
+    EXPECT_EQ(detector->stats().get("sleak_suspicions"), 1u);
+}
+
+TEST_F(LeakDetectorTest, SLeakNeedsStability)
+{
+    config.minStableTime = 1'000'000; // never satisfiable in this test
+    now = 2000;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        VirtAddr addr = allocAt(i, 128, 7);
+        now += 300;
+        detector->onFree(addr);
+    }
+    VirtAddr straggler = allocAt(40, 128, 7);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        VirtAddr addr = allocAt(50 + i, 128, 7);
+        now += 300;
+        detector->onFree(addr);
+    }
+    EXPECT_FALSE(backend.isWatched(straggler))
+        << "condition 2 (stable max) must gate SLeak suspicion";
+}
+
+TEST_F(LeakDetectorTest, PrunedSLeakSuspectGetsClockReset)
+{
+    now = 2000;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        VirtAddr addr = allocAt(i, 128, 7);
+        now += 300;
+        detector->onFree(addr);
+    }
+    VirtAddr straggler = allocAt(40, 128, 7);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        VirtAddr addr = allocAt(50 + i, 128, 7);
+        now += 300;
+        detector->onFree(addr);
+    }
+    ASSERT_TRUE(backend.isWatched(straggler));
+
+    Cycles living = now - 2000; // roughly the straggler's age
+    backend.fireAccess(straggler);
+    // §3.2.3: allocation time reset and group max raised to the
+    // suspect's living time, so similar long-lived objects stop being
+    // flagged.
+    auto stability = detector->stabilityData();
+    bool found = false;
+    for (const auto &entry : stability) {
+        if (entry.key.signature == 7) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    (void)living;
+    // Immediately after the prune the straggler is not re-suspected.
+    now += config.suspectCooldown + 1000;
+    allocAt(90, 128, 7);
+    EXPECT_FALSE(backend.isWatched(straggler));
+}
+
+TEST_F(LeakDetectorTest, SuspectedGroupsCountedOnceForTable5)
+{
+    now = 2000;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        allocAt(i, 64, 1, 0x11);
+        now += 200;
+    }
+    // Multiple suspicion rounds on the same group.
+    backend.fireAccess(0x100000);
+    now += config.suspectCooldown + 500;
+    allocAt(70, 64, 1, 0x11);
+    EXPECT_EQ(detector->suspectedGroupReports().size(), 1u);
+}
+
+TEST_F(LeakDetectorTest, FinishReportsOverdueSuspects)
+{
+    now = 2000;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        allocAt(i, 64, 1, 0xbad);
+        now += 200;
+    }
+    ASSERT_EQ(backend.watchCount, 2);
+    now += config.leakReportThreshold + 1;
+    detector->finish();
+    EXPECT_EQ(detector->reports().size(), 1u);
+    EXPECT_EQ(backend.regionCount(), 0u) << "finish drops all watches";
+}
+
+TEST_F(LeakDetectorTest, FreeOfUntrackedObjectPanics)
+{
+    EXPECT_THROW(detector->onFree(0xdead000), PanicError);
+}
+
+TEST_F(LeakDetectorTest, TracksObjectLifecycle)
+{
+    VirtAddr addr = allocAt(0);
+    EXPECT_TRUE(detector->tracksObject(addr));
+    detector->onFree(addr);
+    EXPECT_FALSE(detector->tracksObject(addr));
+}
+
+TEST_F(LeakDetectorTest, GroupsSplitBySizeAndSignature)
+{
+    allocAt(0, 64, 1);
+    allocAt(1, 64, 2);
+    allocAt(2, 128, 1);
+    EXPECT_EQ(detector->stats().get("groups_created"), 3u);
+    allocAt(3, 64, 1);
+    EXPECT_EQ(detector->stats().get("groups_created"), 3u);
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Test entry point: silence inform/warn/panic logging so the many
+ * negative-path tests (which intentionally trigger panics) keep the
+ * output readable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    safemem::setLogQuiet(true);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the page table, including the swap-transition bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "os/page_table.h"
+
+namespace safemem {
+namespace {
+
+TEST(PageTable, MapFindUnmap)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    PageTableEntry *entry = table.find(0x10000000);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->frame, 0x4000u);
+    EXPECT_TRUE(entry->present);
+    EXPECT_TRUE(entry->accessible);
+    EXPECT_EQ(entry->pinCount, 0u);
+
+    table.unmap(0x10000000);
+    EXPECT_EQ(table.find(0x10000000), nullptr);
+}
+
+TEST(PageTable, ReverseLookup)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    table.map(0x10001000, 0x8000);
+    EXPECT_EQ(table.reverse(0x4000).value(), 0x10000000u);
+    EXPECT_EQ(table.reverse(0x8000).value(), 0x10001000u);
+    EXPECT_FALSE(table.reverse(0xc000).has_value());
+}
+
+TEST(PageTable, UnalignedMapPanics)
+{
+    PageTable table;
+    EXPECT_THROW(table.map(0x10000100, 0x4000), PanicError);
+    EXPECT_THROW(table.map(0x10000000, 0x4100), PanicError);
+}
+
+TEST(PageTable, DoubleMapPanics)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    EXPECT_THROW(table.map(0x10000000, 0x8000), PanicError);
+}
+
+TEST(PageTable, UnmapMissingPanics)
+{
+    PageTable table;
+    EXPECT_THROW(table.unmap(0x10000000), PanicError);
+}
+
+TEST(PageTable, SwapTransitionsMaintainReverseMap)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    table.markSwappedOut(0x10000000);
+    EXPECT_FALSE(table.find(0x10000000)->present);
+    EXPECT_FALSE(table.reverse(0x4000).has_value());
+
+    table.markSwappedIn(0x10000000, 0xc000);
+    EXPECT_TRUE(table.find(0x10000000)->present);
+    EXPECT_EQ(table.find(0x10000000)->frame, 0xc000u);
+    EXPECT_EQ(table.reverse(0xc000).value(), 0x10000000u);
+}
+
+TEST(PageTable, CannotSwapOutPinnedPage)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    table.find(0x10000000)->pinCount = 1;
+    EXPECT_THROW(table.markSwappedOut(0x10000000), PanicError);
+}
+
+TEST(PageTable, CannotSwapOutTwice)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    table.markSwappedOut(0x10000000);
+    EXPECT_THROW(table.markSwappedOut(0x10000000), PanicError);
+    table.markSwappedIn(0x10000000, 0x4000);
+    EXPECT_THROW(table.markSwappedIn(0x10000000, 0x8000), PanicError);
+}
+
+TEST(PageTable, ForEachVisitsAllEntries)
+{
+    PageTable table;
+    table.map(0x10000000, 0x4000);
+    table.map(0x10001000, 0x8000);
+    std::size_t count = 0;
+    table.forEach([&](VirtAddr, const PageTableEntry &) { ++count; });
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the Purify model: shadow states, per-access checking,
+ * bounds/dangling detection, uninitialised reads, mark-and-sweep leak
+ * scanning, and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc/heap_allocator.h"
+#include "common/costs.h"
+#include "common/logging.h"
+#include "purify/purify.h"
+#include "purify/shadow_memory.h"
+
+namespace safemem {
+namespace {
+
+constexpr std::uint64_t
+kHighBit()
+{
+    return 1ULL << 63;
+}
+
+TEST(ShadowMemory, DefaultStateIsUnallocated)
+{
+    ShadowMemory shadow;
+    EXPECT_EQ(shadow.get(0x1000), ByteState::Unallocated);
+    EXPECT_FALSE(shadow.covered(0x1000));
+}
+
+TEST(ShadowMemory, SetRangeRoundTrip)
+{
+    ShadowMemory shadow;
+    shadow.setRange(0x1000, 10, ByteState::AllocUninit);
+    shadow.setRange(0x1005, 2, ByteState::AllocInit);
+    EXPECT_EQ(shadow.get(0x1000), ByteState::AllocUninit);
+    EXPECT_EQ(shadow.get(0x1005), ByteState::AllocInit);
+    EXPECT_EQ(shadow.get(0x1006), ByteState::AllocInit);
+    EXPECT_EQ(shadow.get(0x1007), ByteState::AllocUninit);
+    EXPECT_EQ(shadow.get(0x100a), ByteState::Unallocated);
+}
+
+TEST(ShadowMemory, CrossPageRange)
+{
+    ShadowMemory shadow;
+    shadow.setRange(kPageSize - 4, 8, ByteState::Freed);
+    EXPECT_EQ(shadow.get(kPageSize - 1), ByteState::Freed);
+    EXPECT_EQ(shadow.get(kPageSize), ByteState::Freed);
+    EXPECT_EQ(shadow.get(kPageSize + 3), ByteState::Freed);
+    EXPECT_EQ(shadow.get(kPageSize + 4), ByteState::Unallocated);
+}
+
+TEST(ShadowMemory, TwoBitsPerByteAccounting)
+{
+    ShadowMemory shadow;
+    shadow.setRange(0, 1, ByteState::AllocInit);
+    EXPECT_EQ(shadow.shadowBytes(), kPageSize / 4);
+}
+
+class PurifyTest : public ::testing::Test
+{
+  protected:
+    PurifyTest()
+        : machine(MachineConfig{16u << 20, CacheConfig{32, 4}, 64}),
+          allocator(machine), purify(machine, allocator)
+    {
+        purify.install();
+        purify.setRootProvider([this] { return roots; });
+    }
+
+    VirtAddr
+    alloc(std::size_t size, std::uint64_t tag = 0)
+    {
+        VirtAddr addr = purify.toolAlloc(size, stack, tag);
+        roots.push_back(addr);
+        return addr;
+    }
+
+    void
+    dropRoot(VirtAddr addr)
+    {
+        roots.erase(std::find(roots.begin(), roots.end(), addr));
+    }
+
+    Machine machine;
+    HeapAllocator allocator;
+    PurifyTool purify;
+    ShadowStack stack;
+    std::vector<VirtAddr> roots;
+};
+
+TEST_F(PurifyTest, CleanUsageReportsNothing)
+{
+    VirtAddr addr = alloc(100);
+    std::vector<std::uint8_t> data(100, 1);
+    machine.write(addr, data.data(), data.size());
+    machine.read(addr, data.data(), data.size());
+    purify.toolFree(addr);
+    EXPECT_TRUE(purify.corruptionReports().empty());
+    EXPECT_EQ(purify.uninitReads(), 0u);
+}
+
+TEST_F(PurifyTest, OverflowIntoRedZoneReported)
+{
+    VirtAddr addr = alloc(64, 0x31);
+    std::uint64_t v = 1;
+    machine.write(addr + 64, &v, 8);
+    ASSERT_EQ(purify.corruptionReports().size(), 1u);
+    EXPECT_EQ(purify.corruptionReports()[0].kind,
+              CorruptionKind::OverflowPadding);
+    EXPECT_EQ(purify.corruptionReports()[0].siteTag, 0x31ULL);
+}
+
+TEST_F(PurifyTest, AccessSpanningEndAttributedToBlock)
+{
+    // A write that starts inside the block and runs past its end must
+    // be diagnosed from the first violating byte.
+    VirtAddr addr = alloc(60, 0x32);
+    std::uint8_t data[16] = {};
+    machine.write(addr + 52, data, 16);
+    ASSERT_EQ(purify.corruptionReports().size(), 1u);
+    EXPECT_EQ(purify.corruptionReports()[0].siteTag, 0x32ULL);
+    EXPECT_EQ(purify.corruptionReports()[0].faultAddr, addr + 60);
+}
+
+TEST_F(PurifyTest, UnderflowReported)
+{
+    VirtAddr addr = alloc(64, 0x33);
+    std::uint64_t v;
+    machine.read(addr - 8, &v, 8);
+    ASSERT_EQ(purify.corruptionReports().size(), 1u);
+    EXPECT_EQ(purify.corruptionReports()[0].kind,
+              CorruptionKind::UnderflowPadding);
+}
+
+TEST_F(PurifyTest, UseAfterFreeReported)
+{
+    VirtAddr addr = alloc(128, 0x34);
+    std::uint64_t v = 9;
+    machine.write(addr, &v, 8);
+    dropRoot(addr);
+    purify.toolFree(addr);
+    machine.read(addr, &v, 8);
+    ASSERT_GE(purify.corruptionReports().size(), 1u);
+    EXPECT_EQ(purify.corruptionReports()[0].kind,
+              CorruptionKind::UseAfterFree);
+    EXPECT_EQ(purify.corruptionReports()[0].siteTag, 0x34ULL);
+}
+
+TEST_F(PurifyTest, DuplicateReportsSuppressed)
+{
+    VirtAddr addr = alloc(64, 0x35);
+    std::uint64_t v = 1;
+    machine.write(addr + 64, &v, 8);
+    machine.write(addr + 64, &v, 8);
+    machine.write(addr + 72, &v, 8);
+    EXPECT_EQ(purify.corruptionReports().size(), 1u);
+}
+
+TEST_F(PurifyTest, UninitializedReadCounted)
+{
+    VirtAddr addr = alloc(64);
+    std::uint64_t v;
+    machine.read(addr, &v, 8);
+    EXPECT_EQ(purify.uninitReads(), 1u);
+    machine.write(addr, &v, 8);
+    machine.read(addr, &v, 8);
+    EXPECT_EQ(purify.uninitReads(), 1u) << "initialised now";
+}
+
+TEST_F(PurifyTest, CallocCountsAsInitialised)
+{
+    VirtAddr addr = purify.toolCalloc(8, 8, stack, 0);
+    roots.push_back(addr);
+    std::uint64_t v;
+    machine.read(addr, &v, 8);
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(purify.uninitReads(), 0u);
+}
+
+TEST_F(PurifyTest, ReallocPreservesDataAndStates)
+{
+    VirtAddr addr = alloc(32);
+    std::uint64_t v = 0x4242;
+    machine.write(addr, &v, 8);
+    VirtAddr grown = purify.toolRealloc(addr, 128, stack, 0);
+    roots.push_back(grown);
+    dropRoot(addr);
+    std::uint64_t out;
+    machine.read(grown, &out, 8);
+    EXPECT_EQ(out, 0x4242u);
+    EXPECT_EQ(purify.uninitReads(), 0u) << "copied prefix initialised";
+}
+
+TEST_F(PurifyTest, MarkAndSweepFindsUnreachableBlock)
+{
+    VirtAddr reachable = alloc(64, 0x1);
+    VirtAddr leaked = alloc(64, 0x2 | kHighBit());
+    dropRoot(leaked); // the program forgot its last reference
+    purify.finish();  // runs a final sweep
+
+    ASSERT_EQ(purify.leakReports().size(), 1u);
+    EXPECT_EQ(purify.leakReports()[0].siteTag, 0x2ULL | kHighBit());
+    (void)reachable;
+}
+
+TEST_F(PurifyTest, MarkAndSweepFollowsHeapPointers)
+{
+    // root -> A, A contains a pointer to B: B is reachable.
+    VirtAddr a = alloc(64);
+    VirtAddr b = alloc(64);
+    machine.store<std::uint64_t>(a, b);
+    dropRoot(b); // only reachable through A's contents now
+    purify.finish();
+    EXPECT_TRUE(purify.leakReports().empty());
+}
+
+TEST_F(PurifyTest, ConservativeInteriorPointerKeepsBlockAlive)
+{
+    VirtAddr a = alloc(64);
+    VirtAddr b = alloc(64);
+    machine.store<std::uint64_t>(a, b + 32); // interior pointer
+    dropRoot(b);
+    purify.finish();
+    EXPECT_TRUE(purify.leakReports().empty());
+}
+
+TEST_F(PurifyTest, PerAccessCheckingIsCharged)
+{
+    VirtAddr addr = alloc(64);
+    std::uint64_t v = 0;
+    Cycles before = machine.clock().charged(CostCenter::ToolAccess);
+    machine.read(addr, &v, 8);
+    Cycles delta =
+        machine.clock().charged(CostCenter::ToolAccess) - before;
+    EXPECT_GE(delta, kPurifyCheckCycles);
+}
+
+TEST_F(PurifyTest, ComputeMultiplierCharged)
+{
+    Cycles before = machine.clock().charged(CostCenter::ToolAccess);
+    purify.onCompute(1000);
+    Cycles delta =
+        machine.clock().charged(CostCenter::ToolAccess) - before;
+    EXPECT_EQ(delta, 7000u) << "8x total at the default factor";
+}
+
+TEST_F(PurifyTest, SweepCostScalesWithHeap)
+{
+    for (int i = 0; i < 50; ++i)
+        alloc(1024);
+    Cycles before = machine.clock().charged(CostCenter::ToolLeak);
+    purify.finish();
+    Cycles delta =
+        machine.clock().charged(CostCenter::ToolLeak) - before;
+    EXPECT_GE(delta, 50 * (1024 / 8) * kPurifySweepWordCycles);
+}
+
+} // namespace
+} // namespace safemem

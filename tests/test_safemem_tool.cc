@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the SafeMemTool facade: wrapper routing, configuration
+ * combinations, cost attribution, and the calloc/realloc paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/heap_allocator.h"
+#include "common/logging.h"
+#include "safemem/safemem.h"
+#include "safemem/watch_manager.h"
+
+namespace safemem {
+namespace {
+
+class SafeMemToolTest : public ::testing::Test
+{
+  protected:
+    SafeMemToolTest()
+        : machine(MachineConfig{32u << 20, CacheConfig{32, 4}, 64}),
+          allocator(machine), backend(machine)
+    {
+        backend.installFaultHandler();
+        backend.installScrubHooks();
+    }
+
+    std::unique_ptr<SafeMemTool>
+    makeTool(bool ml, bool mc)
+    {
+        SafeMemConfig config;
+        config.detectLeaks = ml;
+        config.detectCorruption = mc;
+        return std::make_unique<SafeMemTool>(machine, allocator, backend,
+                                             config);
+    }
+
+    Machine machine;
+    HeapAllocator allocator;
+    EccWatchManager backend;
+    ShadowStack stack;
+};
+
+TEST_F(SafeMemToolTest, MlOnlyAlignsToGranuleWithoutGuards)
+{
+    auto tool = makeTool(true, false);
+    VirtAddr addr = tool->toolAlloc(100, stack, 0);
+    EXPECT_TRUE(isAligned(addr, kCacheLineSize));
+    EXPECT_EQ(backend.regionCount(), 0u) << "no guards in ML-only mode";
+    tool->toolFree(addr);
+    tool->finish();
+}
+
+TEST_F(SafeMemToolTest, McOnlyPlacesGuards)
+{
+    auto tool = makeTool(false, true);
+    VirtAddr addr = tool->toolAlloc(100, stack, 0);
+    EXPECT_EQ(backend.regionCount(), 2u);
+    tool->toolFree(addr);
+    EXPECT_EQ(backend.regionCount(), 1u) << "freed-body watch remains";
+    tool->finish();
+    EXPECT_EQ(backend.regionCount(), 0u);
+}
+
+TEST_F(SafeMemToolTest, DisabledDetectorAccessorsPanic)
+{
+    auto ml = makeTool(true, false);
+    EXPECT_THROW(ml->corruptionDetector(), PanicError);
+    auto mc = makeTool(false, true);
+    EXPECT_THROW(mc->leakDetector(), PanicError);
+}
+
+TEST_F(SafeMemToolTest, CallocZeroesThroughGuards)
+{
+    auto tool = makeTool(true, true);
+    VirtAddr addr = tool->toolCalloc(16, 8, stack, 0);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(machine.load<std::uint64_t>(addr + i * 8), 0u);
+    EXPECT_TRUE(tool->corruptionDetector().reports().empty());
+    tool->toolFree(addr);
+    tool->finish();
+}
+
+TEST_F(SafeMemToolTest, ReallocKeepsBothDetectorsConsistent)
+{
+    auto tool = makeTool(true, true);
+    VirtAddr addr = tool->toolAlloc(64, stack, 0);
+    machine.store<std::uint64_t>(addr, 0xfaceULL);
+
+    VirtAddr grown = tool->toolRealloc(addr, 4096, stack, 0);
+    EXPECT_EQ(machine.load<std::uint64_t>(grown), 0xfaceULL);
+    // The old body is watched as freed; guards protect the new block.
+    machine.store<std::uint64_t>(grown + 4096, 1);
+    ASSERT_EQ(tool->corruptionDetector().reports().size(), 1u);
+    EXPECT_EQ(tool->corruptionDetector().reports()[0].kind,
+              CorruptionKind::OverflowPadding);
+    tool->toolFree(grown);
+    tool->finish();
+}
+
+TEST_F(SafeMemToolTest, ReallocFromNullIsAlloc)
+{
+    auto tool = makeTool(true, true);
+    VirtAddr addr = tool->toolRealloc(0, 128, stack, 0);
+    EXPECT_TRUE(tool->corruptionDetector().owns(addr));
+    tool->toolFree(addr);
+    tool->finish();
+}
+
+TEST_F(SafeMemToolTest, OverheadLandsInToolBuckets)
+{
+    auto tool = makeTool(true, true);
+    Cycles app0 = machine.clock().charged(CostCenter::Application);
+    VirtAddr addr = tool->toolAlloc(64, stack, 0);
+    tool->toolFree(addr);
+    tool->finish();
+    EXPECT_GT(machine.clock().charged(CostCenter::ToolCorruption), 0u);
+    EXPECT_GT(machine.clock().charged(CostCenter::ToolLeak), 0u);
+    EXPECT_EQ(machine.clock().charged(CostCenter::Application), app0)
+        << "no tool work billed to the application";
+}
+
+TEST_F(SafeMemToolTest, LeakSuspectOverAGuardedBufferStillPrunes)
+{
+    // ML + MC together: a long-lived guarded buffer becomes a leak
+    // suspect; its body watch must coexist with the guards and the
+    // pruning access must restore normal operation.
+    SafeMemConfig config;
+    config.detectLeaks = true;
+    config.detectCorruption = true;
+    config.warmupTime = 1000;
+    config.checkingPeriod = 500;
+    config.minStableTime = 2000;
+    config.leakReportThreshold = 1'000'000;
+    config.suspectCooldown = 5000;
+    SafeMemTool tool(machine, allocator, backend, config);
+
+    // Establish a short stable lifetime for the group.
+    for (int i = 0; i < 8; ++i) {
+        VirtAddr addr = tool.toolAlloc(128, stack, 0);
+        machine.store<std::uint64_t>(addr, 1);
+        machine.compute(3'000);
+        tool.toolFree(addr);
+    }
+    // A straggler that outlives the maximum by far.
+    VirtAddr straggler = tool.toolAlloc(128, stack, 0);
+    machine.store<std::uint64_t>(straggler, 2);
+    for (int i = 0; i < 12; ++i) {
+        VirtAddr addr = tool.toolAlloc(128, stack, 0);
+        machine.compute(3'000);
+        tool.toolFree(addr);
+    }
+    EXPECT_GT(tool.leakDetector().stats().get("suspects_watched"), 0u);
+
+    // Touching the straggler prunes the suspicion; the buffer stays
+    // fully usable and guarded.
+    EXPECT_EQ(machine.load<std::uint64_t>(straggler), 2u);
+    EXPECT_EQ(tool.leakDetector().prunedSuspects(), 1u);
+    machine.store<std::uint64_t>(straggler + 128, 9); // overflow
+    EXPECT_EQ(tool.corruptionDetector().reports().size(), 1u);
+    tool.toolFree(straggler);
+    tool.finish();
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Randomized end-to-end stress tests: long random alloc/access/free
+ * sequences under full SafeMem, mirrored in host memory, over both
+ * watch backends. Invariants:
+ *
+ *  - no corruption report is ever emitted for a well-behaved program;
+ *  - every read returns exactly what the mirror predicts, through any
+ *    amount of watch/unwatch churn, suspect pruning and block reuse;
+ *  - the backend ends the run with zero live watches after finish().
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "pageprot/page_watch.h"
+#include "safemem/safemem.h"
+#include "safemem/watch_manager.h"
+
+namespace safemem {
+namespace {
+
+enum class BackendKind
+{
+    Ecc,
+    Page
+};
+
+class StressTest : public ::testing::TestWithParam<BackendKind>
+{
+};
+
+TEST_P(StressTest, WellBehavedProgramSurvivesWatchChurn)
+{
+    Machine machine(MachineConfig{256u << 20, CacheConfig{64, 4}, 64});
+    HeapAllocator allocator(machine);
+
+    std::unique_ptr<EccWatchManager> ecc;
+    std::unique_ptr<PageWatchBackend> page;
+    WatchBackend *backend;
+    if (GetParam() == BackendKind::Ecc) {
+        ecc = std::make_unique<EccWatchManager>(machine);
+        ecc->installFaultHandler();
+        ecc->installScrubHooks();
+        backend = ecc.get();
+    } else {
+        page = std::make_unique<PageWatchBackend>(machine);
+        page->install();
+        backend = page.get();
+    }
+
+    SafeMemConfig config;
+    config.warmupTime = 50'000;
+    config.checkingPeriod = 5'000;
+    config.minStableTime = 20'000;
+    config.aleakLiveThreshold = 32;
+    config.leakReportThreshold = 500'000;
+    config.suspectCooldown = 50'000;
+    SafeMemTool tool(machine, allocator, *backend, config);
+    ShadowStack stack;
+
+    struct Block
+    {
+        std::size_t size;
+        std::uint8_t fill;
+    };
+    std::map<VirtAddr, Block> live;
+    Rng rng(GetParam() == BackendKind::Ecc ? 101 : 202);
+
+    auto verify = [&](VirtAddr addr, const Block &block) {
+        std::vector<std::uint8_t> data(block.size);
+        machine.read(addr, data.data(), data.size());
+        for (std::uint8_t byte : data)
+            ASSERT_EQ(byte, block.fill);
+    };
+
+    // A few long-lived blocks that get touched occasionally — suspect
+    // pruning fodder.
+    std::vector<VirtAddr> elders;
+    for (int i = 0; i < 6; ++i) {
+        FrameGuard frame(stack, 0x600000 + i * 0x40);
+        VirtAddr addr = tool.toolAlloc(96, stack, 0);
+        machine.store<std::uint64_t>(addr, 42);
+        elders.push_back(addr);
+    }
+
+    const int kOps = GetParam() == BackendKind::Ecc ? 1500 : 500;
+    for (int op = 0; op < kOps; ++op) {
+        machine.compute(2'000);
+        double dice = rng.real();
+        if (dice < 0.45 || live.empty()) {
+            FrameGuard frame(stack, 0x700000 +
+                             (rng.range(0, 3)) * 0x40);
+            Block block;
+            block.size = rng.range(1, 1500);
+            block.fill = static_cast<std::uint8_t>(rng.next());
+            VirtAddr addr = tool.toolAlloc(block.size, stack, 0);
+            std::vector<std::uint8_t> data(block.size, block.fill);
+            machine.write(addr, data.data(), data.size());
+            live[addr] = block;
+        } else if (dice < 0.75) {
+            auto it = live.begin();
+            std::advance(it, rng.range(0, live.size() - 1));
+            verify(it->first, it->second);
+        } else if (dice < 0.9) {
+            auto it = live.begin();
+            std::advance(it, rng.range(0, live.size() - 1));
+            verify(it->first, it->second);
+            tool.toolFree(it->first);
+            live.erase(it);
+        } else {
+            // Touch an elder (prunes any pending suspicion).
+            VirtAddr elder = elders[rng.range(0, elders.size() - 1)];
+            ASSERT_EQ(machine.load<std::uint64_t>(elder), 42u);
+        }
+    }
+
+    for (const auto &[addr, block] : live) {
+        verify(addr, block);
+        tool.toolFree(addr);
+    }
+    for (VirtAddr elder : elders)
+        tool.toolFree(elder);
+    tool.finish();
+
+    EXPECT_TRUE(tool.corruptionDetector().reports().empty())
+        << "a well-behaved program must produce no corruption reports";
+    EXPECT_EQ(tool.leakDetector().reports().size(), 0u);
+    EXPECT_EQ(backend->regionCount(), 0u);
+    EXPECT_EQ(allocator.liveBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StressTest,
+                         ::testing::Values(BackendKind::Ecc,
+                                           BackendKind::Page),
+                         [](const auto &info) {
+                             return info.param == BackendKind::Ecc
+                                        ? "Ecc"
+                                        : "PageProtection";
+                         });
+
+TEST(StressScrub, WatchChurnUnderActiveScrubbing)
+{
+    // Scrubbing fires repeatedly while watches come and go; data stays
+    // intact and no spurious faults reach the detectors. The period
+    // must exceed the cost of a full-DRAM scrub pass or passes fire
+    // back to back (2 MiB = 256 Ki ECC groups x 2 cycles = 512 Ki
+    // cycles per pass).
+    Machine machine(MachineConfig{2u << 20, CacheConfig{32, 4}, 32});
+    HeapAllocator allocator(machine);
+    EccWatchManager backend(machine);
+    backend.installFaultHandler();
+    backend.installScrubHooks();
+
+    SafeMemConfig config;
+    config.detectLeaks = false;
+    SafeMemTool tool(machine, allocator, backend, config);
+    ShadowStack stack;
+    machine.kernel().enableScrubbing(2'000'000);
+
+    Rng rng(5);
+    std::map<VirtAddr, std::uint8_t> live;
+    for (int op = 0; op < 400; ++op) {
+        machine.compute(3'000);
+        if (rng.chance(0.6) || live.empty()) {
+            std::uint8_t fill = static_cast<std::uint8_t>(rng.next());
+            VirtAddr addr = tool.toolAlloc(200, stack, 0);
+            std::vector<std::uint8_t> data(200, fill);
+            machine.write(addr, data.data(), data.size());
+            live[addr] = fill;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.range(0, live.size() - 1));
+            std::vector<std::uint8_t> data(200);
+            machine.read(it->first, data.data(), data.size());
+            for (std::uint8_t byte : data)
+                ASSERT_EQ(byte, it->second);
+            tool.toolFree(it->first);
+            live.erase(it);
+        }
+    }
+    for (const auto &[addr, fill] : live)
+        tool.toolFree(addr);
+    tool.finish();
+
+    EXPECT_GT(machine.kernel().stats().get("scrub_passes"), 0u);
+    EXPECT_TRUE(tool.corruptionDetector().reports().empty());
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the TLB model and its integration with the kernel's
+ * translation path and mprotect shootdowns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/costs.h"
+#include "os/machine.h"
+#include "os/tlb.h"
+
+namespace safemem {
+namespace {
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb tlb(4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_EQ(tlb.stats().get("hits"), 1u);
+    EXPECT_EQ(tlb.stats().get("misses"), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000);  // 0x2000 becomes LRU
+    tlb.access(0x3000);  // evicts 0x2000
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, FlushEmptiesEverything)
+{
+    Tlb tlb(4);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+    EXPECT_EQ(tlb.stats().get("flushes"), 1u);
+}
+
+TEST(Tlb, SinglePageInvalidation)
+{
+    Tlb tlb(4);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.invalidate(0x1000);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x2000));
+}
+
+TEST(TlbIntegration, RepeatedAccessesMissOnce)
+{
+    Machine machine(MachineConfig{4u << 20, CacheConfig{16, 2}, 1024});
+    VirtAddr base = machine.kernel().mapRegion(kPageSize);
+    for (int i = 0; i < 10; ++i)
+        machine.store<std::uint64_t>(base + i * 8, 1);
+    EXPECT_EQ(machine.kernel().tlb().stats().get("misses"), 1u);
+    EXPECT_EQ(machine.kernel().tlb().stats().get("hits"), 9u);
+}
+
+TEST(TlbIntegration, MissChargesAWalk)
+{
+    Machine machine(MachineConfig{4u << 20, CacheConfig{16, 2}, 1024});
+    VirtAddr base = machine.kernel().mapRegion(2 * kPageSize);
+    machine.store<std::uint64_t>(base, 1); // miss + cache miss
+    Cycles t0 = machine.clock().now();
+    machine.store<std::uint64_t>(base + 8, 1); // TLB hit, cache hit
+    Cycles hit_cost = machine.clock().now() - t0;
+    t0 = machine.clock().now();
+    machine.store<std::uint64_t>(base + kPageSize, 1); // TLB miss
+    Cycles miss_cost = machine.clock().now() - t0;
+    EXPECT_EQ(miss_cost - hit_cost,
+              kTlbMissCycles + kDramLineCycles + kCacheMissMgmtCycles -
+                  kCacheHitCycles)
+        << "page walk plus the line fill, less the cache hit";
+}
+
+TEST(TlbIntegration, MprotectShootsTheTlbDown)
+{
+    Machine machine(MachineConfig{4u << 20, CacheConfig{16, 2}, 1024});
+    VirtAddr base = machine.kernel().mapRegion(kPageSize);
+    machine.store<std::uint64_t>(base, 1);
+    std::uint64_t misses =
+        machine.kernel().tlb().stats().get("misses");
+
+    machine.kernel().mprotectRange(base, kPageSize, true);
+    machine.store<std::uint64_t>(base, 2);
+    EXPECT_EQ(machine.kernel().tlb().stats().get("misses"), misses + 1)
+        << "the shootdown forces a fresh walk";
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Adversarial edge cases around the cache/watch interplay and detector
+ * coexistence that the straight-line tests do not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/heap_allocator.h"
+#include "common/logging.h"
+#include "safemem/safemem.h"
+#include "safemem/watch_manager.h"
+
+namespace safemem {
+namespace {
+
+class WatchEdgeTest : public ::testing::Test
+{
+  protected:
+    WatchEdgeTest()
+        : machine(MachineConfig{8u << 20, CacheConfig{16, 2}, 64}),
+          manager(machine)
+    {
+        manager.installFaultHandler();
+        manager.setFaultCallback([this](VirtAddr base, WatchKind,
+                                        std::uint64_t, VirtAddr, bool) {
+            faults.push_back(base);
+        });
+        region = machine.kernel().mapRegion(2 * kPageSize);
+    }
+
+    Machine machine;
+    EccWatchManager manager;
+    VirtAddr region = 0;
+    std::vector<VirtAddr> faults;
+};
+
+TEST_F(WatchEdgeTest, DirtyCachedDataSurvivesWatchCycle)
+{
+    // The line is dirty in the cache with data NEWER than memory when
+    // the watch is placed: the flush-before-scramble ordering must
+    // capture the new data, and the first access must return it.
+    machine.store<std::uint64_t>(region, 0x1111ULL); // now cached dirty
+    manager.watch(region, kCacheLineSize, WatchKind::FreedBuffer, 1);
+    EXPECT_EQ(machine.load<std::uint64_t>(region), 0x1111ULL);
+    EXPECT_EQ(faults.size(), 1u);
+}
+
+TEST_F(WatchEdgeTest, AdjacentRegionsFaultIndependently)
+{
+    manager.watch(region, kCacheLineSize, WatchKind::GuardFront, 1);
+    manager.watch(region + kCacheLineSize, kCacheLineSize,
+                  WatchKind::GuardRear, 2);
+
+    machine.load<std::uint64_t>(region + kCacheLineSize);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0], region + kCacheLineSize);
+    EXPECT_TRUE(manager.isWatched(region)) << "neighbour stays armed";
+
+    machine.load<std::uint64_t>(region);
+    EXPECT_EQ(faults.size(), 2u);
+}
+
+TEST_F(WatchEdgeTest, MultiLineRegionFaultsOnceAsAWhole)
+{
+    manager.watch(region, 4 * kCacheLineSize, WatchKind::FreedBuffer, 1);
+    machine.load<std::uint64_t>(region + 2 * kCacheLineSize);
+    EXPECT_EQ(faults.size(), 1u);
+    // The whole region was released: other lines no longer fault.
+    machine.load<std::uint64_t>(region);
+    machine.load<std::uint64_t>(region + 3 * kCacheLineSize);
+    EXPECT_EQ(faults.size(), 1u);
+}
+
+TEST_F(WatchEdgeTest, AccessSpanningIntoWatchedLineFaults)
+{
+    // A multi-line read that merely ENDS inside a watched line must
+    // still fault and then complete.
+    machine.store<std::uint64_t>(region + kCacheLineSize, 0x2222ULL);
+    manager.watch(region + kCacheLineSize, kCacheLineSize,
+                  WatchKind::FreedBuffer, 1);
+    std::uint8_t buffer[80];
+    machine.read(region + 32, buffer, 80); // 32 bytes reach the watch
+    EXPECT_EQ(faults.size(), 1u);
+    std::uint64_t word;
+    std::memcpy(&word, buffer + 32, 8);
+    EXPECT_EQ(word, 0x2222ULL);
+}
+
+TEST_F(WatchEdgeTest, RewatchAfterFaultWorks)
+{
+    machine.store<std::uint64_t>(region, 0x3333ULL);
+    manager.watch(region, kCacheLineSize, WatchKind::LeakSuspect, 1);
+    machine.load<std::uint64_t>(region);
+    ASSERT_EQ(faults.size(), 1u);
+
+    manager.watch(region, kCacheLineSize, WatchKind::LeakSuspect, 2);
+    EXPECT_EQ(machine.load<std::uint64_t>(region), 0x3333ULL);
+    EXPECT_EQ(faults.size(), 2u);
+}
+
+TEST_F(WatchEdgeTest, WatchRegionSpanningPageBoundary)
+{
+    VirtAddr straddle = region + kPageSize - kCacheLineSize;
+    machine.store<std::uint64_t>(straddle, 0xaaULL);
+    machine.store<std::uint64_t>(straddle + kCacheLineSize, 0xbbULL);
+    manager.watch(straddle, 2 * kCacheLineSize, WatchKind::FreedBuffer,
+                  1);
+    // Both pages pinned.
+    EXPECT_FALSE(machine.kernel().swapOutPage(region));
+    EXPECT_FALSE(machine.kernel().swapOutPage(region + kPageSize));
+
+    EXPECT_EQ(machine.load<std::uint64_t>(straddle + kCacheLineSize),
+              0xbbULL);
+    EXPECT_EQ(faults.size(), 1u);
+    // Unpinned again after the fault released the region.
+    EXPECT_TRUE(machine.kernel().swapOutPage(region + kPageSize));
+}
+
+TEST_F(WatchEdgeTest, FreeingSuspectHandsBodyToFreedWatchCleanly)
+{
+    // ML suspect watch on a buffer body, then the app frees it: the
+    // leak detector unwatches, the corruption detector immediately
+    // watches the same lines as a freed body. No overlap panic, and a
+    // dangling access is classified as use-after-free.
+    HeapAllocator allocator(machine);
+    SafeMemConfig config;
+    config.warmupTime = 1000;
+    config.checkingPeriod = 500;
+    config.minStableTime = 1000;
+    config.aleakLiveThreshold = 2;
+    config.aleakRecentWindow = 1'000'000;
+    config.leakReportThreshold = 10'000'000;
+    SafeMemTool tool(machine, allocator, *(&manager), config);
+    ShadowStack stack;
+
+    // Grow a never-freed group past the threshold so its oldest objects
+    // become ALeak suspects.
+    std::vector<VirtAddr> objects;
+    for (int i = 0; i < 6; ++i) {
+        FrameGuard frame(stack, 0x920000);
+        objects.push_back(tool.toolAlloc(64, stack, 0));
+        machine.compute(2'000);
+    }
+    ASSERT_GT(tool.leakDetector().stats().get("suspects_watched"), 0u);
+
+    // Free the suspect itself.
+    tool.toolFree(objects[0]);
+    // Its body is now freed-watched; a dangling read reports UAF.
+    machine.load<std::uint64_t>(objects[0]);
+    ASSERT_EQ(tool.corruptionDetector().reports().size(), 1u);
+    EXPECT_EQ(tool.corruptionDetector().reports()[0].kind,
+              CorruptionKind::UseAfterFree);
+
+    for (std::size_t i = 1; i < objects.size(); ++i)
+        tool.toolFree(objects[i]);
+    tool.finish();
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the seven workload applications and the experiment driver:
+ * determinism, clean memory behaviour on normal inputs, bug-mode
+ * differences, and driver plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workloads/driver.h"
+#include "workloads/null_tool.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+namespace {
+
+RunParams
+smallParams(bool buggy, std::uint64_t seed = 7)
+{
+    RunParams params;
+    params.requests = 300;
+    params.buggy = buggy;
+    params.seed = seed;
+    return params;
+}
+
+TEST(AppRegistry, AllSevenAppsExist)
+{
+    EXPECT_EQ(appNames().size(), 7u);
+    for (const std::string &name : appNames()) {
+        auto app = makeApp(name);
+        ASSERT_NE(app, nullptr) << name;
+        EXPECT_EQ(app->name(), name);
+    }
+    EXPECT_EQ(makeApp("nonesuch"), nullptr);
+}
+
+TEST(SiteTags, BuggyBitRoundTrips)
+{
+    std::uint64_t clean = makeSite(3, 9);
+    std::uint64_t buggy = makeSite(3, 9, true);
+    EXPECT_FALSE(isBuggySite(clean));
+    EXPECT_TRUE(isBuggySite(buggy));
+    EXPECT_EQ(clean, buggy & ~kBuggySiteBit);
+}
+
+/** Every app must run to completion and free everything it allocated
+ *  on normal inputs (no tool). */
+class AppCleanRun : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AppCleanRun, NormalRunLeaksNothing)
+{
+    Machine machine(MachineConfig{192u << 20});
+    HeapAllocator allocator(machine);
+    NullTool tool(machine, allocator);
+    Env env(machine, allocator, tool);
+
+    auto app = makeApp(GetParam());
+    app->run(env, smallParams(false));
+    EXPECT_EQ(allocator.liveBytes(), 0u)
+        << "normal inputs must not leak";
+    EXPECT_TRUE(env.roots().empty());
+}
+
+TEST_P(AppCleanRun, DeterministicCycleCount)
+{
+    auto run_once = [&] {
+        Machine machine(MachineConfig{192u << 20});
+        HeapAllocator allocator(machine);
+        NullTool tool(machine, allocator);
+        Env env(machine, allocator, tool);
+        makeApp(GetParam())->run(env, smallParams(false));
+        return machine.clock().now();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCleanRun,
+                         ::testing::ValuesIn(appNames()),
+                         [](const auto &info) { return info.param; });
+
+/** The leak apps leak memory exactly in buggy mode. */
+class LeakAppBehaviour : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LeakAppBehaviour, BuggyRunLeavesLiveBytes)
+{
+    Machine machine(MachineConfig{192u << 20});
+    HeapAllocator allocator(machine);
+    NullTool tool(machine, allocator);
+    Env env(machine, allocator, tool);
+    makeApp(GetParam())->run(env, smallParams(true));
+    EXPECT_GT(allocator.liveBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LeakApps, LeakAppBehaviour,
+                         ::testing::Values("ypserv1", "ypserv2",
+                                           "proftpd", "squid1"),
+                         [](const auto &info) { return info.param; });
+
+/** The corruption apps do not leak even in buggy mode. */
+class CorruptionAppBehaviour
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CorruptionAppBehaviour, BuggyRunStillFreesEverything)
+{
+    Machine machine(MachineConfig{192u << 20});
+    HeapAllocator allocator(machine);
+    NullTool tool(machine, allocator);
+    Env env(machine, allocator, tool);
+    makeApp(GetParam())->run(env, smallParams(true));
+    EXPECT_EQ(allocator.liveBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CorruptionApps, CorruptionAppBehaviour,
+                         ::testing::Values("gzip", "tar", "squid2"),
+                         [](const auto &info) { return info.param; });
+
+TEST(Driver, UnknownAppIsFatal)
+{
+    EXPECT_THROW(runWorkload("nonesuch", ToolKind::None, RunParams{}),
+                 FatalError);
+}
+
+TEST(Driver, ToolKindNamesAreDistinct)
+{
+    EXPECT_STREQ(toolKindName(ToolKind::None), "none");
+    EXPECT_STREQ(toolKindName(ToolKind::SafeMemBoth), "safemem");
+    EXPECT_STREQ(toolKindName(ToolKind::PageProtBoth), "pageprot");
+    EXPECT_STREQ(toolKindName(ToolKind::Purify), "purify");
+}
+
+TEST(Driver, ResultCarriesStatsAndCycles)
+{
+    RunResult r =
+        runWorkload("gzip", ToolKind::SafeMemBoth, smallParams(false, 3));
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GT(r.appCycles, 0u);
+    EXPECT_LE(r.appCycles, r.totalCycles);
+    EXPECT_GT(r.stats.at("alloc.allocs"), 0u);
+    EXPECT_GT(r.userBytes, 0u);
+}
+
+TEST(Driver, OverheadPercentAgainstBaseline)
+{
+    RunParams params = smallParams(false, 5);
+    RunResult base = runWorkload("ypserv2", ToolKind::None, params);
+    RunResult sm = runWorkload("ypserv2", ToolKind::SafeMemBoth, params);
+    double pct = overheadPercent(sm, base);
+    EXPECT_GT(pct, 0.0);
+    EXPECT_LT(pct, 100.0);
+}
+
+TEST(Driver, IdenticalSeedsGiveIdenticalResults)
+{
+    RunParams params = smallParams(true, 11);
+    RunResult a = runWorkload("squid1", ToolKind::SafeMemBoth, params);
+    RunResult b = runWorkload("squid1", ToolKind::SafeMemBoth, params);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.suspectedFalse, b.suspectedFalse);
+    EXPECT_EQ(a.leakReportsTrue, b.leakReportsTrue);
+}
+
+TEST(Driver, DefaultRequestsPerApp)
+{
+    EXPECT_EQ(defaultRequests("gzip"), 80u);
+    EXPECT_EQ(defaultRequests("tar"), 400u);
+    EXPECT_EQ(defaultRequests("squid1"), 2000u);
+}
+
+TEST(Driver, PageProtBackendAlsoDetects)
+{
+    // The identical detectors over mprotect still catch the gzip
+    // overflow — at page granularity and page-sized waste.
+    RunParams params;
+    params.requests = 40;
+    params.buggy = true;
+    params.seed = 7;
+    RunResult r = runWorkload("gzip", ToolKind::PageProtBoth, params);
+    EXPECT_GE(r.corruptionTrue, 1u);
+    EXPECT_GT(r.wastePercent(), 50.0);
+}
+
+} // namespace
+} // namespace safemem

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Command-line harness: run any evaluation workload under any tool
+ * configuration and print the monitoring report.
+ *
+ *   build/tools/safemem_run squid1 --buggy
+ *   build/tools/safemem_run gzip --tool purify --overhead
+ *   build/tools/safemem_run ypserv1 --buggy --stats=leak
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "workloads/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    safemem::setLogQuiet(true);
+    std::vector<std::string> args(argv + 1, argv + argc);
+    safemem::CliParse parse = safemem::parseCliArguments(args);
+    if (!parse.options) {
+        std::fprintf(stderr, "%s", parse.message.c_str());
+        return 1;
+    }
+    std::string report = safemem::runCli(*parse.options);
+    std::fputs(report.c_str(), stdout);
+    return 0;
+}
