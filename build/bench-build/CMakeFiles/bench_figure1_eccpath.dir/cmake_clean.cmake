@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure1_eccpath"
+  "../bench/bench_figure1_eccpath.pdb"
+  "CMakeFiles/bench_figure1_eccpath.dir/bench_figure1_eccpath.cc.o"
+  "CMakeFiles/bench_figure1_eccpath.dir/bench_figure1_eccpath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_eccpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

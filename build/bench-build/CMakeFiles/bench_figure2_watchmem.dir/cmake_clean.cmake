@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure2_watchmem"
+  "../bench/bench_figure2_watchmem.pdb"
+  "CMakeFiles/bench_figure2_watchmem.dir/bench_figure2_watchmem.cc.o"
+  "CMakeFiles/bench_figure2_watchmem.dir/bench_figure2_watchmem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_watchmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure3_stability"
+  "../bench/bench_figure3_stability.pdb"
+  "CMakeFiles/bench_figure3_stability.dir/bench_figure3_stability.cc.o"
+  "CMakeFiles/bench_figure3_stability.dir/bench_figure3_stability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_syscalls"
+  "../bench/bench_table2_syscalls.pdb"
+  "CMakeFiles/bench_table2_syscalls.dir/bench_table2_syscalls.cc.o"
+  "CMakeFiles/bench_table2_syscalls.dir/bench_table2_syscalls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

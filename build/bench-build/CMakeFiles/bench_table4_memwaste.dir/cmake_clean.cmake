@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_memwaste"
+  "../bench/bench_table4_memwaste.pdb"
+  "CMakeFiles/bench_table4_memwaste.dir/bench_table4_memwaste.cc.o"
+  "CMakeFiles/bench_table4_memwaste.dir/bench_table4_memwaste.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_memwaste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

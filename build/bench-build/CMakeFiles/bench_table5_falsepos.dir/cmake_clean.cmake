@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_falsepos"
+  "../bench/bench_table5_falsepos.pdb"
+  "CMakeFiles/bench_table5_falsepos.dir/bench_table5_falsepos.cc.o"
+  "CMakeFiles/bench_table5_falsepos.dir/bench_table5_falsepos.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_falsepos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

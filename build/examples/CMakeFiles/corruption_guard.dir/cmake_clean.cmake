@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_guard.dir/corruption_guard.cpp.o"
+  "CMakeFiles/corruption_guard.dir/corruption_guard.cpp.o.d"
+  "corruption_guard"
+  "corruption_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_playground.dir/ecc_playground.cpp.o"
+  "CMakeFiles/ecc_playground.dir/ecc_playground.cpp.o.d"
+  "ecc_playground"
+  "ecc_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

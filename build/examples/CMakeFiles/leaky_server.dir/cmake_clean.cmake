@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaky_server.dir/leaky_server.cpp.o"
+  "CMakeFiles/leaky_server.dir/leaky_server.cpp.o.d"
+  "leaky_server"
+  "leaky_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaky_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_monitor.dir/production_monitor.cpp.o"
+  "CMakeFiles/production_monitor.dir/production_monitor.cpp.o.d"
+  "production_monitor"
+  "production_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/heap_allocator.cc" "src/alloc/CMakeFiles/safemem_alloc.dir/heap_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/safemem_alloc.dir/heap_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safemem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/safemem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/safemem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/safemem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/safemem_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_alloc.dir/heap_allocator.cc.o"
+  "CMakeFiles/safemem_alloc.dir/heap_allocator.cc.o.d"
+  "libsafemem_alloc.a"
+  "libsafemem_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

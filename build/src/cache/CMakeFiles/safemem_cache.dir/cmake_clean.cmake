@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_cache.dir/cache.cc.o"
+  "CMakeFiles/safemem_cache.dir/cache.cc.o.d"
+  "libsafemem_cache.a"
+  "libsafemem_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_common.dir/logging.cc.o"
+  "CMakeFiles/safemem_common.dir/logging.cc.o.d"
+  "libsafemem_common.a"
+  "libsafemem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

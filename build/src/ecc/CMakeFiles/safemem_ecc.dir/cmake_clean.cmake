@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_ecc.dir/hamming.cc.o"
+  "CMakeFiles/safemem_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/safemem_ecc.dir/scramble.cc.o"
+  "CMakeFiles/safemem_ecc.dir/scramble.cc.o.d"
+  "libsafemem_ecc.a"
+  "libsafemem_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/safemem_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/safemem_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/safemem_mem.dir/physical_memory.cc.o.d"
+  "libsafemem_mem.a"
+  "libsafemem_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_os.dir/kernel.cc.o"
+  "CMakeFiles/safemem_os.dir/kernel.cc.o.d"
+  "CMakeFiles/safemem_os.dir/machine.cc.o"
+  "CMakeFiles/safemem_os.dir/machine.cc.o.d"
+  "CMakeFiles/safemem_os.dir/page_table.cc.o"
+  "CMakeFiles/safemem_os.dir/page_table.cc.o.d"
+  "libsafemem_os.a"
+  "libsafemem_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

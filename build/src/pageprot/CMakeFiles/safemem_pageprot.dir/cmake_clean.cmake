@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_pageprot.dir/page_watch.cc.o"
+  "CMakeFiles/safemem_pageprot.dir/page_watch.cc.o.d"
+  "libsafemem_pageprot.a"
+  "libsafemem_pageprot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_pageprot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_purify.dir/purify.cc.o"
+  "CMakeFiles/safemem_purify.dir/purify.cc.o.d"
+  "CMakeFiles/safemem_purify.dir/shadow_memory.cc.o"
+  "CMakeFiles/safemem_purify.dir/shadow_memory.cc.o.d"
+  "libsafemem_purify.a"
+  "libsafemem_purify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_purify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

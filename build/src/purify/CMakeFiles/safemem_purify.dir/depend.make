@@ -1,0 +1,2 @@
+# Empty dependencies file for safemem_purify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safemem/callstack.cc" "src/safemem/CMakeFiles/safemem_core.dir/callstack.cc.o" "gcc" "src/safemem/CMakeFiles/safemem_core.dir/callstack.cc.o.d"
+  "/root/repo/src/safemem/corruption_detector.cc" "src/safemem/CMakeFiles/safemem_core.dir/corruption_detector.cc.o" "gcc" "src/safemem/CMakeFiles/safemem_core.dir/corruption_detector.cc.o.d"
+  "/root/repo/src/safemem/leak_detector.cc" "src/safemem/CMakeFiles/safemem_core.dir/leak_detector.cc.o" "gcc" "src/safemem/CMakeFiles/safemem_core.dir/leak_detector.cc.o.d"
+  "/root/repo/src/safemem/safemem.cc" "src/safemem/CMakeFiles/safemem_core.dir/safemem.cc.o" "gcc" "src/safemem/CMakeFiles/safemem_core.dir/safemem.cc.o.d"
+  "/root/repo/src/safemem/watch_manager.cc" "src/safemem/CMakeFiles/safemem_core.dir/watch_manager.cc.o" "gcc" "src/safemem/CMakeFiles/safemem_core.dir/watch_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safemem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/safemem_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/safemem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/safemem_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/safemem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/safemem_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_core.dir/callstack.cc.o"
+  "CMakeFiles/safemem_core.dir/callstack.cc.o.d"
+  "CMakeFiles/safemem_core.dir/corruption_detector.cc.o"
+  "CMakeFiles/safemem_core.dir/corruption_detector.cc.o.d"
+  "CMakeFiles/safemem_core.dir/leak_detector.cc.o"
+  "CMakeFiles/safemem_core.dir/leak_detector.cc.o.d"
+  "CMakeFiles/safemem_core.dir/safemem.cc.o"
+  "CMakeFiles/safemem_core.dir/safemem.cc.o.d"
+  "CMakeFiles/safemem_core.dir/watch_manager.cc.o"
+  "CMakeFiles/safemem_core.dir/watch_manager.cc.o.d"
+  "libsafemem_core.a"
+  "libsafemem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/app.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/app.cc.o.d"
+  "/root/repo/src/workloads/cli.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/cli.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/cli.cc.o.d"
+  "/root/repo/src/workloads/components.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/components.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/components.cc.o.d"
+  "/root/repo/src/workloads/driver.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/driver.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/driver.cc.o.d"
+  "/root/repo/src/workloads/env.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/env.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/env.cc.o.d"
+  "/root/repo/src/workloads/gzip_app.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/gzip_app.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/gzip_app.cc.o.d"
+  "/root/repo/src/workloads/proftpd.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/proftpd.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/proftpd.cc.o.d"
+  "/root/repo/src/workloads/report_writer.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/report_writer.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/report_writer.cc.o.d"
+  "/root/repo/src/workloads/squid.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/squid.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/squid.cc.o.d"
+  "/root/repo/src/workloads/tar_app.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/tar_app.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/tar_app.cc.o.d"
+  "/root/repo/src/workloads/ypserv.cc" "src/workloads/CMakeFiles/safemem_workloads.dir/ypserv.cc.o" "gcc" "src/workloads/CMakeFiles/safemem_workloads.dir/ypserv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safemem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/safemem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/safemem_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/safemem/CMakeFiles/safemem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pageprot/CMakeFiles/safemem_pageprot.dir/DependInfo.cmake"
+  "/root/repo/build/src/purify/CMakeFiles/safemem_purify.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/safemem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/safemem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/safemem_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_workloads.dir/app.cc.o"
+  "CMakeFiles/safemem_workloads.dir/app.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/cli.cc.o"
+  "CMakeFiles/safemem_workloads.dir/cli.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/components.cc.o"
+  "CMakeFiles/safemem_workloads.dir/components.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/driver.cc.o"
+  "CMakeFiles/safemem_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/env.cc.o"
+  "CMakeFiles/safemem_workloads.dir/env.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/gzip_app.cc.o"
+  "CMakeFiles/safemem_workloads.dir/gzip_app.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/proftpd.cc.o"
+  "CMakeFiles/safemem_workloads.dir/proftpd.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/report_writer.cc.o"
+  "CMakeFiles/safemem_workloads.dir/report_writer.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/squid.cc.o"
+  "CMakeFiles/safemem_workloads.dir/squid.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/tar_app.cc.o"
+  "CMakeFiles/safemem_workloads.dir/tar_app.cc.o.d"
+  "CMakeFiles/safemem_workloads.dir/ypserv.cc.o"
+  "CMakeFiles/safemem_workloads.dir/ypserv.cc.o.d"
+  "libsafemem_workloads.a"
+  "libsafemem_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cc" "tests/CMakeFiles/safemem_tests.dir/test_allocator.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_allocator.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/safemem_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_callstack.cc" "tests/CMakeFiles/safemem_tests.dir/test_callstack.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_callstack.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/safemem_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/safemem_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_corruption_detector.cc" "tests/CMakeFiles/safemem_tests.dir/test_corruption_detector.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_corruption_detector.cc.o.d"
+  "/root/repo/tests/test_detection_properties.cc" "tests/CMakeFiles/safemem_tests.dir/test_detection_properties.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_detection_properties.cc.o.d"
+  "/root/repo/tests/test_env_components.cc" "tests/CMakeFiles/safemem_tests.dir/test_env_components.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_env_components.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/safemem_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fault_injection.cc" "tests/CMakeFiles/safemem_tests.dir/test_fault_injection.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_fault_injection.cc.o.d"
+  "/root/repo/tests/test_hamming.cc" "tests/CMakeFiles/safemem_tests.dir/test_hamming.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_hamming.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/safemem_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/safemem_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_leak_detector.cc" "tests/CMakeFiles/safemem_tests.dir/test_leak_detector.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_leak_detector.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/safemem_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/safemem_tests.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_main.cc.o.d"
+  "/root/repo/tests/test_memory_controller.cc" "tests/CMakeFiles/safemem_tests.dir/test_memory_controller.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_memory_controller.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/safemem_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_page_watch.cc" "tests/CMakeFiles/safemem_tests.dir/test_page_watch.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_page_watch.cc.o.d"
+  "/root/repo/tests/test_purify.cc" "tests/CMakeFiles/safemem_tests.dir/test_purify.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_purify.cc.o.d"
+  "/root/repo/tests/test_safemem_tool.cc" "tests/CMakeFiles/safemem_tests.dir/test_safemem_tool.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_safemem_tool.cc.o.d"
+  "/root/repo/tests/test_scramble.cc" "tests/CMakeFiles/safemem_tests.dir/test_scramble.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_scramble.cc.o.d"
+  "/root/repo/tests/test_stability_metric.cc" "tests/CMakeFiles/safemem_tests.dir/test_stability_metric.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_stability_metric.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/safemem_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_table_regression.cc" "tests/CMakeFiles/safemem_tests.dir/test_table_regression.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_table_regression.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/safemem_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_watch_edge_cases.cc" "tests/CMakeFiles/safemem_tests.dir/test_watch_edge_cases.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_watch_edge_cases.cc.o.d"
+  "/root/repo/tests/test_watch_manager.cc" "tests/CMakeFiles/safemem_tests.dir/test_watch_manager.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_watch_manager.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/safemem_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/safemem_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/safemem_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/safemem/CMakeFiles/safemem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pageprot/CMakeFiles/safemem_pageprot.dir/DependInfo.cmake"
+  "/root/repo/build/src/purify/CMakeFiles/safemem_purify.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/safemem_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/safemem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/safemem_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/safemem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/safemem_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/safemem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safemem_run.dir/safemem_run.cc.o"
+  "CMakeFiles/safemem_run.dir/safemem_run.cc.o.d"
+  "safemem_run"
+  "safemem_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safemem_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
