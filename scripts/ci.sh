@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Full correctness gauntlet:
+#
+#   1. tier-1 verify      — default build + ctest (includes the lint tests)
+#   2. ASan configuration — full ctest under AddressSanitizer
+#   3. UBSan configuration— full ctest under UndefinedBehaviorSanitizer
+#   4. repo lint          — tools/lint/lint.py over the tree + self-test
+#   5. format check       — scripts/check_format.sh (skips w/o clang-format)
+#
+# Every stage runs even when an earlier one fails; the exit status is
+# non-zero if any stage failed.
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+failures=()
+
+stage() {
+    local name=$1
+    shift
+    echo
+    echo "=== ci: $name ==="
+    if "$@"; then
+        echo "=== ci: $name OK ==="
+    else
+        echo "=== ci: $name FAILED ==="
+        failures+=("$name")
+    fi
+}
+
+build_and_test() {
+    local dir=$1
+    shift
+    cmake -B "$dir" -S . "$@" &&
+        cmake --build "$dir" -j "$JOBS" &&
+        ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+stage "tier-1 (default build + ctest)" build_and_test build
+stage "asan ctest" build_and_test build-asan -DSAFEMEM_ASAN=ON
+stage "ubsan ctest" build_and_test build-ubsan -DSAFEMEM_UBSAN=ON
+stage "repo lint" python3 tools/lint/lint.py --root .
+stage "lint self-test" python3 tools/lint/lint.py --self-test
+stage "format check" scripts/check_format.sh
+
+echo
+if [ "${#failures[@]}" -ne 0 ]; then
+    echo "ci: FAILED stages: ${failures[*]}"
+    exit 1
+fi
+echo "ci: all stages passed"

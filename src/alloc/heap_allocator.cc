@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <unordered_set>
 
+#include "check/simcheck.h"
 #include "common/logging.h"
 
 namespace safemem {
@@ -15,6 +17,9 @@ constexpr std::size_t kSlabBytes = 64 * 1024;
 
 /** Largest request served from slabs; above this we map directly. */
 constexpr std::size_t kMaxSlabClass = 16 * 1024;
+
+/** Allocator mutations between automatic SimCheck audits. */
+constexpr std::uint32_t kAuditEveryMutations = 256;
 
 } // namespace
 
@@ -84,6 +89,7 @@ HeapAllocator::allocate(std::size_t size, std::size_t alignment)
 
     liveBytes_ += size;
     peakLiveBytes_ = std::max(peakLiveBytes_, liveBytes_);
+    noteMutation();
     return addr;
 }
 
@@ -105,6 +111,7 @@ HeapAllocator::deallocate(VirtAddr addr)
         machine_.kernel().unmapRegion(addr, block.capacity);
         blocks_.erase(it);
     }
+    noteMutation();
 }
 
 VirtAddr
@@ -125,6 +132,7 @@ HeapAllocator::reallocate(VirtAddr addr, std::size_t new_size)
         peakLiveBytes_ = std::max(peakLiveBytes_, liveBytes_);
         totalRequested_ += new_size > old_size ? new_size - old_size : 0;
         it->second.requested = new_size;
+        noteMutation();
         return addr;
     }
 
@@ -202,6 +210,100 @@ HeapAllocator::forEachLive(
         if (block.live)
             fn(addr, block.requested);
     }
+}
+
+void
+HeapAllocator::noteMutation()
+{
+    if (!simCheckActive())
+        return;
+    if (++mutationsSinceAudit_ >= kAuditEveryMutations) {
+        mutationsSinceAudit_ = 0;
+        auditInvariants();
+    }
+}
+
+void
+HeapAllocator::auditInvariants() const
+{
+    if (!simCheckActive())
+        return;
+
+    // Block map: canaries intact, sane sizes, no overlap between
+    // consecutive blocks (chunks tile slabs at class strides, large blocks
+    // own whole page ranges), and byte accounting that reconciles.
+    std::uint64_t live_bytes = 0;
+    VirtAddr prev_end = 0;
+    VirtAddr prev_addr = 0;
+    for (const auto &[addr, block] : blocks_) {
+        SIMCHECK_AUDIT(AuditDomain::Allocator, "metadata_canary",
+                       block.canary == kBlockCanary,
+                       "metadata canary of block ", addr, " clobbered");
+        SIMCHECK_AUDIT(AuditDomain::Allocator, "block_capacity_sane",
+                       block.capacity > 0 &&
+                           (!block.live || block.requested <= block.capacity),
+                       "block ", addr, " requested ", block.requested,
+                       " exceeds capacity ", block.capacity);
+        SIMCHECK_AUDIT(AuditDomain::Allocator, "blocks_disjoint",
+                       addr >= prev_end, "block ", addr,
+                       " overlaps block ", prev_addr);
+        prev_end = addr + block.capacity;
+        prev_addr = addr;
+        if (block.live)
+            live_bytes += block.requested;
+    }
+    SIMCHECK_AUDIT(AuditDomain::Allocator, "live_bytes_reconcile",
+                   live_bytes == liveBytes_, "live blocks sum to ",
+                   live_bytes, " bytes but the gauge reads ", liveBytes_);
+
+    // Free lists: every chunk aligned, not live, of the class it is filed
+    // under, and present at most once across all lists.
+    std::unordered_set<VirtAddr> seen;
+    for (const auto &[cls, list] : freeLists_) {
+        for (VirtAddr addr : list) {
+            SIMCHECK_AUDIT(AuditDomain::Allocator, "free_chunk_aligned",
+                           isAligned(addr, kDefaultAlignment),
+                           "free chunk ", addr, " of class ", cls,
+                           " is misaligned");
+            SIMCHECK_AUDIT(AuditDomain::Allocator, "free_chunk_unique",
+                           seen.insert(addr).second, "chunk ", addr,
+                           " appears on a free list twice");
+            auto it = blocks_.find(addr);
+            if (it == blocks_.end())
+                continue; // carved but never handed out: no metadata yet
+            SIMCHECK_AUDIT(AuditDomain::Allocator, "free_chunk_not_live",
+                           !it->second.live, "live block ", addr,
+                           " sits on the class-", cls, " free list");
+            SIMCHECK_AUDIT(AuditDomain::Allocator, "free_chunk_class_match",
+                           it->second.capacity == cls, "chunk ", addr,
+                           " of capacity ", it->second.capacity,
+                           " filed under class ", cls);
+        }
+    }
+}
+
+void
+HeapAllocator::testOnlyClobberFreeList()
+{
+    for (auto &[cls, list] : freeLists_) {
+        if (!list.empty()) {
+            // Mimic a stray metadata write: the link now points one byte
+            // into the chunk, which is both misaligned and off-class.
+            list.back() += 1;
+            return;
+        }
+    }
+    panic("HeapAllocator::testOnlyClobberFreeList: no free chunk to "
+          "clobber; free a block first");
+}
+
+void
+HeapAllocator::testOnlyClobberCanary(VirtAddr addr)
+{
+    auto it = blocks_.find(addr);
+    if (it == blocks_.end())
+        panic("HeapAllocator::testOnlyClobberCanary: unknown block ", addr);
+    it->second.canary ^= 0xdeadULL;
 }
 
 } // namespace safemem

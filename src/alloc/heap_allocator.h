@@ -95,13 +95,37 @@ class HeapAllocator
     /** @return allocator statistics. */
     const StatSet &stats() const { return stats_; }
 
+    /**
+     * SimCheck deep audit: free-list integrity, live-block overlap,
+     * metadata canaries, byte accounting. No-op when auditing is disabled;
+     * runs automatically every few hundred allocator mutations and
+     * directly from tests.
+     */
+    void auditInvariants() const;
+
+    /** @name SimCheck self-test backdoors
+     * Deliberately corrupt allocator metadata so the self-test can prove
+     * the auditor notices. Never call these outside tests. */
+    /// @{
+
+    /** Overwrite one free-list link with a bogus, misaligned address. */
+    void testOnlyClobberFreeList();
+
+    /** Stomp the metadata canary of block @p addr. */
+    void testOnlyClobberCanary(VirtAddr addr);
+    /// @}
+
   private:
+    /** Guard value stamped into every Block (metadata canary). */
+    static constexpr std::uint64_t kBlockCanary = 0x5afe'c0de'5afe'c0deULL;
+
     struct Block
     {
         std::size_t requested = 0; ///< size the caller asked for
         std::size_t capacity = 0;  ///< size-class capacity
         bool live = false;
         bool slabBacked = true;    ///< false for direct-mapped large blocks
+        std::uint64_t canary = kBlockCanary; ///< metadata integrity guard
     };
 
     /** @return the size class (chunk size) covering @p size / @p align. */
@@ -109,6 +133,9 @@ class HeapAllocator
 
     /** Carve a new slab for @p chunk_size and refill its free list. */
     void refill(std::size_t chunk_size);
+
+    /** Rate-limit auditInvariants() to every few hundred mutations. */
+    void noteMutation();
 
     Machine &machine_;
     /** Free chunks per size class (key = chunk size). */
@@ -119,6 +146,7 @@ class HeapAllocator
     std::uint64_t liveBytes_ = 0;
     std::uint64_t peakLiveBytes_ = 0;
     std::uint64_t totalRequested_ = 0;
+    std::uint32_t mutationsSinceAudit_ = 0;
     StatSet stats_;
 };
 

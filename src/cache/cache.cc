@@ -1,7 +1,9 @@
 #include "cache/cache.h"
 
 #include <cstring>
+#include <unordered_set>
 
+#include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
 
@@ -127,10 +129,15 @@ Cache::flushLine(PhysAddr line_addr)
     Way *way = lookup(line_addr);
     if (!way)
         return;
+    bool wrote_back = false;
     if (way->dirty) {
         stats_.add("writebacks");
         controller_.evictLine(way->lineAddr, way->data);
+        wrote_back = true;
     }
+    SIMCHECK_AUDIT(AuditDomain::Cache, "no_dirty_loss_on_flush",
+                   !way->dirty || wrote_back,
+                   "dirty line ", line_addr, " dropped without writeback");
     way->valid = false;
     way->dirty = false;
     stats_.add("flushes");
@@ -141,10 +148,16 @@ Cache::flushAll()
 {
     for (auto &set : sets_) {
         for (Way &way : set) {
+            bool wrote_back = false;
             if (way.valid && way.dirty) {
                 stats_.add("writebacks");
                 controller_.evictLine(way.lineAddr, way.data);
+                wrote_back = true;
             }
+            SIMCHECK_AUDIT(AuditDomain::Cache, "no_dirty_loss_on_flush",
+                           !(way.valid && way.dirty) || wrote_back,
+                           "dirty line ", way.lineAddr,
+                           " dropped without writeback in flushAll");
             way.valid = false;
             way.dirty = false;
         }
@@ -155,6 +168,43 @@ bool
 Cache::contains(PhysAddr line_addr) const
 {
     return lookup(line_addr) != nullptr;
+}
+
+void
+Cache::auditResidency() const
+{
+    // Structural sweep: every valid way sits in the set its address hashes
+    // to, no line is resident twice, and LRU stamps never run ahead of the
+    // use counter. Cached *data* is deliberately not compared against DRAM:
+    // hardware faults injected underneath a resident line are legitimate
+    // simulator states (the paper's cache-filtering effect).
+    if (!simCheckActive())
+        return;
+    std::unordered_set<PhysAddr> resident;
+    for (std::size_t s = 0; s < sets_.size(); ++s) {
+        for (const Way &way : sets_[s]) {
+            if (!way.valid) {
+                SIMCHECK_AUDIT(AuditDomain::Cache, "invalid_way_clean",
+                               !way.dirty, "invalid way in set ", s,
+                               " still flagged dirty");
+                continue;
+            }
+            SIMCHECK_AUDIT(AuditDomain::Cache, "line_alignment",
+                           isAligned(way.lineAddr, kCacheLineSize),
+                           "resident line ", way.lineAddr, " misaligned");
+            SIMCHECK_AUDIT(AuditDomain::Cache, "set_placement",
+                           setIndex(way.lineAddr) == s,
+                           "line ", way.lineAddr, " resident in set ", s,
+                           " but hashes to set ", setIndex(way.lineAddr));
+            SIMCHECK_AUDIT(AuditDomain::Cache, "unique_residency",
+                           resident.insert(way.lineAddr).second,
+                           "line ", way.lineAddr, " resident in two ways");
+            SIMCHECK_AUDIT(AuditDomain::Cache, "lru_stamp_bound",
+                           way.lastUse <= useCounter_,
+                           "LRU stamp ", way.lastUse,
+                           " ahead of use counter ", useCounter_);
+        }
+    }
 }
 
 } // namespace safemem

@@ -63,6 +63,13 @@ class Cache
     /** @return true when @p line_addr currently resides in the cache. */
     bool contains(PhysAddr line_addr) const;
 
+    /**
+     * SimCheck deep audit: set placement, duplicate residency, LRU stamp
+     * sanity. No-op when auditing is disabled; called periodically by the
+     * Machine and directly by tests.
+     */
+    void auditResidency() const;
+
     /** @return cache statistics (hits, misses, writebacks...). */
     const StatSet &stats() const { return stats_; }
 

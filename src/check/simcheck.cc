@@ -1,0 +1,38 @@
+#include "check/simcheck.h"
+
+namespace safemem {
+
+const char *
+auditDomainName(AuditDomain domain)
+{
+    switch (domain) {
+      case AuditDomain::MemoryController: return "mc";
+      case AuditDomain::Cache: return "cache";
+      case AuditDomain::Kernel: return "kernel";
+      case AuditDomain::Allocator: return "alloc";
+    }
+    return "?";
+}
+
+SimCheck &
+SimCheck::instance()
+{
+    static SimCheck auditor;
+    return auditor;
+}
+
+void
+SimCheck::report(AuditDomain domain, const char *invariant,
+                 const std::string &detail)
+{
+    violations_.push_back(AuditViolation{domain, invariant, detail});
+
+    std::string msg = detail::format(
+        "SimCheck violation: domain=", auditDomainName(domain),
+        " invariant=", invariant, detail.empty() ? "" : " ", detail);
+    if (throwOnViolation_)
+        panic(msg);
+    logMessage(LogLevel::Warn, msg);
+}
+
+} // namespace safemem

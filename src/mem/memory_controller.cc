@@ -1,5 +1,6 @@
 #include "mem/memory_controller.h"
 
+#include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
 
@@ -19,6 +20,8 @@ MemoryController::setInterruptHandler(EccInterruptHandler handler)
 void
 MemoryController::lockBus()
 {
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "bus_lock_pairing",
+                   !busLocked_, "lockBus while the bus is already locked");
     if (busLocked_)
         panic("MemoryController: bus already locked");
     busLocked_ = true;
@@ -28,6 +31,8 @@ MemoryController::lockBus()
 void
 MemoryController::unlockBus()
 {
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "bus_lock_pairing",
+                   busLocked_, "unlockBus while the bus is not locked");
     if (!busLocked_)
         panic("MemoryController: bus not locked");
     busLocked_ = false;
@@ -78,6 +83,14 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
         memory_.writeWord(word_addr, result.data);
         memory_.writeCheck(word_addr, code_.encode(result.data));
         data_out = result.data;
+        // The corrected word just written back must form a clean codeword;
+        // anything else means the correct/heal datapath is broken.
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "fill_reencode_clean",
+                       code_.decode(memory_.readWord(word_addr),
+                                    memory_.readCheck(word_addr)).status ==
+                           EccDecodeStatus::Ok,
+                       "healed word at ", word_addr,
+                       " does not re-decode clean");
         return true;
 
       case EccDecodeStatus::Uncorrectable: {
@@ -101,6 +114,9 @@ MemoryController::fillLine(PhysAddr line_addr, LineData &out)
 {
     if (!isAligned(line_addr, kCacheLineSize))
         panic("MemoryController: unaligned fill address ", line_addr);
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
+                   !busLocked_, "cache fill of line ", line_addr,
+                   " while the memory bus is locked");
     if (busLocked_)
         panic("MemoryController: fill while memory bus is locked");
 
@@ -122,6 +138,9 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
 {
     if (!isAligned(line_addr, kCacheLineSize))
         panic("MemoryController: unaligned eviction address ", line_addr);
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
+                   !busLocked_, "cache writeback of line ", line_addr,
+                   " while the memory bus is locked");
     if (busLocked_)
         panic("MemoryController: writeback while memory bus is locked");
 
@@ -134,6 +153,35 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
         memory_.writeWord(word_addr, word);
         if (mode_ != EccMode::Disabled)
             memory_.writeCheck(word_addr, code_.encode(word));
+    }
+
+    if (simCheckActive())
+        auditWritebackCoherence(line_addr, data);
+}
+
+void
+MemoryController::auditWritebackCoherence(PhysAddr line_addr,
+                                          const LineData &data) const
+{
+    // The line the cache just wrote back must read back verbatim and (with
+    // ECC on) decode clean — a mismatch means the writeback datapath lost
+    // or mangled data, exactly the silent corruption SafeMem exists to
+    // catch in applications.
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+        PhysAddr word_addr = line_addr + i * kEccGroupSize;
+        std::uint64_t stored = memory_.readWord(word_addr);
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "writeback_data_match",
+                       stored == lineWord(data, i),
+                       "word ", i, " of line ", line_addr,
+                       " differs from the written-back data");
+        if (mode_ != EccMode::Disabled) {
+            SIMCHECK_AUDIT(
+                AuditDomain::MemoryController, "writeback_check_clean",
+                code_.decode(stored, memory_.readCheck(word_addr)).status ==
+                    EccDecodeStatus::Ok,
+                "stored check byte stale after writeback of line ",
+                line_addr);
+        }
     }
 }
 

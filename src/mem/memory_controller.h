@@ -98,6 +98,11 @@ class MemoryController
     bool decodeWord(PhysAddr word_addr, bool scrubbing,
                     std::uint64_t &data_out);
 
+    /** SimCheck: written-back line must read back verbatim and decode
+     *  clean (run only while auditing is enabled). */
+    void auditWritebackCoherence(PhysAddr line_addr,
+                                 const LineData &data) const;
+
     void raise(const EccFaultInfo &info);
 
     PhysicalMemory &memory_;

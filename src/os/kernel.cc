@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
 
@@ -103,8 +104,12 @@ Kernel::translate(VirtAddr vaddr)
         clock_.advance(kTlbMissCycles);
     for (int attempt = 0; attempt < 4; ++attempt) {
         PageTableEntry *entry = pageTable_.find(vpage);
-        if (!entry)
+        if (!entry) {
+            // Never leave an invalid translation cached: the access above
+            // optimistically inserted the vpage before the walk failed.
+            tlb_.invalidate(vpage);
             panic("SIGSEGV: access to unmapped address ", vaddr);
+        }
         if (!entry->present)
             pageIn(vpage);
         if (!entry->accessible) {
@@ -222,6 +227,26 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
     }
     controller_.setMode(saved);
     controller_.unlockBus();
+
+    if (simCheckActive()) {
+        // The scramble's whole purpose is to leave every group of the line
+        // uncorrectable under the stale check bytes; a clean or merely
+        // "corrected" group means the watch would never fire (or worse,
+        // silently corrupt data on the next fill).
+        const HsiaoCode &code = HsiaoCode::instance();
+        for (PhysAddr pline : plines) {
+            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+                PhysAddr word_addr = pline + i * kEccGroupSize;
+                SIMCHECK_AUDIT(
+                    AuditDomain::Kernel, "scramble_uncorrectable",
+                    code.decode(controller_.memory().readWord(word_addr),
+                                controller_.memory().readCheck(word_addr))
+                            .status == EccDecodeStatus::Uncorrectable,
+                    "scrambled word at ", word_addr,
+                    " does not decode as a multi-bit fault");
+            }
+        }
+    }
 
     clock_.advance(kWatchInsertCycles);
     for (std::size_t off = 0; off < size; off += kCacheLineSize) {
@@ -491,6 +516,68 @@ Kernel::pageIn(VirtAddr vpage)
 
     if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch && postSwapInHook_)
         postSwapInHook_(vpage);
+}
+
+void
+Kernel::auditInvariants() const
+{
+    if (!simCheckActive())
+        return;
+
+    // TLB ⊆ page table: every cached translation must refer to a mapped,
+    // resident page. Unmap, mprotect and swap transitions all shoot the
+    // entry down, and failed walks never install one.
+    tlb_.forEachEntry([&](VirtAddr vpage) {
+        const PageTableEntry *entry = pageTable_.find(vpage);
+        SIMCHECK_AUDIT(AuditDomain::Kernel, "tlb_entry_mapped",
+                       entry != nullptr,
+                       "TLB caches unmapped vpage ", vpage);
+        SIMCHECK_AUDIT(AuditDomain::Kernel, "tlb_entry_resident",
+                       !entry || entry->present,
+                       "TLB caches swapped-out vpage ", vpage);
+    });
+
+    // Watch bookkeeping must reconcile with the syscall history: every
+    // watched line entered through WatchMemory and left through
+    // DisableWatchMemory (or a swap hook, which goes through the same
+    // syscall).
+    SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_count_matches_history",
+                   watched_.size() == stats_.get("lines_watched") -
+                                          stats_.get("lines_unwatched"),
+                   watched_.size(), " lines watched but history says ",
+                   stats_.get("lines_watched"), " - ",
+                   stats_.get("lines_unwatched"));
+
+    for (const auto &[pline, entry] : watched_) {
+        PhysAddr frame = alignDown(pline, kPageSize);
+        auto vpage = pageTable_.reverse(frame);
+        SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_line_mapped",
+                       vpage.has_value(), "watched phys line ", pline,
+                       " backs no mapped page");
+        if (!vpage)
+            continue;
+        const PageTableEntry *pte = pageTable_.find(*vpage);
+        SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_page_resident",
+                       pte && pte->present, "watched phys line ", pline,
+                       " on a non-resident page");
+        if (swapPolicy_ == SwapWatchPolicy::PinPages) {
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_page_pinned",
+                           pte && pte->pinCount > 0, "watched phys line ",
+                           pline, " on an unpinned page under PinPages");
+        }
+        SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_vline_translates",
+                       *vpage + (pline - frame) == entry.vline,
+                       "watch entry for phys line ", pline,
+                       " recorded vline ", entry.vline,
+                       " but the frame maps to vpage ", *vpage);
+    }
+
+    // Frame allocator: a frame on the free list must not back any page.
+    for (PhysAddr frame : freeFrames_) {
+        SIMCHECK_AUDIT(AuditDomain::Kernel, "free_frame_unmapped",
+                       !pageTable_.reverse(frame).has_value(),
+                       "free frame ", frame, " still maps a page");
+    }
 }
 
 } // namespace safemem

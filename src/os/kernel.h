@@ -191,6 +191,13 @@ class Kernel
      */
     void setPanicOnHardwareError(bool value);
 
+    /**
+     * SimCheck deep audit: TLB/page-table consistency, watch bookkeeping
+     * against syscall history, frame free-list sanity. No-op when auditing
+     * is disabled; called periodically by the Machine and by tests.
+     */
+    void auditInvariants() const;
+
     /** @return kernel statistics. */
     const StatSet &stats() const { return stats_; }
 

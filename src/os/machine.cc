@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "check/simcheck.h"
 #include "common/logging.h"
 
 namespace safemem {
@@ -10,10 +11,32 @@ namespace safemem {
 Machine::Machine(MachineConfig config)
     : config_(config)
 {
+    if (config_.simCheck)
+        SimCheck::instance().setEnabled(true);
     memory_ = std::make_unique<PhysicalMemory>(config_.memoryBytes);
     controller_ = std::make_unique<MemoryController>(*memory_, clock_);
     cache_ = std::make_unique<Cache>(*controller_, clock_, config_.cache);
     kernel_ = std::make_unique<Kernel>(*controller_, *cache_, clock_);
+}
+
+void
+Machine::auditNow() const
+{
+    cache_->auditResidency();
+    kernel_->auditInvariants();
+}
+
+void
+Machine::maybeTick()
+{
+    if (++accessesSinceTick_ < config_.tickInterval)
+        return;
+    accessesSinceTick_ = 0;
+    kernel_->tick();
+    if (simCheckActive() && ++ticksSinceAudit_ >= config_.auditTickInterval) {
+        ticksSinceAudit_ = 0;
+        auditNow();
+    }
 }
 
 void
@@ -43,11 +66,7 @@ Machine::read(VirtAddr addr, void *out, std::size_t size)
     kernel_->noteAccessType(false);
     if (accessHook_)
         accessHook_(addr, size, false);
-
-    if (++accessesSinceTick_ >= config_.tickInterval) {
-        accessesSinceTick_ = 0;
-        kernel_->tick();
-    }
+    maybeTick();
 
     auto *cursor = static_cast<std::uint8_t *>(out);
     while (size > 0) {
@@ -68,11 +87,7 @@ Machine::write(VirtAddr addr, const void *in, std::size_t size)
     kernel_->noteAccessType(true);
     if (accessHook_)
         accessHook_(addr, size, true);
-
-    if (++accessesSinceTick_ >= config_.tickInterval) {
-        accessesSinceTick_ = 0;
-        kernel_->tick();
-    }
+    maybeTick();
 
     auto *cursor = const_cast<std::uint8_t *>(
         static_cast<const std::uint8_t *>(in));

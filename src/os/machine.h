@@ -39,6 +39,10 @@ struct MachineConfig
     CacheConfig cache{};
     /** Call Kernel::tick() once every this many accesses. */
     std::uint32_t tickInterval = 1024;
+    /** Turn on the SimCheck invariant auditor for this process. */
+    bool simCheck = false;
+    /** Run the deep SimCheck audits every this many kernel ticks. */
+    std::uint32_t auditTickInterval = 64;
 };
 
 /** Observer invoked before every application load/store. */
@@ -81,6 +85,13 @@ class Machine
     void compute(Cycles cycles) { clock_.advance(cycles); }
     /// @}
 
+    /**
+     * Run the deep SimCheck audits (cache residency, kernel bookkeeping)
+     * immediately. No-op while auditing is disabled; the access path also
+     * calls this every auditTickInterval kernel ticks.
+     */
+    void auditNow() const;
+
     /** Install / clear the per-access tool hook. */
     void setAccessHook(AccessHook hook) { accessHook_ = std::move(hook); }
 
@@ -104,6 +115,9 @@ class Machine
     void accessChunk(VirtAddr addr, void *buffer, std::size_t size,
                      bool is_write);
 
+    /** Periodic work folded into the access path: kernel tick + audits. */
+    void maybeTick();
+
     MachineConfig config_;
     CycleClock clock_;
     std::unique_ptr<PhysicalMemory> memory_;
@@ -112,6 +126,7 @@ class Machine
     std::unique_ptr<Kernel> kernel_;
     AccessHook accessHook_;
     std::uint32_t accessesSinceTick_ = 0;
+    std::uint32_t ticksSinceAudit_ = 0;
 };
 
 } // namespace safemem

@@ -82,6 +82,15 @@ class Tlb
     /** @return TLB statistics. */
     const StatSet &stats() const { return stats_; }
 
+    /** Visit the vpage of every cached translation (SimCheck audits). */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_)
+            fn(slot.vpage);
+    }
+
   private:
     struct Slot
     {

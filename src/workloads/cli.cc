@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "check/simcheck.h"
 #include "workloads/report_writer.h"
 
 namespace safemem {
@@ -36,7 +37,8 @@ cliUsage()
        << "  --seed <n>        request-stream seed (default: 42)\n"
        << "  --overhead        also run uninstrumented and report the "
           "overhead\n"
-       << "  --stats[=prefix]  dump run counters (optionally filtered)\n";
+       << "  --stats[=prefix]  dump run counters (optionally filtered)\n"
+       << "  --simcheck        enable the SimCheck invariant auditor\n";
     return os.str();
 }
 
@@ -75,6 +77,8 @@ parseCliArguments(const std::vector<std::string> &args)
             options.params.buggy = true;
         } else if (arg == "--overhead") {
             options.compareBaseline = true;
+        } else if (arg == "--simcheck") {
+            options.simCheck = true;
         } else if (arg == "--stats") {
             options.dumpStats = true;
         } else if (arg.rfind("--stats=", 0) == 0) {
@@ -117,6 +121,8 @@ parseCliArguments(const std::vector<std::string> &args)
 std::string
 runCli(const CliOptions &options)
 {
+    if (options.simCheck)
+        SimCheck::instance().setEnabled(true);
     std::ostringstream os;
     RunResult result =
         runWorkload(options.app, options.tool, options.params);

@@ -22,6 +22,7 @@ struct CliOptions
     RunParams params;
     bool compareBaseline = false; ///< --overhead: also run uninstrumented
     bool dumpStats = false;       ///< --stats: print every counter
+    bool simCheck = false;        ///< --simcheck: enable invariant audits
     std::string statsPrefix;      ///< --stats=<prefix>
 };
 

@@ -2,11 +2,13 @@
  * @file
  * Test entry point: silence inform/warn/panic logging so the many
  * negative-path tests (which intentionally trigger panics) keep the
- * output readable.
+ * output readable, and switch on the SimCheck invariant auditor so every
+ * existing integration/stress test also exercises the audit hooks.
  */
 
 #include <gtest/gtest.h>
 
+#include "check/simcheck.h"
 #include "common/logging.h"
 
 int
@@ -14,5 +16,6 @@ main(int argc, char **argv)
 {
     ::testing::InitGoogleTest(&argc, argv);
     safemem::setLogQuiet(true);
+    safemem::SimCheck::instance().setEnabled(true);
     return RUN_ALL_TESTS();
 }

@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Repo-specific static lint for the SafeMem simulator.
+
+Rules (scoped to ``src/`` unless noted):
+
+  raw-allocation   No raw ``new`` / ``delete`` / libc heap calls outside
+                   ``src/alloc/``.  All simulated-heap traffic must go
+                   through HeapAllocator, and host-side ownership through
+                   smart pointers / containers, so the tools' view of the
+                   heap is complete.
+  stream-output    No ``std::cout`` outside ``src/workloads/``; simulator
+                   layers report through common/logging so output stays
+                   structured and silenceable in tests.
+  include-hygiene  Every header carries ``#pragma once``, and ``src/common``
+                   (the base layer) includes nothing but other ``common/``
+                   headers.
+  header-docs      Every public header opens with a Doxygen ``@file`` block.
+
+Usage:
+  lint.py [--root DIR]   lint the tree rooted at DIR (default: repo root)
+  lint.py --self-test    prove each rule fires on a seeded violation
+
+Exit status is non-zero when violations (or self-test failures) are found.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+LINT_DIRS = ["src"]
+CC_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+
+def strip_comments_and_strings(text):
+    """Replace comment/string contents with spaces, preserving line breaks.
+
+    Keeps offsets stable so reported line numbers match the original file.
+    String and char literals are blanked so identifiers inside them cannot
+    trip rules; escape sequences are honoured.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RAW_ALLOC_PATTERNS = [
+    (re.compile(r"(?<!\boperator )\bnew\b(?!\s*\()"), "raw 'new'"),
+    (re.compile(r"\bnew\s*\("), "raw placement/'new('"),
+    (re.compile(r"(?<![=.\w])\s*\bdelete\b(?!\s*;)"), "raw 'delete'"),
+    (re.compile(r"\bmalloc\s*\("), "libc malloc()"),
+    (re.compile(r"\bcalloc\s*\("), "libc calloc()"),
+    (re.compile(r"\brealloc\s*\("), "libc realloc()"),
+    # libc free() is not matched: the simulated allocation wrappers
+    # (Env::free and friends) legitimately use the name.
+]
+
+DELETED_FN = re.compile(r"=\s*delete\b")
+
+
+def check_raw_allocation(rel, stripped, violations):
+    if not rel.startswith("src/") or rel.startswith("src/alloc/"):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        scrubbed = DELETED_FN.sub("=       ", line)
+        for pattern, label in RAW_ALLOC_PATTERNS:
+            if pattern.search(scrubbed):
+                violations.append(Violation(
+                    rel, lineno, "raw-allocation",
+                    f"{label}: route heap traffic through HeapAllocator "
+                    "or smart pointers"))
+                break
+
+
+def check_stream_output(rel, stripped, violations):
+    if not rel.startswith("src/") or rel.startswith("src/workloads/"):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if re.search(r"\bstd::cout\b", line):
+            violations.append(Violation(
+                rel, lineno, "stream-output",
+                "std::cout in a simulator layer: use common/logging"))
+
+
+def check_include_hygiene(rel, raw, violations):
+    # Include directives are inspected in the raw text: the path lives in
+    # a string literal, which the stripper blanks. The leading-# anchor
+    # keeps commented-out includes from matching.
+    if not rel.startswith("src/"):
+        return
+    if rel.endswith((".h", ".hpp")) and "#pragma once" not in raw:
+        violations.append(Violation(
+            rel, 1, "include-hygiene", "header lacks '#pragma once'"))
+    if rel.startswith("src/common/"):
+        for lineno, line in enumerate(raw.splitlines(), 1):
+            match = re.match(r'\s*#\s*include\s+"([^"]+)"', line)
+            if match and not match.group(1).startswith("common/"):
+                violations.append(Violation(
+                    rel, lineno, "include-hygiene",
+                    f"common/ is the base layer; it may not include "
+                    f"'{match.group(1)}'"))
+
+
+def check_header_docs(rel, raw, violations):
+    if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
+        return
+    head = "\n".join(raw.splitlines()[:5])
+    if "/**" not in head or "@file" not in raw.split("*/", 1)[0]:
+        violations.append(Violation(
+            rel, 1, "header-docs",
+            "public header must open with a '/** @file ... */' block"))
+
+
+def lint_file(root, rel, violations):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+    except (OSError, UnicodeDecodeError) as err:
+        violations.append(Violation(rel, 1, "io", f"unreadable: {err}"))
+        return
+    stripped = strip_comments_and_strings(raw)
+    check_raw_allocation(rel, stripped, violations)
+    check_stream_output(rel, stripped, violations)
+    check_include_hygiene(rel, raw, violations)
+    check_header_docs(rel, raw, violations)
+
+
+def lint_tree(root):
+    violations = []
+    for lint_dir in LINT_DIRS:
+        base = os.path.join(root, lint_dir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(CC_EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                rel = rel.replace(os.sep, "/")
+                lint_file(root, rel, violations)
+    return violations
+
+
+# --- self-test ------------------------------------------------------------
+
+SEEDED_SOURCES = {
+    # Each entry seeds exactly the violation named by the expected rule.
+    "src/mem/bad_new.cc": (
+        "raw-allocation",
+        '#include "common/types.h"\nint *leak() { return new int; }\n'),
+    "src/mem/bad_delete.cc": (
+        "raw-allocation",
+        "void drop(int *p) { delete p; }\n"),
+    "src/mem/bad_malloc.cc": (
+        "raw-allocation",
+        "#include <cstdlib>\nvoid *grab() { return malloc(16); }\n"),
+    "src/cache/bad_cout.cc": (
+        "stream-output",
+        "#include <iostream>\nvoid shout() { std::cout << 1; }\n"),
+    "src/os/bad_pragma.h": (
+        "include-hygiene",
+        "/**\n * @file\n * Header missing its include guard.\n */\nint x;\n"),
+    "src/common/bad_layering.h": (
+        "include-hygiene",
+        "/**\n * @file\n * Base layer reaching upward.\n */\n"
+        "#pragma once\n#include \"mem/line.h\"\n"),
+    "src/ecc/bad_docs.h": (
+        "header-docs",
+        "#pragma once\nint undocumented;\n"),
+}
+
+CLEAN_SOURCE = (
+    "src/common/clean.h",
+    "/**\n * @file\n * A well-behaved header: documented, guarded, and\n"
+    " * allocation-free (new_size below is an identifier, 'delete' only\n"
+    " * appears in a deleted function and this comment).\n */\n"
+    "#pragma once\n#include \"common/types.h\"\n"
+    "struct Clean\n{\n"
+    "    Clean(const Clean &) = delete;\n"
+    "    int resize(int new_size);\n"
+    "};\n")
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as root:
+        for rel, (rule, text) in SEEDED_SOURCES.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        clean_rel, clean_text = CLEAN_SOURCE
+        clean_path = os.path.join(root, clean_rel)
+        os.makedirs(os.path.dirname(clean_path), exist_ok=True)
+        with open(clean_path, "w", encoding="utf-8") as fh:
+            fh.write(clean_text)
+
+        violations = lint_tree(root)
+        by_file = {}
+        for v in violations:
+            by_file.setdefault(v.path, set()).add(v.rule)
+
+        for rel, (rule, _) in SEEDED_SOURCES.items():
+            got = by_file.get(rel, set())
+            if rule not in got:
+                failures.append(
+                    f"seeded {rule} violation in {rel} was not flagged "
+                    f"(got: {sorted(got) or 'nothing'})")
+        if clean_rel in by_file:
+            failures.append(
+                f"clean file {clean_rel} was wrongly flagged: "
+                f"{sorted(by_file[clean_rel])}")
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}")
+        return 1
+    print(f"self-test passed: {len(SEEDED_SOURCES)} seeded violations "
+          "flagged, clean file untouched")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    violations = lint_tree(root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
