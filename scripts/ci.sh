@@ -4,8 +4,10 @@
 #   1. tier-1 verify      — default build + ctest (includes the lint tests)
 #   2. ASan configuration — full ctest under AddressSanitizer
 #   3. UBSan configuration— full ctest under UndefinedBehaviorSanitizer
-#   4. repo lint          — tools/lint/lint.py over the tree + self-test
-#   5. format check       — scripts/check_format.sh (skips w/o clang-format)
+#   4. bench smoke        — bench_hotpath --json; fail on malformed JSON
+#                           or missing keys in the perf-baseline report
+#   5. repo lint          — tools/lint/lint.py over the tree + self-test
+#   6. format check       — scripts/check_format.sh (skips w/o clang-format)
 #
 # Every stage runs even when an earlier one fails; the exit status is
 # non-zero if any stage failed.
@@ -36,9 +38,38 @@ build_and_test() {
         ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+bench_smoke() {
+    # A fast run is enough to validate the report shape; the committed
+    # BENCH_hotpath.json baseline is produced from a full run instead.
+    local out=build/bench/BENCH_hotpath_smoke.json
+    build/bench/bench_hotpath --json --out "$out" --accesses 200000 \
+        >/dev/null &&
+        python3 - "$out" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+for key in ("bench", "word_accesses", "phases", "total_accesses",
+            "total_wall_seconds", "simulated_cycles_total"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["bench"] == "hotpath"
+assert doc["phases"], "no phases recorded"
+for phase in doc["phases"]:
+    for key in ("name", "accesses", "bytes", "wall_seconds",
+                "ms_per_million_accesses", "hits", "misses", "hit_rate",
+                "simulated_cycles"):
+        assert key in phase, f"missing phase key: {key}"
+print(f"bench smoke: {len(doc['phases'])} phases, "
+      f"{doc['simulated_cycles_total']} simulated cycles")
+PYEOF
+}
+
 stage "tier-1 (default build + ctest)" build_and_test build
 stage "asan ctest" build_and_test build-asan -DSAFEMEM_ASAN=ON
 stage "ubsan ctest" build_and_test build-ubsan -DSAFEMEM_UBSAN=ON
+stage "bench smoke (hotpath --json)" bench_smoke
 stage "repo lint" python3 tools/lint/lint.py --root .
 stage "lint self-test" python3 tools/lint/lint.py --self-test
 stage "format check" scripts/check_format.sh

@@ -46,7 +46,7 @@ HeapAllocator::refill(std::size_t chunk_size)
     // Carve back-to-front so allocation order is front-to-back.
     for (std::size_t off = kSlabBytes; off >= chunk_size; off -= chunk_size)
         list.push_back(slab + off - chunk_size);
-    stats_.add("slabs_mapped");
+    stats_.add(AllocStat::SlabsMapped);
 }
 
 VirtAddr
@@ -57,7 +57,7 @@ HeapAllocator::allocate(std::size_t size, std::size_t alignment)
     if (!std::has_single_bit(alignment))
         panic("HeapAllocator: alignment ", alignment, " not a power of two");
 
-    stats_.add("allocs");
+    stats_.add(AllocStat::Allocs);
     totalRequested_ += size;
 
     VirtAddr addr;
@@ -78,7 +78,7 @@ HeapAllocator::allocate(std::size_t size, std::size_t alignment)
         addr = machine_.kernel().mapRegion(alignUp(size, kPageSize));
         capacity = alignUp(size, kPageSize);
         slab_backed = false;
-        stats_.add("large_allocs");
+        stats_.add(AllocStat::LargeAllocs);
     }
 
     Block &block = blocks_[addr];
@@ -103,7 +103,7 @@ HeapAllocator::deallocate(VirtAddr addr)
     Block &block = it->second;
     block.live = false;
     liveBytes_ -= block.requested;
-    stats_.add("frees");
+    stats_.add(AllocStat::Frees);
 
     if (block.slabBacked) {
         freeLists_[block.capacity].push_back(addr);
@@ -123,7 +123,7 @@ HeapAllocator::reallocate(VirtAddr addr, std::size_t new_size)
     if (it == blocks_.end() || !it->second.live)
         panic("HeapAllocator: realloc of non-live address ", addr);
 
-    stats_.add("reallocs");
+    stats_.add(AllocStat::Reallocs);
     std::size_t old_size = it->second.requested;
     if (new_size <= it->second.capacity) {
         // Fits in place; adjust the accounted size.

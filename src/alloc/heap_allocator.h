@@ -30,6 +30,25 @@
 
 namespace safemem {
 
+/** Slot indices into the allocator StatSet; order matches kAllocStatNames. */
+enum class AllocStat : std::size_t
+{
+    SlabsMapped,
+    Allocs,
+    LargeAllocs,
+    Frees,
+    Reallocs,
+};
+
+/** Report/snapshot names for AllocStat, in enumerator order. */
+inline constexpr const char *kAllocStatNames[] = {
+    "slabs_mapped",
+    "allocs",
+    "large_allocs",
+    "frees",
+    "reallocs",
+};
+
 class HeapAllocator
 {
   public:
@@ -147,7 +166,7 @@ class HeapAllocator
     std::uint64_t peakLiveBytes_ = 0;
     std::uint64_t totalRequested_ = 0;
     std::uint32_t mutationsSinceAudit_ = 0;
-    StatSet stats_;
+    StatSet stats_{kAllocStatNames};
 };
 
 } // namespace safemem

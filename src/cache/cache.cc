@@ -1,11 +1,9 @@
 #include "cache/cache.h"
 
-#include <cstring>
+#include <algorithm>
 #include <unordered_set>
 
 #include "check/simcheck.h"
-#include "common/costs.h"
-#include "common/logging.h"
 
 namespace safemem {
 
@@ -18,43 +16,9 @@ Cache::Cache(MemoryController &controller, CycleClock &clock,
     sets_.assign(config_.sets, std::vector<Way>(config_.ways));
 }
 
-std::size_t
-Cache::setIndex(PhysAddr line_addr) const
-{
-    return (line_addr / kCacheLineSize) % config_.sets;
-}
-
 Cache::Way *
-Cache::lookup(PhysAddr line_addr)
+Cache::fillLine(PhysAddr line_addr)
 {
-    for (Way &way : sets_[setIndex(line_addr)]) {
-        if (way.valid && way.lineAddr == line_addr)
-            return &way;
-    }
-    return nullptr;
-}
-
-const Cache::Way *
-Cache::lookup(PhysAddr line_addr) const
-{
-    for (const Way &way : sets_[setIndex(line_addr)]) {
-        if (way.valid && way.lineAddr == line_addr)
-            return &way;
-    }
-    return nullptr;
-}
-
-Cache::Way *
-Cache::ensureResident(PhysAddr line_addr)
-{
-    if (Way *way = lookup(line_addr)) {
-        clock_.advance(kCacheHitCycles);
-        stats_.add("hits");
-        way->lastUse = ++useCounter_;
-        return way;
-    }
-
-    stats_.add("misses");
     clock_.advance(kCacheMissMgmtCycles);
 
     // Victim: first invalid way, else LRU.
@@ -70,7 +34,7 @@ Cache::ensureResident(PhysAddr line_addr)
     }
 
     if (victim->valid && victim->dirty) {
-        stats_.add("writebacks");
+        stats_.add(CacheStat::Writebacks);
         controller_.evictLine(victim->lineAddr, victim->data);
     }
     victim->valid = false;
@@ -78,11 +42,15 @@ Cache::ensureResident(PhysAddr line_addr)
     LineData data;
     if (!controller_.fillLine(line_addr, data)) {
         // Uncorrectable ECC error: the interrupt handler has run; do not
-        // install the line, let the access restart.
-        stats_.add("faulted_fills");
+        // install the line, let the access restart. This is counted as a
+        // faulted fill, not a completed miss — only a fill that installs
+        // the line increments `misses`, so a faulted-then-retried access
+        // shows up as one miss plus one faulted fill, never two misses.
+        stats_.add(CacheStat::FaultedFills);
         return nullptr;
     }
 
+    stats_.add(CacheStat::Misses);
     victim->valid = true;
     victim->dirty = false;
     victim->lineAddr = line_addr;
@@ -92,13 +60,9 @@ Cache::ensureResident(PhysAddr line_addr)
 }
 
 bool
-Cache::read(PhysAddr addr, void *out, std::size_t size)
+Cache::readMiss(PhysAddr line_addr, PhysAddr addr, void *out, std::size_t size)
 {
-    PhysAddr line_addr = alignDown(addr, kCacheLineSize);
-    if (addr + size > line_addr + kCacheLineSize)
-        panic("Cache::read crosses a line boundary at ", addr);
-
-    Way *way = ensureResident(line_addr);
+    Way *way = fillLine(line_addr);
     if (!way)
         return false;
     std::memcpy(out, way->data.data() + (addr - line_addr), size);
@@ -106,20 +70,51 @@ Cache::read(PhysAddr addr, void *out, std::size_t size)
 }
 
 bool
-Cache::write(PhysAddr addr, const void *in, std::size_t size)
+Cache::writeMiss(PhysAddr line_addr, PhysAddr addr, const void *in,
+                 std::size_t size)
 {
-    PhysAddr line_addr = alignDown(addr, kCacheLineSize);
-    if (addr + size > line_addr + kCacheLineSize)
-        panic("Cache::write crosses a line boundary at ", addr);
-
     // Write-allocate: a write miss performs a read-for-ownership fill,
     // which is exactly why writes to watched lines still trigger faults.
-    Way *way = ensureResident(line_addr);
+    Way *way = fillLine(line_addr);
     if (!way)
         return false;
     std::memcpy(way->data.data() + (addr - line_addr), in, size);
     way->dirty = true;
     return true;
+}
+
+std::size_t
+Cache::readBlock(PhysAddr addr, void *out, std::size_t size)
+{
+    auto *cursor = static_cast<std::uint8_t *>(out);
+    std::size_t done = 0;
+    while (done < size) {
+        PhysAddr line_end =
+            alignDown(addr + done, kCacheLineSize) + kCacheLineSize;
+        std::size_t chunk =
+            std::min<std::size_t>(size - done, line_end - (addr + done));
+        if (!read(addr + done, cursor + done, chunk))
+            break;
+        done += chunk;
+    }
+    return done;
+}
+
+std::size_t
+Cache::writeBlock(PhysAddr addr, const void *in, std::size_t size)
+{
+    const auto *cursor = static_cast<const std::uint8_t *>(in);
+    std::size_t done = 0;
+    while (done < size) {
+        PhysAddr line_end =
+            alignDown(addr + done, kCacheLineSize) + kCacheLineSize;
+        std::size_t chunk =
+            std::min<std::size_t>(size - done, line_end - (addr + done));
+        if (!write(addr + done, cursor + done, chunk))
+            break;
+        done += chunk;
+    }
+    return done;
 }
 
 void
@@ -131,7 +126,7 @@ Cache::flushLine(PhysAddr line_addr)
         return;
     bool wrote_back = false;
     if (way->dirty) {
-        stats_.add("writebacks");
+        stats_.add(CacheStat::Writebacks);
         controller_.evictLine(way->lineAddr, way->data);
         wrote_back = true;
     }
@@ -140,26 +135,34 @@ Cache::flushLine(PhysAddr line_addr)
                    "dirty line ", line_addr, " dropped without writeback");
     way->valid = false;
     way->dirty = false;
-    stats_.add("flushes");
+    stats_.add(CacheStat::Flushes);
 }
 
 void
 Cache::flushAll()
 {
+    // Bulk flush pays the same bill as flushLine() over each *resident*
+    // line: kCacheFlushLineCycles and one `flushes` count per valid way.
+    // Invalid ways are skipped — a bulk flush iterates the tag array, it
+    // does not issue a flush per possible address.
     for (auto &set : sets_) {
         for (Way &way : set) {
+            if (!way.valid)
+                continue;
+            clock_.advance(kCacheFlushLineCycles);
             bool wrote_back = false;
-            if (way.valid && way.dirty) {
-                stats_.add("writebacks");
+            if (way.dirty) {
+                stats_.add(CacheStat::Writebacks);
                 controller_.evictLine(way.lineAddr, way.data);
                 wrote_back = true;
             }
             SIMCHECK_AUDIT(AuditDomain::Cache, "no_dirty_loss_on_flush",
-                           !(way.valid && way.dirty) || wrote_back,
+                           !way.dirty || wrote_back,
                            "dirty line ", way.lineAddr,
                            " dropped without writeback in flushAll");
             way.valid = false;
             way.dirty = false;
+            stats_.add(CacheStat::Flushes);
         }
     }
 }

@@ -11,14 +11,21 @@
  * The cache holds real data: fills decode through the controller, hits are
  * served locally (never re-checking ECC — the "cache filtering effect"),
  * and dirty evictions re-encode check bytes on writeback.
+ *
+ * The hit path is deliberately header-inline: a resident-line access is a
+ * tag scan, one clock advance, one slot-counter increment and a memcpy,
+ * with no out-of-line call. Misses, flushes and audits live in cache.cc.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/costs.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "mem/memory_controller.h"
@@ -30,6 +37,21 @@ struct CacheConfig
 {
     std::size_t sets = 256; ///< number of sets
     std::size_t ways = 8;   ///< associativity
+};
+
+/** Slot indices into the cache StatSet; order matches kCacheStatNames. */
+enum class CacheStat : std::size_t
+{
+    Hits,
+    Misses,
+    Writebacks,
+    FaultedFills,
+    Flushes,
+};
+
+/** Report/snapshot names for CacheStat, in enumerator order. */
+inline constexpr const char *kCacheStatNames[] = {
+    "hits", "misses", "writebacks", "faulted_fills", "flushes",
 };
 
 class Cache
@@ -46,10 +68,46 @@ class Cache
      *         error; the interrupt handler has already run and the caller
      *         should retry.
      */
-    bool read(PhysAddr addr, void *out, std::size_t size);
+    bool
+    read(PhysAddr addr, void *out, std::size_t size)
+    {
+        PhysAddr line_addr = alignDown(addr, kCacheLineSize);
+        if (addr + size > line_addr + kCacheLineSize)
+            panic("Cache::read crosses a line boundary at ", addr);
+        if (Way *way = lookup(line_addr)) {
+            touchHit(*way);
+            std::memcpy(out, way->data.data() + (addr - line_addr), size);
+            return true;
+        }
+        return readMiss(line_addr, addr, out, size);
+    }
 
     /** Write counterpart of read(); write-allocate, so misses fill. */
-    bool write(PhysAddr addr, const void *in, std::size_t size);
+    bool
+    write(PhysAddr addr, const void *in, std::size_t size)
+    {
+        PhysAddr line_addr = alignDown(addr, kCacheLineSize);
+        if (addr + size > line_addr + kCacheLineSize)
+            panic("Cache::write crosses a line boundary at ", addr);
+        if (Way *way = lookup(line_addr)) {
+            touchHit(*way);
+            std::memcpy(way->data.data() + (addr - line_addr), in, size);
+            way->dirty = true;
+            return true;
+        }
+        return writeMiss(line_addr, addr, in, size);
+    }
+
+    /**
+     * Read a span that may cross line boundaries, touching each line once.
+     * @return bytes copied before a faulted fill stopped the span (equal
+     *         to @p size when no fill faulted). The caller retries from
+     *         @p addr + the returned count after the handler has run.
+     */
+    std::size_t readBlock(PhysAddr addr, void *out, std::size_t size);
+
+    /** Write counterpart of readBlock(). */
+    std::size_t writeBlock(PhysAddr addr, const void *in, std::size_t size);
 
     /**
      * Write back (if dirty) and invalidate the line at @p line_addr.
@@ -57,7 +115,10 @@ class Cache
      */
     void flushLine(PhysAddr line_addr);
 
-    /** Flush every valid line. */
+    /**
+     * Flush every valid line, with the same per-line cycle and counter
+     * accounting as flushLine() over each resident line.
+     */
     void flushAll();
 
     /** @return true when @p line_addr currently resides in the cache. */
@@ -83,24 +144,60 @@ class Cache
         LineData data{};
     };
 
-    std::size_t setIndex(PhysAddr line_addr) const;
+    std::size_t
+    setIndex(PhysAddr line_addr) const
+    {
+        return (line_addr / kCacheLineSize) % config_.sets;
+    }
 
     /** Locate @p line_addr in its set; nullptr on miss. */
-    Way *lookup(PhysAddr line_addr);
-    const Way *lookup(PhysAddr line_addr) const;
+    Way *
+    lookup(PhysAddr line_addr)
+    {
+        for (Way &way : sets_[setIndex(line_addr)]) {
+            if (way.valid && way.lineAddr == line_addr)
+                return &way;
+        }
+        return nullptr;
+    }
+
+    const Way *
+    lookup(PhysAddr line_addr) const
+    {
+        for (const Way &way : sets_[setIndex(line_addr)]) {
+            if (way.valid && way.lineAddr == line_addr)
+                return &way;
+        }
+        return nullptr;
+    }
+
+    /** Hit bookkeeping: latency, counter, LRU stamp. */
+    void
+    touchHit(Way &way)
+    {
+        clock_.advance(kCacheHitCycles);
+        stats_.add(CacheStat::Hits);
+        way.lastUse = ++useCounter_;
+    }
+
+    /** Out-of-line miss paths: fill (evicting as needed), then copy. */
+    bool readMiss(PhysAddr line_addr, PhysAddr addr, void *out,
+                  std::size_t size);
+    bool writeMiss(PhysAddr line_addr, PhysAddr addr, const void *in,
+                   std::size_t size);
 
     /**
-     * Ensure @p line_addr is resident, filling (and evicting) as needed.
-     * @return the resident way, or nullptr when the fill faulted.
+     * Fill @p line_addr into a victim way.
+     * @return the filled way, or nullptr when the fill faulted.
      */
-    Way *ensureResident(PhysAddr line_addr);
+    Way *fillLine(PhysAddr line_addr);
 
     MemoryController &controller_;
     CycleClock &clock_;
     CacheConfig config_;
     std::vector<std::vector<Way>> sets_;
     std::uint64_t useCounter_ = 0;
-    StatSet stats_;
+    StatSet stats_{kCacheStatNames};
 };
 
 } // namespace safemem

@@ -1,14 +1,24 @@
 /**
  * @file
- * Lightweight named statistics: counters and scalar gauges with a registry,
+ * Lightweight statistics: fixed-slot (enum-indexed) counters with a name
+ * table for reporting, a string-keyed fallback for cold/ad-hoc counters,
  * plus a fixed-bucket histogram used by the lifetime analysis.
+ *
+ * Per-access paths (cache hits, TLB lookups, Purify checks) account
+ * through enum slots: `stats_.add(CacheStat::Hits)` is one array
+ * increment, fully inlineable. The registered name table keeps every
+ * counter visible under its historical string key, so driver snapshots
+ * (`all()`), `get("hits")` assertions and the report writer see exactly
+ * the same name->value map the old string-keyed implementation produced.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace safemem {
@@ -16,51 +26,177 @@ namespace safemem {
 /**
  * A bag of named 64-bit counters. Modules expose one StatSet each; the
  * experiment driver snapshots them into its result records.
+ *
+ * A StatSet constructed with a slot-name table owns one flat counter per
+ * name; those counters are addressed by enum on hot paths and remain
+ * addressable by string everywhere else (both views share storage).
+ * Names not in the table fall back to a std::map, as before.
  */
 class StatSet
 {
   public:
+    StatSet() = default;
+
+    /**
+     * Register fixed slots. `names[i]` names slot `i`; the module's stat
+     * enum must list its enumerators in the same order.
+     */
+    template <std::size_t N>
+    explicit StatSet(const char *const (&names)[N])
+        : slotNames_(names, names + N), slotValues_(N, 0), slotTouched_(N, 0)
+    {}
+
+    /** @name Enum-indexed hot path (registered slots only) */
+    /// @{
+
+    /** Add @p delta to the slot @p stat indexes. */
+    template <typename E,
+              std::enable_if_t<std::is_enum_v<E>, int> = 0>
+    void
+    add(E stat, std::uint64_t delta = 1)
+    {
+        std::size_t idx = static_cast<std::size_t>(stat);
+        slotTouched_[idx] = 1;
+        slotValues_[idx] += delta;
+    }
+
+    /** Overwrite the slot @p stat indexes with @p value. */
+    template <typename E,
+              std::enable_if_t<std::is_enum_v<E>, int> = 0>
+    void
+    set(E stat, std::uint64_t value)
+    {
+        std::size_t idx = static_cast<std::size_t>(stat);
+        slotTouched_[idx] = 1;
+        slotValues_[idx] = value;
+    }
+
+    /** Track the maximum of values reported for slot @p stat. */
+    template <typename E,
+              std::enable_if_t<std::is_enum_v<E>, int> = 0>
+    void
+    maxOf(E stat, std::uint64_t value)
+    {
+        std::size_t idx = static_cast<std::size_t>(stat);
+        if (!slotTouched_[idx] || slotValues_[idx] < value) {
+            slotTouched_[idx] = 1;
+            slotValues_[idx] = value;
+        }
+    }
+
+    /** @return the slot value, or 0 when never touched. */
+    template <typename E,
+              std::enable_if_t<std::is_enum_v<E>, int> = 0>
+    std::uint64_t
+    get(E stat) const
+    {
+        return slotValues_[static_cast<std::size_t>(stat)];
+    }
+    /// @}
+
+    /** @name String-keyed view (cold paths, reporting, tests)
+     * Registered names resolve to their slot, so both views always
+     * agree; unregistered names live in the fallback map. */
+    /// @{
+
     /** Add @p delta to the counter named @p name (created on first use). */
     void
     add(const std::string &name, std::uint64_t delta = 1)
     {
-        counters_[name] += delta;
+        if (std::size_t idx; findSlot(name, idx)) {
+            slotTouched_[idx] = 1;
+            slotValues_[idx] += delta;
+        } else {
+            counters_[name] += delta;
+        }
     }
 
     /** Overwrite the counter named @p name with @p value. */
     void
     set(const std::string &name, std::uint64_t value)
     {
-        counters_[name] = value;
+        if (std::size_t idx; findSlot(name, idx)) {
+            slotTouched_[idx] = 1;
+            slotValues_[idx] = value;
+        } else {
+            counters_[name] = value;
+        }
     }
 
     /** Track the maximum of values reported for @p name. */
     void
     maxOf(const std::string &name, std::uint64_t value)
     {
-        auto it = counters_.find(name);
-        if (it == counters_.end() || it->second < value)
-            counters_[name] = value;
+        if (std::size_t idx; findSlot(name, idx)) {
+            if (!slotTouched_[idx] || slotValues_[idx] < value) {
+                slotTouched_[idx] = 1;
+                slotValues_[idx] = value;
+            }
+        } else {
+            auto it = counters_.find(name);
+            if (it == counters_.end() || it->second < value)
+                counters_[name] = value;
+        }
     }
 
     /** @return the counter value, or 0 when never touched. */
     std::uint64_t
     get(const std::string &name) const
     {
+        if (std::size_t idx; findSlot(name, idx))
+            return slotValues_[idx];
         auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
+    /// @}
 
-    /** @return all counters, sorted by name. */
-    const std::map<std::string, std::uint64_t> &all() const
+    /**
+     * Snapshot every counter, sorted by name: touched slots under their
+     * registered names merged with the fallback map. Untouched slots are
+     * omitted, matching the old created-on-first-use behaviour.
+     */
+    std::map<std::string, std::uint64_t>
+    all() const
     {
-        return counters_;
+        std::map<std::string, std::uint64_t> merged(counters_);
+        for (std::size_t i = 0; i < slotNames_.size(); ++i) {
+            if (slotTouched_[i])
+                merged[slotNames_[i]] = slotValues_[i];
+        }
+        return merged;
     }
 
+    /** @return the registered slot-name table (reporting, tests). */
+    const std::vector<const char *> &slotNames() const { return slotNames_; }
+
     /** Zero every counter. */
-    void clear() { counters_.clear(); }
+    void
+    clear()
+    {
+        counters_.clear();
+        slotValues_.assign(slotValues_.size(), 0);
+        slotTouched_.assign(slotTouched_.size(), 0);
+    }
 
   private:
+    /** @return true (and the index) when @p name is a registered slot. */
+    bool
+    findSlot(const std::string &name, std::size_t &idx) const
+    {
+        for (std::size_t i = 0; i < slotNames_.size(); ++i) {
+            if (std::strcmp(slotNames_[i], name.c_str()) == 0) {
+                idx = i;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::vector<const char *> slotNames_;
+    std::vector<std::uint64_t> slotValues_;
+    /** Slot ever written? Distinguishes "0" from "never touched". */
+    std::vector<std::uint8_t> slotTouched_;
+    /** Fallback for names outside the registered table. */
     std::map<std::string, std::uint64_t> counters_;
 };
 
@@ -90,17 +226,33 @@ class Histogram
     /** @return total samples recorded. */
     std::uint64_t count() const { return count_; }
 
-    /** @return fraction of samples with value <= @p value; 0 when empty. */
+    /**
+     * @return estimated fraction of samples with value <= @p value; 0
+     * when empty.
+     *
+     * Buckets entirely at or below @p value contribute fully; the bucket
+     * containing a mid-bucket @p value contributes linearly interpolated
+     * mass (`(value - bucket_start + 1) / bucket_width` of its samples),
+     * since exact positions within a bucket are not recorded. The old
+     * behaviour counted that whole bucket, over-reporting the CDF for
+     * every mid-bucket query.
+     */
     double
     cumulativeAt(std::uint64_t value) const
     {
         if (count_ == 0)
             return 0.0;
-        std::uint64_t below = 0;
-        std::size_t last = value / bucketWidth_;
-        for (std::size_t i = 0; i < buckets_.size() && i <= last; ++i)
-            below += buckets_[i];
-        return static_cast<double>(below) / static_cast<double>(count_);
+        std::size_t bucket = value / bucketWidth_;
+        double below = 0.0;
+        for (std::size_t i = 0; i < buckets_.size() && i < bucket; ++i)
+            below += static_cast<double>(buckets_[i]);
+        if (bucket < buckets_.size()) {
+            double fraction =
+                static_cast<double>(value - bucket * bucketWidth_ + 1) /
+                static_cast<double>(bucketWidth_);
+            below += static_cast<double>(buckets_[bucket]) * fraction;
+        }
+        return below / static_cast<double>(count_);
     }
 
     /** @return the configured bucket width. */

@@ -25,7 +25,7 @@ MemoryController::lockBus()
     if (busLocked_)
         panic("MemoryController: bus already locked");
     busLocked_ = true;
-    stats_.add("bus_locks");
+    stats_.add(ControllerStat::BusLocks);
 }
 
 void
@@ -41,7 +41,7 @@ MemoryController::unlockBus()
 void
 MemoryController::raise(const EccFaultInfo &info)
 {
-    stats_.add("interrupts_raised");
+    stats_.add(ControllerStat::InterruptsRaised);
     if (!interruptHandler_)
         panic("MemoryController: ECC interrupt with no handler wired; "
               "line=", info.lineAddr, " word=", info.wordIndex);
@@ -68,7 +68,7 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
       case EccDecodeStatus::CorrectedSingle:
         if (mode_ == EccMode::CheckOnly) {
             // Check-Only mode detects and reports but never corrects.
-            stats_.add("single_bit_reported");
+            stats_.add(ControllerStat::SingleBitReported);
             EccFaultInfo info;
             info.kind = EccFaultKind::UnreportedSingle;
             info.lineAddr = alignDown(word_addr, kCacheLineSize);
@@ -79,7 +79,7 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
             return true;
         }
         // Correct transparently and heal the stored copy.
-        stats_.add("single_bit_corrected");
+        stats_.add(ControllerStat::SingleBitCorrected);
         memory_.writeWord(word_addr, result.data);
         memory_.writeCheck(word_addr, code_.encode(result.data));
         data_out = result.data;
@@ -94,7 +94,7 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
         return true;
 
       case EccDecodeStatus::Uncorrectable: {
-        stats_.add("multi_bit_detected");
+        stats_.add(ControllerStat::MultiBitDetected);
         EccFaultInfo info;
         info.kind = scrubbing ? EccFaultKind::ScrubMultiBit
                               : EccFaultKind::MultiBit;
@@ -121,7 +121,7 @@ MemoryController::fillLine(PhysAddr line_addr, LineData &out)
         panic("MemoryController: fill while memory bus is locked");
 
     clock_.advance(kDramLineCycles);
-    stats_.add("line_fills");
+    stats_.add(ControllerStat::LineFills);
 
     bool ok = true;
     for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
@@ -145,7 +145,7 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
         panic("MemoryController: writeback while memory bus is locked");
 
     clock_.advance(kDramLineCycles);
-    stats_.add("line_evictions");
+    stats_.add(ControllerStat::LineEvictions);
 
     for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
         PhysAddr word_addr = line_addr + i * kEccGroupSize;
@@ -209,7 +209,7 @@ MemoryController::peekLine(PhysAddr line_addr, LineData &out) const
 void
 MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
 {
-    stats_.add("scrub_passes");
+    stats_.add(ControllerStat::ScrubPasses);
     for (std::size_t l = 0; l < lines; ++l) {
         PhysAddr line_addr = start_line + l * kCacheLineSize;
         for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {

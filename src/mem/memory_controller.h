@@ -27,6 +27,26 @@
 
 namespace safemem {
 
+/** Slot indices into the controller StatSet; order matches the names. */
+enum class ControllerStat : std::size_t
+{
+    BusLocks,
+    InterruptsRaised,
+    SingleBitReported,
+    SingleBitCorrected,
+    MultiBitDetected,
+    LineFills,
+    LineEvictions,
+    ScrubPasses,
+};
+
+/** Report/snapshot names for ControllerStat, in enumerator order. */
+inline constexpr const char *kControllerStatNames[] = {
+    "bus_locks",          "interrupts_raised", "single_bit_reported",
+    "single_bit_corrected", "multi_bit_detected", "line_fills",
+    "line_evictions",     "scrub_passes",
+};
+
 class MemoryController
 {
   public:
@@ -111,7 +131,7 @@ class MemoryController
     EccMode mode_ = EccMode::CorrectError;
     bool busLocked_ = false;
     EccInterruptHandler interruptHandler_;
-    StatSet stats_;
+    StatSet stats_{kControllerStatNames};
 };
 
 } // namespace safemem

@@ -50,7 +50,7 @@ Kernel::mapRegion(std::size_t bytes)
     nextVirt_ += pages * kPageSize;
     for (std::size_t i = 0; i < pages; ++i)
         pageTable_.map(base + i * kPageSize, allocFrame());
-    stats_.add("pages_mapped", pages);
+    stats_.add(KernelStat::PagesMapped, pages);
     return base;
 }
 
@@ -79,7 +79,7 @@ Kernel::unmapRegion(VirtAddr base, std::size_t bytes)
         pageTable_.unmap(vpage);
         tlb_.invalidate(vpage);
     }
-    stats_.add("pages_unmapped", pages);
+    stats_.add(KernelStat::PagesUnmapped, pages);
 }
 
 bool
@@ -115,7 +115,7 @@ Kernel::translate(VirtAddr vaddr)
         if (!entry->accessible) {
             // Deliver SIGSEGV to the user handler (page-protection
             // monitoring path); retry the translation if it handled it.
-            stats_.add("segv_delivered");
+            stats_.add(KernelStat::SegvDelivered);
             clock_.advance(kFaultDeliveryCycles);
             if (segvHandler_ && segvHandler_(vaddr))
                 continue;
@@ -141,7 +141,7 @@ Kernel::mprotectRange(VirtAddr base, std::size_t bytes, bool accessible)
     }
     clock_.advance(kTlbFlushCycles);
     tlb_.flush();
-    stats_.add("mprotect_calls");
+    stats_.add(KernelStat::MprotectCalls);
 }
 
 void
@@ -252,9 +252,9 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
     for (std::size_t off = 0; off < size; off += kCacheLineSize) {
         watched_[plines[off / kCacheLineSize]] =
             WatchEntry{addr + off};
-        stats_.add("lines_watched");
+        stats_.add(KernelStat::LinesWatched);
     }
-    stats_.maxOf("max_watched_lines", watched_.size());
+    stats_.maxOf(KernelStat::MaxWatchedLines, watched_.size());
 }
 
 void
@@ -295,7 +295,7 @@ Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
                                           scramble_.apply(scrambled));
         }
         watched_.erase(it);
-        stats_.add("lines_unwatched");
+        stats_.add(KernelStat::LinesUnwatched);
     }
     controller_.unlockBus();
 
@@ -336,11 +336,11 @@ void
 Kernel::onEccInterrupt(const EccFaultInfo &info)
 {
     clock_.advance(kFaultDeliveryCycles);
-    stats_.add("ecc_interrupts");
+    stats_.add(KernelStat::EccInterrupts);
 
     if (info.kind == EccFaultKind::UnreportedSingle) {
         // Check-Only mode report; log and continue.
-        stats_.add("single_bit_reports");
+        stats_.add(KernelStat::SingleBitReports);
         return;
     }
 
@@ -367,12 +367,12 @@ Kernel::onEccInterrupt(const EccFaultInfo &info)
 
     FaultDecision decision = eccHandler_(fault);
     if (decision == FaultDecision::HardwareError) {
-        stats_.add("hardware_errors");
+        stats_.add(KernelStat::HardwareErrors);
         if (panicOnHardwareError_)
             panic("kernel panic: hardware ECC error at phys line ",
                   info.lineAddr);
     } else {
-        stats_.add("access_faults_handled");
+        stats_.add(KernelStat::AccessFaultsHandled);
     }
 }
 
@@ -414,7 +414,7 @@ Kernel::tick()
     if (!scrubEnabled_ || inScrub_ || clock_.now() < nextScrub_)
         return;
     inScrub_ = true;
-    stats_.add("scrub_passes");
+    stats_.add(KernelStat::ScrubPasses);
     if (preScrubHook_)
         preScrubHook_();
     controller_.scrubAll();
@@ -469,7 +469,7 @@ Kernel::swapOutPage(VirtAddr vaddr)
                     panic("Kernel: pre-swap hook left line watched on "
                           "vpage ", vpage);
             }
-            stats_.add("watched_pages_swapped");
+            stats_.add(KernelStat::WatchedPagesSwapped);
         }
     }
 
@@ -489,7 +489,7 @@ Kernel::swapOutPage(VirtAddr vaddr)
     freeFrame(entry->frame);
     pageTable_.markSwappedOut(vpage);
     tlb_.invalidate(vpage);
-    stats_.add("pages_swapped_out");
+    stats_.add(KernelStat::PagesSwappedOut);
     return true;
 }
 
@@ -512,7 +512,7 @@ Kernel::pageIn(VirtAddr vpage)
     }
     swapStore_.erase(it);
     pageTable_.markSwappedIn(vpage, frame);
-    stats_.add("pages_swapped_in");
+    stats_.add(KernelStat::PagesSwappedIn);
 
     if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch && postSwapInHook_)
         postSwapInHook_(vpage);
@@ -542,11 +542,11 @@ Kernel::auditInvariants() const
     // DisableWatchMemory (or a swap hook, which goes through the same
     // syscall).
     SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_count_matches_history",
-                   watched_.size() == stats_.get("lines_watched") -
-                                          stats_.get("lines_unwatched"),
+                   watched_.size() == stats_.get(KernelStat::LinesWatched) -
+                                          stats_.get(KernelStat::LinesUnwatched),
                    watched_.size(), " lines watched but history says ",
-                   stats_.get("lines_watched"), " - ",
-                   stats_.get("lines_unwatched"));
+                   stats_.get(KernelStat::LinesWatched), " - ",
+                   stats_.get(KernelStat::LinesUnwatched));
 
     for (const auto &[pline, entry] : watched_) {
         PhysAddr frame = alignDown(pline, kPageSize);

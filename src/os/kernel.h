@@ -75,6 +75,45 @@ using UserEccHandler = std::function<FaultDecision(const UserEccFault &)>;
 /** User-level SIGSEGV handler; returns true when the fault was handled. */
 using UserSegvHandler = std::function<bool(VirtAddr)>;
 
+/** Slot indices into the kernel StatSet; order matches kKernelStatNames. */
+enum class KernelStat : std::size_t
+{
+    PagesMapped,
+    PagesUnmapped,
+    SegvDelivered,
+    MprotectCalls,
+    LinesWatched,
+    LinesUnwatched,
+    MaxWatchedLines,
+    EccInterrupts,
+    SingleBitReports,
+    HardwareErrors,
+    AccessFaultsHandled,
+    ScrubPasses,
+    WatchedPagesSwapped,
+    PagesSwappedOut,
+    PagesSwappedIn,
+};
+
+/** Report/snapshot names for KernelStat, in enumerator order. */
+inline constexpr const char *kKernelStatNames[] = {
+    "pages_mapped",
+    "pages_unmapped",
+    "segv_delivered",
+    "mprotect_calls",
+    "lines_watched",
+    "lines_unwatched",
+    "max_watched_lines",
+    "ecc_interrupts",
+    "single_bit_reports",
+    "hardware_errors",
+    "access_faults_handled",
+    "scrub_passes",
+    "watched_pages_swapped",
+    "pages_swapped_out",
+    "pages_swapped_in",
+};
+
 class Kernel
 {
   public:
@@ -253,7 +292,7 @@ class Kernel
     /** Swapped-out page contents, keyed by vpage. */
     std::unordered_map<VirtAddr, std::vector<std::uint8_t>> swapStore_;
 
-    StatSet stats_;
+    StatSet stats_{kKernelStatNames};
 };
 
 } // namespace safemem

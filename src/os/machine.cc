@@ -1,5 +1,6 @@
 #include "os/machine.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -40,22 +41,32 @@ Machine::maybeTick()
 }
 
 void
-Machine::accessChunk(VirtAddr addr, void *buffer, std::size_t size,
-                     bool is_write)
+Machine::accessSpan(VirtAddr addr, void *buffer, std::size_t size,
+                    bool is_write)
 {
-    // A faulting fill runs the user ECC handler and we restart the
-    // access, as a real CPU restarts the faulting instruction. The bound
-    // catches handlers that fail to clear the fault.
-    for (int attempt = 0; attempt < 8; ++attempt) {
+    // The span never crosses a page, so one translation covers all of it
+    // (a physical page is contiguous). A faulting fill runs the user ECC
+    // handler and the faulted line restarts with a fresh translation, as
+    // a real CPU restarts the faulting instruction; the attempt bound —
+    // reset whenever the span makes progress — catches handlers that
+    // fail to clear the fault.
+    int attempts = 0;
+    while (true) {
         PhysAddr paddr = kernel_->translate(addr);
-        bool ok = is_write
-            ? cache_->write(paddr, buffer, size)
-            : cache_->read(paddr, buffer, size);
-        if (ok)
+        std::size_t done = is_write
+            ? cache_->writeBlock(paddr, buffer, size)
+            : cache_->readBlock(paddr, buffer, size);
+        if (done == size)
             return;
+        if (done > 0)
+            attempts = 0;
+        if (++attempts >= 8)
+            panic("Machine: access to ", addr + done,
+                  " keeps faulting; handler did not clear the watch");
+        addr += done;
+        buffer = static_cast<std::uint8_t *>(buffer) + done;
+        size -= done;
     }
-    panic("Machine: access to ", addr,
-          " keeps faulting; handler did not clear the watch");
 }
 
 void
@@ -70,12 +81,12 @@ Machine::read(VirtAddr addr, void *out, std::size_t size)
 
     auto *cursor = static_cast<std::uint8_t *>(out);
     while (size > 0) {
-        VirtAddr line_end = alignDown(addr, kCacheLineSize) + kCacheLineSize;
-        std::size_t chunk = std::min<std::size_t>(size, line_end - addr);
-        accessChunk(addr, cursor, chunk, false);
-        addr += chunk;
-        cursor += chunk;
-        size -= chunk;
+        VirtAddr page_end = alignDown(addr, kPageSize) + kPageSize;
+        std::size_t span = std::min<std::size_t>(size, page_end - addr);
+        accessSpan(addr, cursor, span, false);
+        addr += span;
+        cursor += span;
+        size -= span;
     }
 }
 
@@ -92,12 +103,12 @@ Machine::write(VirtAddr addr, const void *in, std::size_t size)
     auto *cursor = const_cast<std::uint8_t *>(
         static_cast<const std::uint8_t *>(in));
     while (size > 0) {
-        VirtAddr line_end = alignDown(addr, kCacheLineSize) + kCacheLineSize;
-        std::size_t chunk = std::min<std::size_t>(size, line_end - addr);
-        accessChunk(addr, cursor, chunk, true);
-        addr += chunk;
-        cursor += chunk;
-        size -= chunk;
+        VirtAddr page_end = alignDown(addr, kPageSize) + kPageSize;
+        std::size_t span = std::min<std::size_t>(size, page_end - addr);
+        accessSpan(addr, cursor, span, true);
+        addr += span;
+        cursor += span;
+        size -= span;
     }
 }
 

@@ -111,9 +111,9 @@ class Machine
     PhysicalMemory &physicalMemory() { return *memory_; }
 
   private:
-    /** One line-bounded chunk of an access. */
-    void accessChunk(VirtAddr addr, void *buffer, std::size_t size,
-                     bool is_write);
+    /** One page-bounded span of an access: translate once, touch lines. */
+    void accessSpan(VirtAddr addr, void *buffer, std::size_t size,
+                    bool is_write);
 
     /** Periodic work folded into the access path: kernel tick + audits. */
     void maybeTick();

@@ -19,6 +19,20 @@
 
 namespace safemem {
 
+/** Slot indices into the TLB StatSet; order matches kTlbStatNames. */
+enum class TlbStat : std::size_t
+{
+    Hits,
+    Misses,
+    Invalidations,
+    Flushes,
+};
+
+/** Report/snapshot names for TlbStat, in enumerator order. */
+inline constexpr const char *kTlbStatNames[] = {
+    "hits", "misses", "invalidations", "flushes",
+};
+
 class Tlb
 {
   public:
@@ -39,11 +53,11 @@ class Tlb
         for (Slot &slot : slots_) {
             if (slot.vpage == vpage) {
                 slot.lastUse = stamp_;
-                stats_.add("hits");
+                stats_.add(TlbStat::Hits);
                 return true;
             }
         }
-        stats_.add("misses");
+        stats_.add(TlbStat::Misses);
         if (slots_.size() < capacity_) {
             slots_.push_back(Slot{vpage, stamp_});
         } else {
@@ -65,7 +79,7 @@ class Tlb
             if (slots_[i].vpage == vpage) {
                 slots_[i] = slots_.back();
                 slots_.pop_back();
-                stats_.add("invalidations");
+                stats_.add(TlbStat::Invalidations);
                 return;
             }
         }
@@ -76,7 +90,7 @@ class Tlb
     flush()
     {
         slots_.clear();
-        stats_.add("flushes");
+        stats_.add(TlbStat::Flushes);
     }
 
     /** @return TLB statistics. */
@@ -101,7 +115,7 @@ class Tlb
     std::size_t capacity_;
     std::uint64_t stamp_ = 0;
     std::vector<Slot> slots_;
-    StatSet stats_;
+    StatSet stats_{kTlbStatNames};
 };
 
 } // namespace safemem

@@ -42,8 +42,8 @@ PageWatchBackend::watch(VirtAddr base, std::size_t size, WatchKind kind,
         pageToRegion_[base + off] = base;
     regions_[base] = Region{base, size, kind, cookie};
     watchedBytes_ += size;
-    stats_.add("regions_watched");
-    stats_.maxOf("peak_watched_bytes", watchedBytes_);
+    stats_.add(PageWatchStat::RegionsWatched);
+    stats_.maxOf(PageWatchStat::PeakWatchedBytes, watchedBytes_);
 }
 
 void
@@ -59,7 +59,7 @@ PageWatchBackend::unwatch(VirtAddr base)
         pageToRegion_.erase(region.base + off);
     watchedBytes_ -= region.size;
     regions_.erase(it);
-    stats_.add("regions_unwatched");
+    stats_.add(PageWatchStat::RegionsUnwatched);
 }
 
 bool
@@ -73,7 +73,7 @@ PageWatchBackend::onSegv(VirtAddr addr)
 {
     auto page_it = pageToRegion_.find(alignDown(addr, kPageSize));
     if (page_it == pageToRegion_.end()) {
-        stats_.add("foreign_segvs");
+        stats_.add(PageWatchStat::ForeignSegvs);
         return false;
     }
 
@@ -89,7 +89,7 @@ PageWatchBackend::onSegv(VirtAddr addr)
 
     // First access is all we need: lift the protection, then dispatch.
     unwatch(region.base);
-    stats_.add("access_faults");
+    stats_.add(PageWatchStat::AccessFaults);
     if (callback_)
         callback_(region.base, region.kind, region.cookie,
                   alignDown(addr, kPageSize),

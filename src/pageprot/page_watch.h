@@ -22,6 +22,25 @@
 
 namespace safemem {
 
+/** Slot indices into the page-watch backend StatSet; order matches kPageWatchStatNames. */
+enum class PageWatchStat : std::size_t
+{
+    RegionsWatched,
+    PeakWatchedBytes,
+    RegionsUnwatched,
+    ForeignSegvs,
+    AccessFaults,
+};
+
+/** Report/snapshot names for PageWatchStat, in enumerator order. */
+inline constexpr const char *kPageWatchStatNames[] = {
+    "regions_watched",
+    "peak_watched_bytes",
+    "regions_unwatched",
+    "foreign_segvs",
+    "access_faults",
+};
+
 class PageWatchBackend : public WatchBackend
 {
   public:
@@ -60,7 +79,7 @@ class PageWatchBackend : public WatchBackend
     std::map<VirtAddr, Region> regions_;
     std::unordered_map<VirtAddr, VirtAddr> pageToRegion_;
     std::uint64_t watchedBytes_ = 0;
-    StatSet stats_;
+    StatSet stats_{kPageWatchStatNames};
 };
 
 } // namespace safemem

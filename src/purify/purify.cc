@@ -83,7 +83,7 @@ PurifyTool::toolAlloc(std::size_t size, const ShadowStack &stack,
     block.size = size;
     block.siteTag = site_tag;
     live_[user] = block;
-    stats_.add("blocks_instrumented");
+    stats_.add(PurifyStat::BlocksInstrumented);
 
     if (config_.leakScans && appNow() - lastSweep_ > config_.sweepPeriod)
         markAndSweep();
@@ -148,7 +148,7 @@ PurifyTool::toolFree(VirtAddr addr)
 
     freed_[block.userAddr] = block;
     allocator_.deallocate(block.base);
-    stats_.add("blocks_freed");
+    stats_.add(PurifyStat::BlocksFreed);
 
     if (config_.leakScans && appNow() - lastSweep_ > config_.sweepPeriod)
         markAndSweep();
@@ -183,7 +183,7 @@ PurifyTool::reportCorruption(CorruptionKind kind, const Block *block,
     report.siteTag = block ? block->siteTag : 0;
     report.reportTime = appNow();
     corruptionReports_.push_back(report);
-    stats_.add("corruption_reports");
+    stats_.add(PurifyStat::CorruptionReports);
 }
 
 void
@@ -196,7 +196,7 @@ PurifyTool::onAccess(VirtAddr addr, std::size_t size, bool is_write)
     // Base check plus a word-granularity charge for wide accesses.
     std::size_t words = (size + 7) / 8;
     machine_.clock().advance(kPurifyCheckCycles + (words - 1) * 6);
-    stats_.add("accesses_checked");
+    stats_.add(PurifyStat::AccessesChecked);
 
     bool any_unallocated = false;
     bool any_freed = false;
@@ -264,7 +264,7 @@ PurifyTool::onAccess(VirtAddr addr, std::size_t size, bool is_write)
 
     if (any_uninit_read) {
         ++uninitReads_;
-        stats_.add("uninit_reads");
+        stats_.add(PurifyStat::UninitReads);
     }
 
     if (is_write) {
@@ -284,7 +284,7 @@ PurifyTool::markAndSweep()
     ToolCodeGuard guard(inToolCode_);
     CostScope scope(machine_.clock(), CostCenter::ToolLeak);
     lastSweep_ = appNow();
-    stats_.add("sweeps");
+    stats_.add(PurifyStat::Sweeps);
 
     // Mark phase: conservative BFS from the root set through heap words.
     std::unordered_set<VirtAddr> marked;
@@ -340,7 +340,7 @@ PurifyTool::markAndSweep()
         report.liveCount = 1;
         report.reportTime = appNow();
         leakReports_.push_back(report);
-        stats_.add("leaked_blocks");
+        stats_.add(PurifyStat::LeakedBlocks);
     }
 }
 

@@ -53,6 +53,29 @@ struct PurifyConfig
 /** Returns the application root set (addresses of held pointers). */
 using RootProvider = std::function<std::vector<VirtAddr>()>;
 
+/** Slot indices into the Purify tool StatSet; order matches kPurifyStatNames. */
+enum class PurifyStat : std::size_t
+{
+    BlocksInstrumented,
+    BlocksFreed,
+    CorruptionReports,
+    AccessesChecked,
+    UninitReads,
+    Sweeps,
+    LeakedBlocks,
+};
+
+/** Report/snapshot names for PurifyStat, in enumerator order. */
+inline constexpr const char *kPurifyStatNames[] = {
+    "blocks_instrumented",
+    "blocks_freed",
+    "corruption_reports",
+    "accesses_checked",
+    "uninit_reads",
+    "sweeps",
+    "leaked_blocks",
+};
+
 class PurifyTool : public Tool
 {
   public:
@@ -137,7 +160,7 @@ class PurifyTool : public Tool
     /** Blocks already reported leaked (avoid duplicates across sweeps). */
     std::unordered_set<VirtAddr> reportedLeaked_;
     std::uint64_t uninitReads_ = 0;
-    StatSet stats_;
+    StatSet stats_{kPurifyStatNames};
 };
 
 } // namespace safemem

@@ -42,7 +42,7 @@ CorruptionDetector::allocate(std::size_t size, std::uint64_t site_tag)
             backend_.isWatched(freed_it->second.buffer.userAddr))
             backend_.unwatch(freed_it->second.buffer.userAddr);
         freedByBase_.erase(freed_it);
-        stats_.add("freed_watches_recycled");
+        stats_.add(CorruptionStat::FreedWatchesRecycled);
     }
 
     Buffer buffer;
@@ -69,7 +69,7 @@ CorruptionDetector::allocate(std::size_t size, std::uint64_t site_tag)
 
     userBytes_ += size;
     wasteBytes_ += allocator_.blockCapacity(base) - size;
-    stats_.add("buffers_guarded");
+    stats_.add(CorruptionStat::BuffersGuarded);
 
     VirtAddr user = buffer.userAddr;
     live_.emplace(user, buffer);
@@ -92,7 +92,7 @@ CorruptionDetector::deallocate(VirtAddr user_addr)
     if (buffer.uninitWatched && backend_.isWatched(buffer.userAddr)) {
         // Never written *or* read; the freed-body watch takes over.
         backend_.unwatch(buffer.userAddr);
-        stats_.add("uninit_watches_expired");
+        stats_.add(CorruptionStat::UninitWatchesExpired);
     }
 
     // Watch the freed body to catch dangling accesses (§4).
@@ -110,11 +110,11 @@ CorruptionDetector::deallocate(VirtAddr user_addr)
         // Large direct-mapped block: returning it would unmap watched,
         // pinned pages, so quarantine it until the end of the run.
         freed.quarantined = true;
-        stats_.add("large_blocks_quarantined");
+        stats_.add(CorruptionStat::LargeBlocksQuarantined);
     }
 
     freedByBase_.emplace(buffer.base, freed);
-    stats_.add("buffers_released");
+    stats_.add(CorruptionStat::BuffersReleased);
 }
 
 VirtAddr
@@ -166,7 +166,7 @@ CorruptionDetector::emitReport(CorruptionKind kind, const Buffer &buffer,
     report.siteTag = buffer.siteTag;
     report.reportTime = cpuNow_();
     reports_.push_back(report);
-    stats_.add("corruption_reports");
+    stats_.add(CorruptionStat::CorruptionReports);
 }
 
 void
@@ -185,7 +185,7 @@ CorruptionDetector::onWatchFault(VirtAddr base, WatchKind kind,
         it->second.uninitWatched = false;
         if (is_write) {
             // First write: expected initialisation, retire silently.
-            stats_.add("uninit_watches_retired");
+            stats_.add(CorruptionStat::UninitWatchesRetired);
         } else {
             emitReport(CorruptionKind::UninitializedRead, it->second,
                        fault_addr);

@@ -31,6 +31,29 @@
 
 namespace safemem {
 
+/** Slot indices into the corruption detector StatSet; order matches kCorruptionStatNames. */
+enum class CorruptionStat : std::size_t
+{
+    FreedWatchesRecycled,
+    BuffersGuarded,
+    UninitWatchesExpired,
+    LargeBlocksQuarantined,
+    BuffersReleased,
+    CorruptionReports,
+    UninitWatchesRetired,
+};
+
+/** Report/snapshot names for CorruptionStat, in enumerator order. */
+inline constexpr const char *kCorruptionStatNames[] = {
+    "freed_watches_recycled",
+    "buffers_guarded",
+    "uninit_watches_expired",
+    "large_blocks_quarantined",
+    "buffers_released",
+    "corruption_reports",
+    "uninit_watches_retired",
+};
+
 class CorruptionDetector
 {
   public:
@@ -118,7 +141,7 @@ class CorruptionDetector
     std::uint64_t wasteBytes_ = 0;
     std::uint64_t userBytes_ = 0;
     std::vector<CorruptionReport> reports_;
-    StatSet stats_;
+    StatSet stats_{kCorruptionStatNames};
 };
 
 } // namespace safemem

@@ -34,7 +34,7 @@ LeakDetector::groupFor(std::uint64_t size, std::uint64_t signature)
     group->lastMaxChange = now;
     ObjectGroup &ref = *group;
     groups_.emplace(key, std::move(group));
-    stats_.add("groups_created");
+    stats_.add(LeakStat::GroupsCreated);
     return ref;
 }
 
@@ -68,7 +68,7 @@ LeakDetector::onAlloc(VirtAddr addr, std::size_t size,
     group.totalBytes += size;
 
     objects_.emplace(addr, std::move(object));
-    stats_.add("allocs_tracked");
+    stats_.add(LeakStat::AllocsTracked);
 
     maybeRunDetection();
 }
@@ -88,7 +88,7 @@ LeakDetector::onFree(VirtAddr addr)
         // program still held a reference to it.
         unwatchSuspect(object);
         ++prunedSuspects_;
-        stats_.add("suspects_freed");
+        stats_.add(LeakStat::SuspectsFreed);
     }
 
     // Step 1 (§3.2.1): update the group's lifetime information.
@@ -110,7 +110,7 @@ LeakDetector::onFree(VirtAddr addr)
     group.totalBytes -= object.size;
     group.liveList.erase(object.listPos);
     objects_.erase(it);
-    stats_.add("frees_tracked");
+    stats_.add(LeakStat::FreesTracked);
 
     maybeRunDetection();
 }
@@ -130,7 +130,7 @@ LeakDetector::maybeRunDetection()
     if (now - lastCheck_ < config_.checkingPeriod)
         return;
     lastCheck_ = now;
-    stats_.add("detection_passes");
+    stats_.add(LeakStat::DetectionPasses);
     if (charge_)
         charge_(kDetectPassCycles +
                 groups_.size() * kDetectPerGroupCycles);
@@ -182,7 +182,7 @@ LeakDetector::detectALeak(ObjectGroup &group, Cycles now)
         ++placed;
     }
     if (placed > 0)
-        stats_.add("aleak_suspicions");
+        stats_.add(LeakStat::AleakSuspicions);
 }
 
 void
@@ -212,7 +212,7 @@ LeakDetector::detectSLeak(ObjectGroup &group, Cycles now)
         if (now - object->allocTime > outlier_bar) {
             watchSuspect(*object, now);
             group.everSuspected = true;
-            stats_.add("sleak_suspicions");
+            stats_.add(LeakStat::SleakSuspicions);
         }
     }
 }
@@ -234,7 +234,7 @@ LeakDetector::watchSuspect(LiveObject &object, Cycles now)
     object.suspectSince = now;
     ++object.group->suspectCount;
     suspects_[object.addr] = &object;
-    stats_.add("suspects_watched");
+    stats_.add(LeakStat::SuspectsWatched);
 }
 
 void
@@ -266,7 +266,7 @@ LeakDetector::onSuspectAccessed(VirtAddr base)
     --group.suspectCount;
     suspects_.erase(base);
     ++prunedSuspects_;
-    stats_.add("suspects_pruned");
+    stats_.add(LeakStat::SuspectsPruned);
     group.cooldownUntil = now + config_.suspectCooldown;
 
     if (group.everFreed()) {
@@ -306,7 +306,7 @@ LeakDetector::reportLeak(LiveObject &object, Cycles now)
     report.liveCount = group.liveCount;
     report.reportTime = now;
     reports_.push_back(report);
-    stats_.add("leaks_reported");
+    stats_.add(LeakStat::LeaksReported);
 }
 
 void

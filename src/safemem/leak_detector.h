@@ -31,6 +31,35 @@
 
 namespace safemem {
 
+/** Slot indices into the leak detector StatSet; order matches kLeakStatNames. */
+enum class LeakStat : std::size_t
+{
+    GroupsCreated,
+    AllocsTracked,
+    SuspectsFreed,
+    FreesTracked,
+    DetectionPasses,
+    AleakSuspicions,
+    SleakSuspicions,
+    SuspectsWatched,
+    SuspectsPruned,
+    LeaksReported,
+};
+
+/** Report/snapshot names for LeakStat, in enumerator order. */
+inline constexpr const char *kLeakStatNames[] = {
+    "groups_created",
+    "allocs_tracked",
+    "suspects_freed",
+    "frees_tracked",
+    "detection_passes",
+    "aleak_suspicions",
+    "sleak_suspicions",
+    "suspects_watched",
+    "suspects_pruned",
+    "leaks_reported",
+};
+
 class LeakDetector
 {
   public:
@@ -129,7 +158,7 @@ class LeakDetector
 
     std::vector<LeakReport> reports_;
     std::uint64_t prunedSuspects_ = 0;
-    StatSet stats_;
+    StatSet stats_{kLeakStatNames};
 };
 
 } // namespace safemem

@@ -29,7 +29,7 @@ EccWatchManager::installScrubHooks()
                 scrubParked_.push_back(it->second);
                 dropRegion(it);
             }
-            stats_.add("scrub_unwatch_passes");
+            stats_.add(WatchStat::ScrubUnwatchPasses);
         },
         [this] {
             for (const Region &region : scrubParked_)
@@ -55,7 +55,7 @@ EccWatchManager::installSwapHooks()
                 auto it = regions_.find(base);
                 swapParked_.push_back(it->second);
                 dropRegion(it);
-                stats_.add("regions_swap_parked");
+                stats_.add(WatchStat::RegionsSwapParked);
             }
         },
         [this](VirtAddr vpage) {
@@ -75,7 +75,7 @@ EccWatchManager::installSwapHooks()
             for (const Region &region : restore) {
                 watch(region.base, region.size, region.kind,
                       region.cookie);
-                stats_.add("regions_swap_restored");
+                stats_.add(WatchStat::RegionsSwapRestored);
             }
         });
 }
@@ -121,8 +121,8 @@ EccWatchManager::watch(VirtAddr base, std::size_t size, WatchKind kind,
     for (std::size_t off = 0; off < size; off += kCacheLineSize)
         lineToRegion_[base + off] = base;
     watchedBytes_ += size;
-    stats_.add("regions_watched");
-    stats_.maxOf("peak_watched_bytes", watchedBytes_);
+    stats_.add(WatchStat::RegionsWatched);
+    stats_.maxOf(WatchStat::PeakWatchedBytes, watchedBytes_);
     regions_.emplace(base, std::move(region));
 }
 
@@ -143,7 +143,7 @@ EccWatchManager::unwatch(VirtAddr base)
     auto it = regions_.find(base);
     if (it != regions_.end()) {
         dropRegion(it);
-        stats_.add("regions_unwatched");
+        stats_.add(WatchStat::RegionsUnwatched);
         return;
     }
     // A region parked while its page is swapped out is still logically
@@ -153,7 +153,7 @@ EccWatchManager::unwatch(VirtAddr base)
          ++parked) {
         if (parked->base == base) {
             swapParked_.erase(parked);
-            stats_.add("parked_regions_cancelled");
+            stats_.add(WatchStat::ParkedRegionsCancelled);
             return;
         }
     }
@@ -179,7 +179,7 @@ EccWatchManager::onEccFault(const UserEccFault &fault)
     auto line_it = lineToRegion_.find(vline);
     if (line_it == lineToRegion_.end()) {
         // Not one of ours: a genuine hardware error somewhere else.
-        stats_.add("foreign_faults");
+        stats_.add(WatchStat::ForeignFaults);
         return FaultDecision::HardwareError;
     }
 
@@ -215,7 +215,7 @@ EccWatchManager::onEccFault(const UserEccFault &fault)
         // Hardware error under a watch. The watched data is expendable
         // (padding or a suspected leak) and we hold a pristine copy:
         // repair the region, then report the hardware error.
-        stats_.add("hardware_errors_detected");
+        stats_.add(WatchStat::HardwareErrorsDetected);
         Region saved = region;
         dropRegion(it);
         machine_.write(saved.base, saved.originalWords.data(), saved.size);
@@ -224,7 +224,7 @@ EccWatchManager::onEccFault(const UserEccFault &fault)
 
     // Access fault: remove the watch (only the first access matters),
     // then hand the event to the owning detector.
-    stats_.add("access_faults");
+    stats_.add(WatchStat::AccessFaults);
     Region saved = region;
     dropRegion(it);
     if (callback_)

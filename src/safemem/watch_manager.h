@@ -31,6 +31,35 @@
 
 namespace safemem {
 
+/** Slot indices into the watch manager StatSet; order matches kWatchStatNames. */
+enum class WatchStat : std::size_t
+{
+    ScrubUnwatchPasses,
+    RegionsSwapParked,
+    RegionsSwapRestored,
+    RegionsWatched,
+    PeakWatchedBytes,
+    RegionsUnwatched,
+    ParkedRegionsCancelled,
+    ForeignFaults,
+    HardwareErrorsDetected,
+    AccessFaults,
+};
+
+/** Report/snapshot names for WatchStat, in enumerator order. */
+inline constexpr const char *kWatchStatNames[] = {
+    "scrub_unwatch_passes",
+    "regions_swap_parked",
+    "regions_swap_restored",
+    "regions_watched",
+    "peak_watched_bytes",
+    "regions_unwatched",
+    "parked_regions_cancelled",
+    "foreign_faults",
+    "hardware_errors_detected",
+    "access_faults",
+};
+
 class EccWatchManager : public WatchBackend
 {
   public:
@@ -99,7 +128,7 @@ class EccWatchManager : public WatchBackend
     std::vector<Region> swapParked_;
 
     std::uint64_t watchedBytes_ = 0;
-    StatSet stats_;
+    StatSet stats_{kWatchStatNames};
 };
 
 } // namespace safemem

@@ -130,6 +130,106 @@ TEST_F(CacheTest, FlushAllDrainsEverything)
     EXPECT_EQ(memory.readWord(64), 7u);
 }
 
+TEST_F(CacheTest, FlushAllAccountsLikePerLineFlushes)
+{
+    // flushAll() must charge the same cycles and counters as flushing
+    // each resident line individually with flushLine().
+    std::uint64_t value = 42;
+    cache.write(0, &value, 8);    // dirty
+    cache.write(64, &value, 8);   // dirty
+    std::uint8_t buffer[8];
+    cache.read(128, buffer, 8);   // clean
+
+    // Replay the same residency in a twin cache and flush line by line.
+    PhysicalMemory twin_memory(1 << 20);
+    CycleClock twin_clock;
+    MemoryController twin_controller(twin_memory, twin_clock);
+    Cache twin(twin_controller, twin_clock, CacheConfig{4, 2});
+    twin.write(0, &value, 8);
+    twin.write(64, &value, 8);
+    twin.read(128, buffer, 8);
+
+    Cycles bulk_t0 = clock.now();
+    cache.flushAll();
+    Cycles bulk_cost = clock.now() - bulk_t0;
+
+    Cycles line_t0 = twin_clock.now();
+    twin.flushLine(0);
+    twin.flushLine(64);
+    twin.flushLine(128);
+    Cycles line_cost = twin_clock.now() - line_t0;
+
+    EXPECT_EQ(bulk_cost, line_cost);
+    // 3 flushed lines, of which 2 are dirty and pay a DRAM writeback.
+    EXPECT_EQ(bulk_cost, 3 * kCacheFlushLineCycles + 2 * kDramLineCycles);
+    EXPECT_EQ(cache.stats().get("flushes"), twin.stats().get("flushes"));
+    EXPECT_EQ(cache.stats().get("flushes"), 3u);
+    EXPECT_EQ(cache.stats().get("writebacks"),
+              twin.stats().get("writebacks"));
+}
+
+TEST_F(CacheTest, FlushAllOnEmptyCacheIsFree)
+{
+    Cycles t0 = clock.now();
+    cache.flushAll();
+    EXPECT_EQ(clock.now(), t0);
+    EXPECT_EQ(cache.stats().get("flushes"), 0u);
+}
+
+TEST_F(CacheTest, FaultedFillIsNotCountedAsMiss)
+{
+    // An uncorrectable-ECC fill must count as a faulted fill only; the
+    // access that retries after the handler repairs memory contributes
+    // exactly one completed miss, never two.
+    memory.flipDataBit(0, 1);
+    memory.flipDataBit(0, 2);
+    std::uint8_t buffer[8];
+    EXPECT_FALSE(cache.read(0, buffer, 8));
+    EXPECT_EQ(cache.stats().get("faulted_fills"), 1u);
+    EXPECT_EQ(cache.stats().get("misses"), 0u);
+
+    // Repair the line (flip the bits back) and retry the access.
+    memory.flipDataBit(0, 1);
+    memory.flipDataBit(0, 2);
+    EXPECT_TRUE(cache.read(0, buffer, 8));
+    EXPECT_EQ(cache.stats().get("faulted_fills"), 1u);
+    EXPECT_EQ(cache.stats().get("misses"), 1u);
+}
+
+TEST_F(CacheTest, BlockReadWriteTouchEachLineOnce)
+{
+    std::uint8_t pattern[256];
+    for (std::size_t i = 0; i < sizeof(pattern); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 7);
+
+    // 256 bytes starting mid-line: spans lines 0..4 (5 fills).
+    EXPECT_EQ(cache.writeBlock(32, pattern, sizeof(pattern)),
+              sizeof(pattern));
+    EXPECT_EQ(cache.stats().get("misses"), 5u);
+
+    std::uint8_t out[256] = {};
+    EXPECT_EQ(cache.readBlock(32, out, sizeof(out)), sizeof(out));
+    EXPECT_EQ(std::memcmp(out, pattern, sizeof(out)), 0);
+    EXPECT_EQ(cache.stats().get("misses"), 5u)
+        << "readBlock after writeBlock hits every line";
+    EXPECT_EQ(cache.stats().get("hits"), 5u);
+}
+
+TEST_F(CacheTest, BlockReadStopsAtFaultedLine)
+{
+    // Poison the third line of the span; readBlock must return the bytes
+    // completed before the fault so the caller can retry from there.
+    memory.flipDataBit(128, 1);
+    memory.flipDataBit(128, 2);
+    std::uint8_t out[256];
+    EXPECT_EQ(cache.readBlock(0, out, sizeof(out)), 128u);
+    EXPECT_EQ(interrupts, 1);
+
+    memory.flipDataBit(128, 1);
+    memory.flipDataBit(128, 2);
+    EXPECT_EQ(cache.readBlock(128, out + 128, sizeof(out) - 128), 128u);
+}
+
 TEST_F(CacheTest, CrossLineAccessPanics)
 {
     std::uint8_t buffer[16];

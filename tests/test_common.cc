@@ -97,8 +97,81 @@ TEST(Stats, AllIsSortedByName)
     StatSet stats;
     stats.add("zebra");
     stats.add("apple");
-    auto it = stats.all().begin();
-    EXPECT_EQ(it->first, "apple");
+    auto snapshot = stats.all();
+    EXPECT_EQ(snapshot.begin()->first, "apple");
+}
+
+namespace {
+enum class TestStat : std::size_t { Reads, Writes, Peak };
+constexpr const char *kTestStatNames[] = {"reads", "writes", "peak"};
+} // namespace
+
+TEST(Stats, EnumAndStringViewsShareSlots)
+{
+    StatSet stats(kTestStatNames);
+    stats.add(TestStat::Reads);
+    stats.add("reads", 4);
+    EXPECT_EQ(stats.get(TestStat::Reads), 5u);
+    EXPECT_EQ(stats.get("reads"), 5u);
+
+    stats.set("writes", 7);
+    EXPECT_EQ(stats.get(TestStat::Writes), 7u);
+    stats.maxOf(TestStat::Peak, 10);
+    stats.maxOf("peak", 3);
+    stats.maxOf("peak", 20);
+    EXPECT_EQ(stats.get("peak"), 20u);
+}
+
+TEST(Stats, SlotsAndFallbackMergeInSnapshots)
+{
+    StatSet stats(kTestStatNames);
+    stats.add(TestStat::Writes, 2);
+    stats.add("ad_hoc", 9); // unregistered name -> fallback map
+    auto snapshot = stats.all();
+    EXPECT_EQ(snapshot.size(), 2u); // untouched slots are omitted
+    EXPECT_EQ(snapshot.at("writes"), 2u);
+    EXPECT_EQ(snapshot.at("ad_hoc"), 9u);
+    EXPECT_EQ(snapshot.count("reads"), 0u);
+
+    // A touched slot appears even when its value is zero, exactly like a
+    // created-on-first-use map entry did.
+    stats.set(TestStat::Reads, 0);
+    EXPECT_EQ(stats.all().count("reads"), 1u);
+
+    stats.clear();
+    EXPECT_TRUE(stats.all().empty());
+    EXPECT_EQ(stats.get(TestStat::Writes), 0u);
+}
+
+TEST(Stats, EnumOpsMatchStringKeyedReference)
+{
+    // Mirror a mixed op sequence into a plain map (the old implementation)
+    // and require identical snapshots.
+    StatSet stats(kTestStatNames);
+    std::map<std::string, std::uint64_t> reference;
+    auto ref_max = [&reference](const std::string &name, std::uint64_t v) {
+        auto it = reference.find(name);
+        if (it == reference.end() || it->second < v)
+            reference[name] = v;
+    };
+
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        stats.add(TestStat::Reads);
+        reference["reads"] += 1;
+        if (i % 3 == 0) {
+            stats.add("writes", i);
+            reference["writes"] += i;
+        }
+        if (i % 7 == 0) {
+            stats.maxOf(TestStat::Peak, i * 11);
+            ref_max("peak", i * 11);
+        }
+        if (i % 13 == 0) {
+            stats.add("fallback_counter", 2);
+            reference["fallback_counter"] += 2;
+        }
+    }
+    EXPECT_EQ(stats.all(), reference);
 }
 
 TEST(Histogram, CumulativeDistribution)
@@ -116,6 +189,21 @@ TEST(Histogram, EmptyIsZero)
 {
     Histogram hist(10);
     EXPECT_DOUBLE_EQ(hist.cumulativeAt(100), 0.0);
+}
+
+TEST(Histogram, MidBucketQueriesInterpolate)
+{
+    // Four samples in [0, 10), four in [10, 20). A query in the middle of
+    // a bucket must not claim the whole bucket's mass: cumulativeAt(4)
+    // covers half of the first bucket, not all of it.
+    Histogram hist(10);
+    for (std::uint64_t v : {0, 2, 5, 8, 11, 13, 16, 19})
+        hist.record(v);
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(4), 0.25);  // 4/8 * 5/10
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(9), 0.5);   // first bucket exactly
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(14), 0.75); // 0.5 + 4/8 * 5/10
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(19), 1.0);
+    EXPECT_DOUBLE_EQ(hist.cumulativeAt(500), 1.0); // past the last bucket
 }
 
 TEST(Rng, Deterministic)

@@ -15,6 +15,10 @@ Rules (scoped to ``src/`` unless noted):
                    (the base layer) includes nothing but other ``common/``
                    headers.
   header-docs      Every public header opens with a Doxygen ``@file`` block.
+  string-keyed-stats  No string-keyed ``stats_.add("...")`` (or set/maxOf/
+                   get) under ``src/cache/`` or ``src/mem/``: those sit on
+                   the per-access hot path and must use enum-indexed slots
+                   (``stats_.add(CacheStat::Hits)``).
 
 Usage:
   lint.py [--root DIR]   lint the tree rooted at DIR (default: repo root)
@@ -165,6 +169,23 @@ def check_include_hygiene(rel, raw, violations):
                     f"'{match.group(1)}'"))
 
 
+STRING_STAT_DIRS = ("src/cache/", "src/mem/")
+STRING_STAT = re.compile(r'\bstats_\s*\.\s*(add|set|maxOf|get)\s*\(\s*"')
+
+
+def check_string_keyed_stats(rel, stripped, violations):
+    # The stripper blanks string *contents* but keeps the quote chars, so
+    # a literal first argument still shows up as `stats_.add("`.
+    if not rel.startswith(STRING_STAT_DIRS):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if STRING_STAT.search(line):
+            violations.append(Violation(
+                rel, lineno, "string-keyed-stats",
+                "per-access stats in cache/mem must use enum-indexed "
+                "slots (stats_.add(CacheStat::...)), not string keys"))
+
+
 def check_header_docs(rel, raw, violations):
     if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
         return
@@ -188,6 +209,7 @@ def lint_file(root, rel, violations):
     check_stream_output(rel, stripped, violations)
     check_include_hygiene(rel, raw, violations)
     check_header_docs(rel, raw, violations)
+    check_string_keyed_stats(rel, stripped, violations)
 
 
 def lint_tree(root):
@@ -230,6 +252,11 @@ SEEDED_SOURCES = {
     "src/ecc/bad_docs.h": (
         "header-docs",
         "#pragma once\nint undocumented;\n"),
+    "src/cache/bad_string_stats.cc": (
+        "string-keyed-stats",
+        '#include "common/stats.h"\n'
+        "struct Hot\n{\n    safemem::StatSet stats_;\n"
+        '    void hit() { stats_.add("hits"); }\n};\n'),
 }
 
 CLEAN_SOURCE = (
