@@ -23,22 +23,32 @@ using namespace safemem;
 int
 main()
 {
-    setLogQuiet(true);
+    const Log quiet = Log::quiet();
+
+    const std::vector<std::string> apps = {"ypserv1", "proftpd",
+                                           "squid1"};
+    std::vector<RunSpec> specs;
+    for (const std::string &app : apps) {
+        // Normal inputs, as in the paper.
+        RunParams params = paperParams(app, false);
+        params.log = &quiet;
+        specs.push_back({app, ToolKind::SafeMemML, params});
+    }
+    std::vector<MatrixCell> cells = runMatrix(specs, /*workers=*/0);
 
     std::printf("Figure 3: stability of maximal lifetime "
                 "(%% of stabilised memory object groups vs time)\n");
     std::printf("(paper: all groups reach their stable maximal lifetime "
                 "early in the execution)\n\n");
 
-    const std::vector<std::string> apps = {"ypserv1", "proftpd",
-                                           "squid1"};
-    for (const std::string &app : apps) {
-        RunParams params;
-        params.requests = defaultRequests(app);
-        params.seed = 42;
-        params.buggy = false; // normal inputs, as in the paper
-
-        RunResult r = runWorkload(app, ToolKind::SafeMemML, params);
+    for (const MatrixCell &cell : cells) {
+        const std::string &app = cell.spec.app;
+        if (!cell.ok()) {
+            std::printf("%s: run failed: %s\n", app.c_str(),
+                        cell.error.c_str());
+            return 1;
+        }
+        const RunResult &r = cell.result;
         std::vector<Cycles> warmups = r.stabilityWarmups;
         std::sort(warmups.begin(), warmups.end());
 

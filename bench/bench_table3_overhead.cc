@@ -5,20 +5,48 @@
  *
  * Detection runs use buggy inputs; overhead runs use normal inputs so
  * the bugs do not perturb the measurement, exactly as in the paper.
+ * All 42 cells (7 apps x 6 configurations) go through runMatrix, which
+ * fans them out across cores; results are bit-identical to a
+ * sequential sweep.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "workloads/driver.h"
 
 using namespace safemem;
 
+namespace {
+
+/** The six runs Table 3 needs per application, in column order. */
+enum Cell { kDetect, kBase, kMl, kMc, kBoth, kPurify, kCellsPerApp };
+
+} // namespace
+
 int
 main()
 {
-    setLogQuiet(true);
+    const Log quiet = Log::quiet();
+
+    std::vector<RunSpec> specs;
+    for (const std::string &app : appNames()) {
+        RunParams normal = paperParams(app, false);
+        normal.log = &quiet;
+        RunParams buggy = paperParams(app, true);
+        buggy.log = &quiet;
+
+        // Detection: buggy inputs, full SafeMem. Overhead: normal inputs.
+        specs.push_back({app, ToolKind::SafeMemBoth, buggy});
+        specs.push_back({app, ToolKind::None, normal});
+        specs.push_back({app, ToolKind::SafeMemML, normal});
+        specs.push_back({app, ToolKind::SafeMemMC, normal});
+        specs.push_back({app, ToolKind::SafeMemBoth, normal});
+        specs.push_back({app, ToolKind::Purify, normal});
+    }
+    std::vector<MatrixCell> cells = runMatrix(specs, /*workers=*/0);
 
     std::printf("Table 3: time overhead (%%) of SafeMem vs Purify\n");
     std::printf("(paper: SafeMem ML+MC 1.6%%-14.4%%, Purify several x to"
@@ -27,27 +55,23 @@ main()
                 "detected?", "only-ML%", "only-MC%", "ML+MC%",
                 "purify%", "reduction");
 
-    for (const std::string &app : appNames()) {
-        RunParams params;
-        params.requests = defaultRequests(app);
-        params.seed = 42;
+    for (std::size_t i = 0; i < cells.size(); i += kCellsPerApp) {
+        const std::string &app = cells[i].spec.app;
+        for (int c = 0; c < kCellsPerApp; ++c) {
+            if (!cells[i + c].ok()) {
+                std::printf("%-8s run failed: %s\n", app.c_str(),
+                            cells[i + c].error.c_str());
+                return 1;
+            }
+        }
+        const RunResult &detect = cells[i + kDetect].result;
+        const RunResult &base = cells[i + kBase].result;
 
-        // Detection: buggy inputs, full SafeMem.
-        params.buggy = true;
-        RunResult detect = runWorkload(app, ToolKind::SafeMemBoth, params);
-
-        // Overhead: normal inputs.
-        params.buggy = false;
-        RunResult base = runWorkload(app, ToolKind::None, params);
-        RunResult ml = runWorkload(app, ToolKind::SafeMemML, params);
-        RunResult mc = runWorkload(app, ToolKind::SafeMemMC, params);
-        RunResult both = runWorkload(app, ToolKind::SafeMemBoth, params);
-        RunResult purify = runWorkload(app, ToolKind::Purify, params);
-
-        double ml_pct = overheadPercent(ml, base);
-        double mc_pct = overheadPercent(mc, base);
-        double both_pct = overheadPercent(both, base);
-        double purify_pct = overheadPercent(purify, base);
+        double ml_pct = overheadPercent(cells[i + kMl].result, base);
+        double mc_pct = overheadPercent(cells[i + kMc].result, base);
+        double both_pct = overheadPercent(cells[i + kBoth].result, base);
+        double purify_pct =
+            overheadPercent(cells[i + kPurify].result, base);
         double reduction =
             both_pct > 0.0 ? purify_pct / both_pct : 0.0;
 

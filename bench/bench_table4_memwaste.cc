@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "workloads/driver.h"
@@ -19,7 +20,16 @@ using namespace safemem;
 int
 main()
 {
-    setLogQuiet(true);
+    const Log quiet = Log::quiet();
+
+    std::vector<RunSpec> specs;
+    for (const std::string &app : appNames()) {
+        RunParams params = paperParams(app, false);
+        params.log = &quiet;
+        specs.push_back({app, ToolKind::SafeMemBoth, params});
+        specs.push_back({app, ToolKind::PageProtBoth, params});
+    }
+    std::vector<MatrixCell> cells = runMatrix(specs, /*workers=*/0);
 
     std::printf("Table 4: space overhead (%%) of ECC-protection vs "
                 "page-protection\n");
@@ -28,17 +38,16 @@ main()
     std::printf("%-8s %14s %15s %11s\n", "app", "ECC-prot(%)",
                 "page-prot(%)", "reduction");
 
-    for (const std::string &app : appNames()) {
-        RunParams params;
-        params.requests = defaultRequests(app);
-        params.seed = 42;
-        params.buggy = false;
-
-        RunResult ecc = runWorkload(app, ToolKind::SafeMemBoth, params);
-        RunResult page = runWorkload(app, ToolKind::PageProtBoth, params);
-
-        double ecc_pct = ecc.wastePercent();
-        double page_pct = page.wastePercent();
+    for (std::size_t i = 0; i < cells.size(); i += 2) {
+        const std::string &app = cells[i].spec.app;
+        if (!cells[i].ok() || !cells[i + 1].ok()) {
+            std::printf("%-8s run failed: %s\n", app.c_str(),
+                        (cells[i].ok() ? cells[i + 1] : cells[i])
+                            .error.c_str());
+            return 1;
+        }
+        double ecc_pct = cells[i].result.wastePercent();
+        double page_pct = cells[i + 1].result.wastePercent();
         double reduction = ecc_pct > 0.0 ? page_pct / ecc_pct : 0.0;
 
         std::printf("%-8s %14.2f %15.2f %10.1fX\n", app.c_str(), ecc_pct,

@@ -21,7 +21,17 @@ using namespace safemem;
 int
 main()
 {
-    setLogQuiet(true);
+    const Log quiet = Log::quiet();
+
+    const std::vector<std::string> leak_apps = {"ypserv1", "proftpd",
+                                                "squid1", "ypserv2"};
+    std::vector<RunSpec> specs;
+    for (const std::string &app : leak_apps) {
+        RunParams params = paperParams(app, true);
+        params.log = &quiet;
+        specs.push_back({app, ToolKind::SafeMemBoth, params});
+    }
+    std::vector<MatrixCell> cells = runMatrix(specs, /*workers=*/0);
 
     std::printf("Table 5: false memory leaks before/after ECC pruning\n");
     std::printf("(paper: ypserv1 7->0, proftpd 9->0, squid1 13->1, "
@@ -29,16 +39,14 @@ main()
     std::printf("%-8s %16s %15s %18s\n", "app", "before-pruning",
                 "after-pruning", "suspects-pruned");
 
-    const std::vector<std::string> leak_apps = {"ypserv1", "proftpd",
-                                                "squid1", "ypserv2"};
-    for (const std::string &app : leak_apps) {
-        RunParams params;
-        params.requests = defaultRequests(app);
-        params.seed = 42;
-        params.buggy = true;
-
-        RunResult r = runWorkload(app, ToolKind::SafeMemBoth, params);
-        std::printf("%-8s %16llu %15llu %18llu\n", app.c_str(),
+    for (const MatrixCell &cell : cells) {
+        if (!cell.ok()) {
+            std::printf("%-8s run failed: %s\n", cell.spec.app.c_str(),
+                        cell.error.c_str());
+            return 1;
+        }
+        const RunResult &r = cell.result;
+        std::printf("%-8s %16llu %15llu %18llu\n", cell.spec.app.c_str(),
                     static_cast<unsigned long long>(r.suspectedFalse),
                     static_cast<unsigned long long>(r.leakReportsFalse),
                     static_cast<unsigned long long>(r.prunedSuspects));

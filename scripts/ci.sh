@@ -4,10 +4,13 @@
 #   1. tier-1 verify      — default build + ctest (includes the lint tests)
 #   2. ASan configuration — full ctest under AddressSanitizer
 #   3. UBSan configuration— full ctest under UndefinedBehaviorSanitizer
-#   4. bench smoke        — bench_hotpath --json; fail on malformed JSON
-#                           or missing keys in the perf-baseline report
-#   5. repo lint          — tools/lint/lint.py over the tree + self-test
-#   6. format check       — scripts/check_format.sh (skips w/o clang-format)
+#   4. TSan configuration — full ctest under ThreadSanitizer; the matrix
+#                           tests drive concurrent machines, so this is
+#                           the data-race gate for the parallel harness
+#   5. bench smoke        — bench_hotpath --json and bench_matrix --json;
+#                           fail on malformed JSON or missing keys
+#   6. repo lint          — tools/lint/lint.py over the tree + self-test
+#   7. format check       — scripts/check_format.sh (skips w/o clang-format)
 #
 # Every stage runs even when an earlier one fails; the exit status is
 # non-zero if any stage failed.
@@ -66,10 +69,36 @@ print(f"bench smoke: {len(doc['phases'])} phases, "
 PYEOF
 }
 
+matrix_smoke() {
+    # Reduced requests keep this fast; the committed BENCH_matrix.json
+    # baseline is produced from a full paper-scale run instead.
+    local out=build/bench/BENCH_matrix_smoke.json
+    build/bench/bench_matrix --json --requests 100 --workers 2 \
+        >"$out" &&
+        python3 - "$out" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+for key in ("bench", "cells", "requests", "workers", "hardware_threads",
+            "serial_seconds", "parallel_seconds", "speedup", "identical"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["bench"] == "matrix"
+assert doc["cells"] == 42, f"expected the 42-cell Table 3 sweep: {doc}"
+assert doc["identical"] is True, "parallel sweep diverged from serial"
+print(f"matrix smoke: {doc['cells']} cells, "
+      f"speedup {doc['speedup']}x on {doc['workers']} workers")
+PYEOF
+}
+
 stage "tier-1 (default build + ctest)" build_and_test build
 stage "asan ctest" build_and_test build-asan -DSAFEMEM_ASAN=ON
 stage "ubsan ctest" build_and_test build-ubsan -DSAFEMEM_UBSAN=ON
+stage "tsan ctest" build_and_test build-tsan -DSAFEMEM_TSAN=ON
 stage "bench smoke (hotpath --json)" bench_smoke
+stage "bench smoke (matrix --json)" matrix_smoke
 stage "repo lint" python3 tools/lint/lint.py --root .
 stage "lint self-test" python3 tools/lint/lint.py --self-test
 stage "format check" scripts/check_format.sh

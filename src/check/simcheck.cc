@@ -25,14 +25,31 @@ void
 SimCheck::report(AuditDomain domain, const char *invariant,
                  const std::string &detail)
 {
-    violations_.push_back(AuditViolation{domain, invariant, detail});
+    {
+        std::lock_guard<std::mutex> lock(violationsMutex_);
+        violations_.push_back(AuditViolation{domain, invariant, detail});
+    }
 
     std::string msg = detail::format(
         "SimCheck violation: domain=", auditDomainName(domain),
         " invariant=", invariant, detail.empty() ? "" : " ", detail);
-    if (throwOnViolation_)
+    if (throwOnViolation())
         panic(msg);
     logMessage(LogLevel::Warn, msg);
+}
+
+std::vector<AuditViolation>
+SimCheck::violations() const
+{
+    std::lock_guard<std::mutex> lock(violationsMutex_);
+    return violations_;
+}
+
+void
+SimCheck::clearViolations()
+{
+    std::lock_guard<std::mutex> lock(violationsMutex_);
+    violations_.clear();
 }
 
 } // namespace safemem

@@ -14,11 +14,19 @@
  * by default, unwinds via PanicError so any test exercising the broken
  * path fails. Self-tests flip reporting to collect mode and inspect the
  * recorded violations instead.
+ *
+ * The auditor is shared by every Machine in the process, so its own state
+ * is thread-safe: flags and the hook counter are atomics, the violation
+ * record is mutex-guarded. Parallel run matrices therefore audit freely;
+ * only the collect-mode *inspection* API (violations()/clearViolations())
+ * assumes the caller has quiesced the machines it cares about.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,20 +66,32 @@ class SimCheck
     static SimCheck &instance();
 
     /** Master switch; all SIMCHECK_AUDIT hooks no-op while disabled. */
-    void setEnabled(bool on) { enabled_ = on; }
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
 
     /** @return true when audits are active. */
-    bool enabled() const { return enabled_; }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
     /**
      * Choose the failure mode: throwing (default — a violation panics so
      * tests fail loudly) or collecting (self-tests seed deliberate
      * violations and inspect the record).
      */
-    void setThrowOnViolation(bool on) { throwOnViolation_ = on; }
+    void
+    setThrowOnViolation(bool on)
+    {
+        throwOnViolation_.store(on, std::memory_order_relaxed);
+    }
 
     /** @return true when violations unwind via PanicError. */
-    bool throwOnViolation() const { return throwOnViolation_; }
+    bool
+    throwOnViolation() const
+    {
+        return throwOnViolation_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Report a failed audit: records it, emits a structured log line, and
@@ -81,24 +101,26 @@ class SimCheck
                 const std::string &detail);
 
     /** Bump the audits-run counter (one per executed hook). */
-    void countAudit() { ++auditsRun_; }
+    void countAudit() { auditsRun_.fetch_add(1, std::memory_order_relaxed); }
 
     /** @return how many audit hooks have executed while enabled. */
-    std::uint64_t auditsRun() const { return auditsRun_; }
-
-    /** @return violations recorded since the last clear. */
-    const std::vector<AuditViolation> &violations() const
+    std::uint64_t
+    auditsRun() const
     {
-        return violations_;
+        return auditsRun_.load(std::memory_order_relaxed);
     }
 
+    /** @return a snapshot of violations recorded since the last clear. */
+    std::vector<AuditViolation> violations() const;
+
     /** Forget recorded violations (between self-test cases). */
-    void clearViolations() { violations_.clear(); }
+    void clearViolations();
 
   private:
-    bool enabled_ = false;
-    bool throwOnViolation_ = true;
-    std::uint64_t auditsRun_ = 0;
+    std::atomic<bool> enabled_{false};
+    std::atomic<bool> throwOnViolation_{true};
+    std::atomic<std::uint64_t> auditsRun_{0};
+    mutable std::mutex violationsMutex_;
     std::vector<AuditViolation> violations_;
 };
 

@@ -1,15 +1,25 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace safemem {
 
 namespace {
 
-bool g_quiet = false;
+// The deprecated process-wide quiet flag (setLogQuiet shim). Atomic so a
+// legacy caller flipping it while worker threads run is a defined race;
+// new code routes per-run sinks through LogScope and never touches it.
+std::atomic<bool> g_defaultQuiet{false};
+
+// The active sink of *this* thread, installed by LogScope. thread_local
+// keeps concurrent runs' sinks independent without any locking.
+thread_local const Log *t_threadLog = nullptr;
+
+} // namespace
 
 const char *
-levelTag(LogLevel level)
+logLevelTag(LogLevel level)
 {
     switch (level) {
       case LogLevel::Inform: return "info";
@@ -20,28 +30,54 @@ levelTag(LogLevel level)
     return "?";
 }
 
-} // namespace
+void
+Log::message(LogLevel level, const std::string &msg) const
+{
+    if (silent_)
+        return;
+    if (sink_) {
+        sink_(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", logLevelTag(level), msg.c_str());
+}
+
+LogScope::LogScope(const Log &log)
+    : previous_(t_threadLog)
+{
+    t_threadLog = &log;
+}
+
+LogScope::~LogScope()
+{
+    t_threadLog = previous_;
+}
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    // Quiet mode silences everything: panic/fatal text still reaches
-    // the caller inside the thrown exception.
-    if (g_quiet)
+    if (const Log *scoped = t_threadLog) {
+        scoped->message(level, msg);
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+    }
+    // Scope-less default: stderr, gated by the deprecated quiet shim.
+    // Quiet silences everything — panic/fatal text still reaches the
+    // caller inside the thrown exception.
+    if (g_defaultQuiet.load(std::memory_order_relaxed))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", logLevelTag(level), msg.c_str());
 }
 
 void
 setLogQuiet(bool quiet)
 {
-    g_quiet = quiet;
+    g_defaultQuiet.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 logQuiet()
 {
-    return g_quiet;
+    return g_defaultQuiet.load(std::memory_order_relaxed);
 }
 
 } // namespace safemem

@@ -5,10 +5,19 @@
  * panic() is for internal invariant violations (throws PanicError so tests
  * can assert on it); fatal() is for unrecoverable user/configuration errors;
  * warn()/inform() emit status lines without stopping the simulation.
+ *
+ * Routing is instance-safe: a run installs a LogScope on its thread and
+ * every message emitted by simulator code on that thread goes to the
+ * scope's Log sink. Concurrent runs on different threads therefore keep
+ * independent sinks — nothing is shared. Threads without a scope fall
+ * back to a stderr default, gated by the deprecated process-wide quiet
+ * flag (setLogQuiet), which is kept only for the CLI flag and legacy
+ * single-run callers.
  */
 
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -36,18 +45,84 @@ class FatalError : public std::runtime_error
 /** Severity used by the log sink. */
 enum class LogLevel { Inform, Warn, Panic, Fatal };
 
+/** @return the printable tag for @p level ("info", "warn", ...). */
+const char *logLevelTag(LogLevel level);
+
 /**
- * Route a formatted message to the process-wide log sink.
+ * A per-run log sink. A default-constructed Log formats to stderr; a
+ * custom sink receives every message; Log::quiet() drops everything
+ * (panic/fatal text still reaches the caller inside the thrown
+ * exception). Log objects are immutable after construction, so one Log
+ * may serve many runs — but a *custom sink* invoked from several
+ * threads at once must synchronise internally.
+ */
+class Log
+{
+  public:
+    using Sink = std::function<void(LogLevel, const std::string &)>;
+
+    /** stderr default. */
+    Log() = default;
+
+    /** Route every message to @p sink. */
+    explicit Log(Sink sink) : sink_(std::move(sink)), silent_(false) {}
+
+    /** @return a sink that discards all messages. */
+    static Log
+    quiet()
+    {
+        Log log;
+        log.silent_ = true;
+        return log;
+    }
+
+    /** Deliver one message to this sink. */
+    void message(LogLevel level, const std::string &msg) const;
+
+  private:
+    Sink sink_;           ///< empty: use the stderr default
+    bool silent_ = false; ///< quiet(): drop everything
+};
+
+/**
+ * RAII: route this *thread's* logMessage() traffic to @p log for the
+ * scope's lifetime. Scopes nest (the previous target is restored) and
+ * are strictly thread-local: other threads are unaffected, which is
+ * what lets concurrent runs keep independent sinks.
+ */
+class LogScope
+{
+  public:
+    explicit LogScope(const Log &log);
+    ~LogScope();
+
+    LogScope(const LogScope &) = delete;
+    LogScope &operator=(const LogScope &) = delete;
+
+  private:
+    const Log *previous_;
+};
+
+/**
+ * Route a formatted message to the current thread's LogScope sink, or
+ * to the process-wide stderr default when no scope is installed.
  *
  * @param level  Severity tag prepended to the line.
  * @param msg    Fully formatted message body.
  */
 void logMessage(LogLevel level, const std::string &msg);
 
-/** Silence or re-enable inform()/warn() output (tests use this). */
+/**
+ * Silence or re-enable the *default* (scope-less) stderr sink.
+ *
+ * @deprecated Process-wide state, kept only for the CLI and legacy
+ * single-run callers. New code passes a Log through RunParams /
+ * MachineConfig (or installs a LogScope) so concurrent runs do not
+ * share quiet state.
+ */
 void setLogQuiet(bool quiet);
 
-/** @return true when inform()/warn() output is suppressed. */
+/** @return true when the scope-less default sink is suppressed. */
 bool logQuiet();
 
 namespace detail {

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A small job-queue thread pool for fanning independent simulator runs
+ * out across host cores.
+ *
+ * Each Machine is a self-contained world, so whole runs parallelise
+ * with no shared state beyond this queue. The pool is deliberately
+ * minimal: FIFO jobs, fixed worker count, drain() as the only barrier.
+ * Jobs must not throw — a run harness catches per-run failures itself
+ * (see runMatrix) so one bad cell cannot take down the batch.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safemem {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (at least one). */
+    explicit ThreadPool(unsigned workers)
+    {
+        if (workers == 0)
+            workers = 1;
+        threads_.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    /** drain(), then stop and join every worker. */
+    ~ThreadPool()
+    {
+        drain();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &thread : threads_)
+            thread.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job; it runs on some worker in FIFO order. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(job));
+            ++unfinished_;
+        }
+        wake_.notify_one();
+    }
+
+    /** Block until every submitted job has finished running. */
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return unfinished_ == 0; });
+    }
+
+    /** @return the number of worker threads. */
+    std::size_t size() const { return threads_.size(); }
+
+    /**
+     * @return a worker count for @p jobs jobs: @p requested, or the
+     * host's hardware concurrency when @p requested is 0, never more
+     * than @p jobs and never less than one.
+     */
+    static unsigned
+    clampWorkers(unsigned requested, std::size_t jobs)
+    {
+        unsigned workers =
+            requested != 0 ? requested : std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+        if (jobs > 0 && workers > jobs)
+            workers = static_cast<unsigned>(jobs);
+        return workers;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stopping_, and nothing left to run
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--unfinished_ == 0)
+                    idle_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_; ///< signals queued work / shutdown
+    std::condition_variable idle_; ///< signals "all jobs finished"
+    std::deque<std::function<void()>> queue_;
+    std::size_t unfinished_ = 0; ///< queued + currently running jobs
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace safemem

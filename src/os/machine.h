@@ -23,6 +23,7 @@
 
 #include "cache/cache.h"
 #include "common/clock.h"
+#include "common/logging.h"
 #include "common/types.h"
 #include "mem/memory_controller.h"
 #include "mem/physical_memory.h"
@@ -43,6 +44,14 @@ struct MachineConfig
     bool simCheck = false;
     /** Run the deep SimCheck audits every this many kernel ticks. */
     std::uint32_t auditTickInterval = 64;
+    /**
+     * Per-run log sink for everything this machine emits (must outlive
+     * the machine). Null: the process default. The machine itself is
+     * single-threaded, so the run harness installs a LogScope with
+     * machine.log() on whichever thread drives the machine — see
+     * runWorkload()/runMatrix().
+     */
+    const Log *log = nullptr;
 };
 
 /** Observer invoked before every application load/store. */
@@ -94,6 +103,14 @@ class Machine
 
     /** Install / clear the per-access tool hook. */
     void setAccessHook(AccessHook hook) { accessHook_ = std::move(hook); }
+
+    /**
+     * @return the configured per-run log sink, or null when this
+     * machine reports through the process default. The pointer is
+     * stable for the machine's lifetime, so it can back a LogScope on
+     * the driving thread.
+     */
+    const Log *log() const { return config_.log; }
 
     /** @return the machine's cycle clock. */
     CycleClock &clock() { return clock_; }

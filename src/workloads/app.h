@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "workloads/env.h"
 
 namespace safemem {
@@ -22,8 +23,21 @@ struct RunParams
     /** Buggy inputs: the injected bug triggers. Normal inputs do not
      *  exercise the bug (the paper measures overhead on normal inputs). */
     bool buggy = false;
-    /** Deterministic seed for the request stream. */
+    /**
+     * Deterministic RNG seed for the request stream. Together with
+     * requests/buggy it fully determines a run: same parameters, same
+     * RunResult, bit for bit, regardless of what else the process is
+     * doing — the contract runMatrix() builds on.
+     */
     std::uint64_t seed = 1;
+    /**
+     * Per-run log sink (must outlive the run); the driver routes every
+     * message the run emits — kernel warnings, SimCheck reports — to
+     * it, so concurrent runs cannot interleave or share quiet state.
+     * Null: the process-default sink, gated by the deprecated
+     * setLogQuiet() shim.
+     */
+    const Log *log = nullptr;
 };
 
 class App

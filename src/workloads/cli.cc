@@ -23,18 +23,22 @@ std::string
 cliUsage()
 {
     std::ostringstream os;
-    os << "usage: safemem_run <app> [options]\n"
+    os << "usage: safemem_run <app|all> [options]\n"
        << "\n"
        << "apps:";
     for (const std::string &name : appNames())
         os << " " << name;
-    os << "\n\noptions:\n"
+    os << "\n"
+       << "('all' sweeps every app under the selected tool)\n"
+       << "\noptions:\n"
        << "  --tool <name>     none | safemem-ml | safemem-mc | safemem |"
           " pageprot | purify\n"
        << "                    (default: safemem)\n"
        << "  --buggy           use bug-triggering inputs\n"
        << "  --requests <n>    work items to process (default: per app)\n"
        << "  --seed <n>        request-stream seed (default: 42)\n"
+       << "  --workers <n>     parallel runs for sweeps/overhead pairs\n"
+       << "                    (default: 1 = sequential, 0 = all cores)\n"
        << "  --overhead        also run uninstrumented and report the "
           "overhead\n"
        << "  --stats[=prefix]  dump run counters (optionally filtered)\n"
@@ -57,7 +61,8 @@ parseCliArguments(const std::vector<std::string> &args)
 
     std::size_t i = 0;
     options.app = args[i++];
-    if (!makeApp(options.app)) {
+    options.allApps = options.app == "all";
+    if (!options.allApps && !makeApp(options.app)) {
         result.message = "unknown application '" + options.app + "'\n\n" +
                          cliUsage();
         return result;
@@ -105,6 +110,12 @@ parseCliArguments(const std::vector<std::string> &args)
             if (!value)
                 return result;
             options.params.seed = std::stoull(*value);
+        } else if (arg == "--workers") {
+            const std::string *value = need_value("--workers");
+            if (!value)
+                return result;
+            options.workers =
+                static_cast<unsigned>(std::stoul(*value));
         } else {
             result.message =
                 "unknown option '" + arg + "'\n\n" + cliUsage();
@@ -112,30 +123,74 @@ parseCliArguments(const std::vector<std::string> &args)
         }
     }
 
-    if (options.params.requests == 0)
+    // "all" keeps requests at 0: each swept app resolves its own
+    // default when the matrix is assembled in runCli().
+    if (options.params.requests == 0 && !options.allApps)
         options.params.requests = defaultRequests(options.app);
     result.options = options;
     return result;
 }
+
+namespace {
+
+/** Assemble the sweep/overhead matrix one CLI invocation describes. */
+std::vector<RunSpec>
+cliSpecs(const CliOptions &options)
+{
+    std::vector<RunSpec> specs;
+    const bool baseline =
+        options.compareBaseline && options.tool != ToolKind::None;
+    std::vector<std::string> apps;
+    if (options.allApps)
+        apps = appNames();
+    else
+        apps.push_back(options.app);
+
+    for (const std::string &app : apps) {
+        RunParams params = options.params;
+        if (params.requests == 0)
+            params.requests = defaultRequests(app);
+        specs.push_back(RunSpec{app, options.tool, params});
+        if (baseline)
+            specs.push_back(RunSpec{app, ToolKind::None, params});
+    }
+    return specs;
+}
+
+} // namespace
 
 std::string
 runCli(const CliOptions &options)
 {
     if (options.simCheck)
         SimCheck::instance().setEnabled(true);
-    std::ostringstream os;
-    RunResult result =
-        runWorkload(options.app, options.tool, options.params);
-    os << formatRunSummary(result);
 
-    if (options.compareBaseline && options.tool != ToolKind::None) {
-        RunResult baseline =
-            runWorkload(options.app, ToolKind::None, options.params);
-        os << "  " << formatOverhead(result, baseline) << "\n";
+    const bool baseline =
+        options.compareBaseline && options.tool != ToolKind::None;
+    const std::size_t per_app = baseline ? 2 : 1;
+    std::vector<MatrixCell> cells =
+        runMatrix(cliSpecs(options), options.workers);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cells.size(); i += per_app) {
+        const MatrixCell &cell = cells[i];
+        if (!cell.ok()) {
+            os << cell.spec.app << ": run failed: " << cell.error << "\n";
+            continue;
+        }
+        os << formatRunSummary(cell.result);
+        if (baseline) {
+            const MatrixCell &base = cells[i + 1];
+            if (base.ok())
+                os << "  " << formatOverhead(cell.result, base.result)
+                   << "\n";
+            else
+                os << "  baseline run failed: " << base.error << "\n";
+        }
+        if (options.dumpStats)
+            os << "\ncounters:\n"
+               << formatStats(cell.result, options.statsPrefix);
     }
-    if (options.dumpStats)
-        os << "\ncounters:\n"
-           << formatStats(result, options.statsPrefix);
     return os.str();
 }
 

@@ -17,9 +17,11 @@ namespace safemem {
 /** Parsed command line of the safemem_run tool. */
 struct CliOptions
 {
-    std::string app;
+    std::string app;              ///< one application, or "all"
     ToolKind tool = ToolKind::SafeMemBoth;
     RunParams params;
+    bool allApps = false;         ///< app was "all": sweep every workload
+    unsigned workers = 1;         ///< --workers: matrix fan-out (0 = cores)
     bool compareBaseline = false; ///< --overhead: also run uninstrumented
     bool dumpStats = false;       ///< --stats: print every counter
     bool simCheck = false;        ///< --simcheck: enable invariant audits

@@ -1,8 +1,11 @@
 #include "workloads/driver.h"
 
+#include <atomic>
 #include <memory>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "pageprot/page_watch.h"
 #include "purify/purify.h"
 #include "safemem/safemem.h"
@@ -53,12 +56,20 @@ RunResult
 runWorkload(const std::string &app_name, ToolKind tool,
             const RunParams &params)
 {
+    // Route everything this run emits — kernel warnings, SimCheck
+    // reports, detector findings — to the run's own sink. The scope is
+    // thread-local, so concurrent runs keep independent sinks.
+    std::optional<LogScope> log_scope;
+    if (params.log)
+        log_scope.emplace(*params.log);
+
     std::unique_ptr<App> app = makeApp(app_name);
     if (!app)
         fatal("runWorkload: unknown application '", app_name, "'");
 
     MachineConfig machine_config;
     machine_config.memoryBytes = 192u << 20;
+    machine_config.log = params.log;
     Machine machine(machine_config);
     HeapAllocator allocator(machine);
 
@@ -207,6 +218,65 @@ runWorkload(const std::string &app_name, ToolKind tool,
     result.bugDetected =
         result.leakReportsTrue > 0 || result.corruptionTrue > 0;
     return result;
+}
+
+namespace {
+
+/** Run one cell, capturing any escaped exception as the cell's error. */
+void
+runCell(const RunSpec &spec, MatrixCell &cell)
+{
+    cell.spec = spec;
+    try {
+        cell.result = runWorkload(spec.app, spec.tool, spec.params);
+    } catch (const std::exception &err) {
+        cell.error = err.what();
+    } catch (...) {
+        cell.error = "unknown exception";
+    }
+}
+
+} // namespace
+
+std::vector<MatrixCell>
+runMatrix(const std::vector<RunSpec> &specs, unsigned workers)
+{
+    std::vector<MatrixCell> cells(specs.size());
+    workers = ThreadPool::clampWorkers(workers, specs.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            runCell(specs[i], cells[i]);
+        return cells;
+    }
+
+    // Workers claim cells from a shared cursor; each run is a pure
+    // function of its spec, so the claim order (and the worker count)
+    // cannot change any result — only the wall clock.
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.submit([&] {
+            while (true) {
+                std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= specs.size())
+                    return;
+                runCell(specs[i], cells[i]);
+            }
+        });
+    }
+    pool.drain();
+    return cells;
+}
+
+RunParams
+paperParams(const std::string &app_name, bool buggy)
+{
+    RunParams params;
+    params.requests = defaultRequests(app_name);
+    params.seed = 42;
+    params.buggy = buggy;
+    return params;
 }
 
 double

@@ -86,6 +86,9 @@ struct RunResult
                    : 100.0 * static_cast<double>(wasteBytes) /
                          static_cast<double>(userBytes);
     }
+
+    /** Field-for-field equality — the bit-identical-runs contract. */
+    bool operator==(const RunResult &) const = default;
 };
 
 /**
@@ -93,6 +96,50 @@ struct RunResult
  */
 RunResult runWorkload(const std::string &app_name, ToolKind tool,
                       const RunParams &params);
+
+/** One cell of an evaluation matrix: which run to perform. */
+struct RunSpec
+{
+    std::string app;
+    ToolKind tool = ToolKind::SafeMemBoth;
+    RunParams params;
+};
+
+/** One cell's outcome: the result, or the failure that replaced it. */
+struct MatrixCell
+{
+    RunSpec spec;
+    RunResult result;  ///< meaningful only when ok()
+    std::string error; ///< what() of the exception that escaped the run
+
+    /** @return true when the run completed and result is valid. */
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Run every cell of @p specs — each on a fresh, fully independent
+ * machine — and return the outcomes in spec order.
+ *
+ * @param specs    the matrix, one entry per (app, tool, params) run.
+ * @param workers  worker threads; 1 runs sequentially on the calling
+ *                 thread, 0 uses the host's hardware concurrency. Cells
+ *                 are claimed from a shared queue, so any worker count
+ *                 yields bit-identical results (runs are pure functions
+ *                 of their RunSpec).
+ *
+ * A run that throws (unknown app, simulated kernel panic) fails only
+ * its own cell: the exception text lands in that cell's error field and
+ * every other cell still completes.
+ */
+std::vector<MatrixCell> runMatrix(const std::vector<RunSpec> &specs,
+                                  unsigned workers);
+
+/**
+ * @return the paper's canonical parameters for @p app: per-app default
+ * request count, seed 42, and @p buggy inputs — the assemble step every
+ * table/figure harness shares.
+ */
+RunParams paperParams(const std::string &app_name, bool buggy = false);
 
 /** @return overhead of @p run over @p baseline, in percent. */
 double overheadPercent(const RunResult &run, const RunResult &baseline);

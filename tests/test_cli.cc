@@ -52,6 +52,24 @@ TEST(Cli, AllFlagsParsed)
     EXPECT_EQ(parse.options->statsPrefix, "leak");
 }
 
+TEST(Cli, AllSweepParsed)
+{
+    CliParse parse = parseCliArguments({"all", "--workers", "3"});
+    ASSERT_TRUE(parse.options.has_value());
+    EXPECT_TRUE(parse.options->allApps);
+    EXPECT_EQ(parse.options->workers, 3u);
+    // Each swept app resolves its own default request count later.
+    EXPECT_EQ(parse.options->params.requests, 0u);
+}
+
+TEST(Cli, WorkersDefaultsToSequential)
+{
+    CliParse parse = parseCliArguments({"gzip"});
+    ASSERT_TRUE(parse.options.has_value());
+    EXPECT_FALSE(parse.options->allApps);
+    EXPECT_EQ(parse.options->workers, 1u);
+}
+
 TEST(Cli, BadToolRejected)
 {
     CliParse parse = parseCliArguments({"gzip", "--tool", "valgrind"});
@@ -98,6 +116,18 @@ TEST(Cli, EndToEndCleanRun)
     std::string report = runCli(*parse.options);
     EXPECT_NE(report.find("clean run"), std::string::npos);
     EXPECT_NE(report.find("overhead"), std::string::npos);
+}
+
+TEST(Cli, EndToEndAllSweepCoversEveryApp)
+{
+    CliParse parse = parseCliArguments(
+        {"all", "--requests", "40", "--workers", "2"});
+    ASSERT_TRUE(parse.options.has_value());
+    std::string report = runCli(*parse.options);
+    for (const std::string &app : appNames())
+        EXPECT_NE(report.find("=== " + app + " under"),
+                  std::string::npos)
+            << app;
 }
 
 TEST(ReportWriter, VerdictVariants)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/logging.h"
 #include "workloads/driver.h"
 
@@ -88,21 +91,28 @@ TEST_F(IntegrationDetect, SafeMemDetectsSquid2UseAfterFree)
 TEST_F(IntegrationDetect, NoCorruptionFalsePositives)
 {
     // Paper §6.4: "SafeMem does not have any false positives in memory
-    // corruption detection."
-    for (const std::string &app : appNames()) {
-        RunResult r = runWorkload(app, ToolKind::SafeMemBoth,
-                                  paramsFor(app, false));
-        EXPECT_EQ(r.corruptionTrue, 0u) << app;
-        EXPECT_EQ(r.corruptionFalse, 0u) << app;
+    // corruption detection." Swept as a parallel matrix so the
+    // multi-machine execution path is exercised in tier-1 ctest.
+    std::vector<RunSpec> specs;
+    for (const std::string &app : appNames())
+        specs.push_back({app, ToolKind::SafeMemBoth,
+                         paramsFor(app, false)});
+    for (const MatrixCell &cell : runMatrix(specs, 2)) {
+        ASSERT_TRUE(cell.ok()) << cell.spec.app << ": " << cell.error;
+        EXPECT_EQ(cell.result.corruptionTrue, 0u) << cell.spec.app;
+        EXPECT_EQ(cell.result.corruptionFalse, 0u) << cell.spec.app;
     }
 }
 
 TEST_F(IntegrationDetect, NormalRunsReportNoLeakAtBugSite)
 {
-    for (const std::string &app : appNames()) {
-        RunResult r = runWorkload(app, ToolKind::SafeMemBoth,
-                                  paramsFor(app, false));
-        EXPECT_EQ(r.leakReportsTrue, 0u) << app;
+    std::vector<RunSpec> specs;
+    for (const std::string &app : appNames())
+        specs.push_back({app, ToolKind::SafeMemBoth,
+                         paramsFor(app, false)});
+    for (const MatrixCell &cell : runMatrix(specs, 2)) {
+        ASSERT_TRUE(cell.ok()) << cell.spec.app << ": " << cell.error;
+        EXPECT_EQ(cell.result.leakReportsTrue, 0u) << cell.spec.app;
     }
 }
 
@@ -112,15 +122,24 @@ TEST_F(IntegrationOverhead, SafeMemIsCheapPurifyIsNot)
 {
     // Table 3's shape: SafeMem single-digit-ish percent, Purify a
     // multiple of the baseline, with orders of magnitude between them.
+    std::vector<RunSpec> specs;
     for (const std::string &app : {std::string("ypserv1"),
                                    std::string("gzip")}) {
         RunParams params = paramsFor(app, false);
-        RunResult base = runWorkload(app, ToolKind::None, params);
-        RunResult sm = runWorkload(app, ToolKind::SafeMemBoth, params);
-        RunResult purify = runWorkload(app, ToolKind::Purify, params);
-
-        double sm_overhead = overheadPercent(sm, base);
-        double purify_overhead = overheadPercent(purify, base);
+        specs.push_back({app, ToolKind::None, params});
+        specs.push_back({app, ToolKind::SafeMemBoth, params});
+        specs.push_back({app, ToolKind::Purify, params});
+    }
+    std::vector<MatrixCell> cells = runMatrix(specs, 2);
+    for (std::size_t i = 0; i < cells.size(); i += 3) {
+        const std::string &app = cells[i].spec.app;
+        ASSERT_TRUE(cells[i].ok() && cells[i + 1].ok() &&
+                    cells[i + 2].ok())
+            << app;
+        const RunResult &base = cells[i].result;
+        double sm_overhead = overheadPercent(cells[i + 1].result, base);
+        double purify_overhead =
+            overheadPercent(cells[i + 2].result, base);
 
         EXPECT_GT(sm_overhead, 0.0) << app;
         EXPECT_LT(sm_overhead, 25.0) << app;
@@ -170,12 +189,14 @@ using IntegrationPurify = QuietLogs;
 
 TEST_F(IntegrationPurify, PurifyAlsoDetectsCorruptionBugs)
 {
+    std::vector<RunSpec> specs;
     for (const std::string &app : {std::string("gzip"),
                                    std::string("tar"),
-                                   std::string("squid2")}) {
-        RunResult r = runWorkload(app, ToolKind::Purify,
-                                  paramsFor(app, true));
-        EXPECT_GE(r.corruptionTrue, 1u) << app;
+                                   std::string("squid2")})
+        specs.push_back({app, ToolKind::Purify, paramsFor(app, true)});
+    for (const MatrixCell &cell : runMatrix(specs, 3)) {
+        ASSERT_TRUE(cell.ok()) << cell.spec.app << ": " << cell.error;
+        EXPECT_GE(cell.result.corruptionTrue, 1u) << cell.spec.app;
     }
 }
 

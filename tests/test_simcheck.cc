@@ -90,7 +90,7 @@ TEST(SimCheck, CollectModeRecordsStructuredViolation)
     SIMCHECK_AUDIT(AuditDomain::Allocator, "self_test_collect", false,
                    "detail ", 42);
     ASSERT_EQ(guard.count(), 1u);
-    const AuditViolation &v = SimCheck::instance().violations()[0];
+    const AuditViolation v = SimCheck::instance().violations()[0];
     EXPECT_EQ(v.domain, AuditDomain::Allocator);
     EXPECT_EQ(v.invariant, "self_test_collect");
     EXPECT_EQ(v.detail, "detail 42");

@@ -19,6 +19,12 @@ Rules (scoped to ``src/`` unless noted):
                    get) under ``src/cache/`` or ``src/mem/``: those sit on
                    the per-access hot path and must use enum-indexed slots
                    (``stats_.add(CacheStat::Hits)``).
+  mutable-globals  No new non-const namespace-scope mutable variables under
+                   ``src/``: process-wide state breaks the "a run is a pure
+                   function of its RunSpec" contract that the parallel run
+                   matrix depends on.  ``const``/``constexpr`` data and
+                   ``thread_local`` slots are fine; the deprecated quiet
+                   flag is allowlisted.
 
 Usage:
   lint.py [--root DIR]   lint the tree rooted at DIR (default: repo root)
@@ -186,6 +192,88 @@ def check_string_keyed_stats(rel, stripped, violations):
                 "slots (stats_.add(CacheStat::...)), not string keys"))
 
 
+# Existing process-global state, kept deliberately: the setLogQuiet()
+# compatibility shim. Everything else must be per-Machine / per-run.
+MUTABLE_GLOBAL_ALLOWLIST = {
+    ("src/common/logging.cc", "g_defaultQuiet"),
+}
+
+# Statement openers that are never variable definitions.
+MUTABLE_GLOBAL_SKIP = re.compile(
+    r"^\s*(?:[#{}]|$|using\b|typedef\b|namespace\b|class\b|struct\b|"
+    r"union\b|enum\b|template\b|static_assert\b|extern\b|friend\b)")
+
+# `type name = ...;` / `type name{...};` / `type name;` with optional
+# array brackets. Function declarations never match: '(' cannot appear
+# between the type and the terminator.
+MUTABLE_GLOBAL_DECL = re.compile(
+    r"^\s*(?:static\s+|inline\s+)*"
+    r"[A-Za-z_][\w:<>,\*&\s]*?\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*(?:=[^=]|\{|;)")
+
+IMMUTABLE_KEYWORDS = re.compile(
+    r"\b(?:const|constexpr|constinit|thread_local)\b")
+
+
+def namespace_scope_lines(stripped):
+    """1-based numbers of lines that *start* at namespace scope.
+
+    Walks the brace structure of the stripped text. A ``{`` whose
+    preceding statement fragment contains the ``namespace`` keyword
+    keeps namespace scope; any other brace (function body, class,
+    initializer) leaves it. Multi-line declarations are judged by their
+    first line, which is where the type and name live in this codebase.
+    """
+    at_scope = set()
+    stack = []  # True for namespace braces, False otherwise
+    fragment = []  # code since the last ; { or }
+    lineno = 1
+    if stripped:
+        at_scope.add(1)
+    for c in stripped:
+        if c == "\n":
+            lineno += 1
+            if not stack or all(stack):
+                at_scope.add(lineno)
+            fragment.append(" ")
+        elif c == "{":
+            text = "".join(fragment)
+            stack.append(re.search(r"\bnamespace\b", text) is not None)
+            fragment = []
+        elif c == "}":
+            if stack:
+                stack.pop()
+            fragment = []
+        elif c == ";":
+            fragment = []
+        else:
+            fragment.append(c)
+    return at_scope
+
+
+def check_mutable_globals(rel, stripped, violations):
+    if not rel.startswith("src/"):
+        return
+    scope_lines = namespace_scope_lines(stripped)
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if lineno not in scope_lines:
+            continue
+        if MUTABLE_GLOBAL_SKIP.match(line):
+            continue
+        if IMMUTABLE_KEYWORDS.search(line):
+            continue
+        match = MUTABLE_GLOBAL_DECL.match(line)
+        if not match:
+            continue
+        if (rel, match.group("name")) in MUTABLE_GLOBAL_ALLOWLIST:
+            continue
+        violations.append(Violation(
+            rel, lineno, "mutable-globals",
+            f"namespace-scope mutable '{match.group('name')}': runs must "
+            "be pure functions of their RunSpec — keep state per-Machine "
+            "or per-run (const/constexpr/thread_local are fine)"))
+
+
 def check_header_docs(rel, raw, violations):
     if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
         return
@@ -210,6 +298,7 @@ def lint_file(root, rel, violations):
     check_include_hygiene(rel, raw, violations)
     check_header_docs(rel, raw, violations)
     check_string_keyed_stats(rel, stripped, violations)
+    check_mutable_globals(rel, stripped, violations)
 
 
 def lint_tree(root):
@@ -257,18 +346,44 @@ SEEDED_SOURCES = {
         '#include "common/stats.h"\n'
         "struct Hot\n{\n    safemem::StatSet stats_;\n"
         '    void hit() { stats_.add("hits"); }\n};\n'),
+    "src/os/bad_global.cc": (
+        "mutable-globals",
+        '#include "common/types.h"\n'
+        "namespace safemem {\nint g_counter = 0;\n}\n"),
+    "src/ecc/bad_anon_global.cc": (
+        "mutable-globals",
+        '#include "common/types.h"\n'
+        "namespace safemem {\nnamespace {\n"
+        "std::size_t g_calls{0};\n}\n}\n"),
 }
 
-CLEAN_SOURCE = (
-    "src/common/clean.h",
-    "/**\n * @file\n * A well-behaved header: documented, guarded, and\n"
-    " * allocation-free (new_size below is an identifier, 'delete' only\n"
-    " * appears in a deleted function and this comment).\n */\n"
-    "#pragma once\n#include \"common/types.h\"\n"
-    "struct Clean\n{\n"
-    "    Clean(const Clean &) = delete;\n"
-    "    int resize(int new_size);\n"
-    "};\n")
+CLEAN_SOURCES = [
+    ("src/common/clean.h",
+     "/**\n * @file\n * A well-behaved header: documented, guarded, and\n"
+     " * allocation-free (new_size below is an identifier, 'delete' only\n"
+     " * appears in a deleted function and this comment).\n */\n"
+     "#pragma once\n#include \"common/types.h\"\n"
+     "struct Clean\n{\n"
+     "    Clean(const Clean &) = delete;\n"
+     "    int resize(int new_size);\n"
+     "};\n"),
+    # Everything the mutable-globals rule must *not* flag: const data,
+    # thread-local slots, function-local statics, member fields, and
+    # plain function declarations.
+    ("src/os/clean_statics.cc",
+     '#include "common/types.h"\n'
+     "namespace safemem {\n"
+     "constexpr int kShift = 3;\n"
+     "const int kTable[] = {1, 2, 3};\n"
+     "thread_local int t_depth = 0;\n"
+     "int countUp(int seed);\n"
+     "int\ncountUp(int seed)\n{\n"
+     "    static int history = 0;\n"
+     "    history += seed;\n"
+     "    return history;\n}\n"
+     "struct Pod\n{\n    int field = 0;\n};\n"
+     "}\n"),
+]
 
 
 def self_test():
@@ -279,11 +394,11 @@ def self_test():
             os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(text)
-        clean_rel, clean_text = CLEAN_SOURCE
-        clean_path = os.path.join(root, clean_rel)
-        os.makedirs(os.path.dirname(clean_path), exist_ok=True)
-        with open(clean_path, "w", encoding="utf-8") as fh:
-            fh.write(clean_text)
+        for clean_rel, clean_text in CLEAN_SOURCES:
+            clean_path = os.path.join(root, clean_rel)
+            os.makedirs(os.path.dirname(clean_path), exist_ok=True)
+            with open(clean_path, "w", encoding="utf-8") as fh:
+                fh.write(clean_text)
 
         violations = lint_tree(root)
         by_file = {}
@@ -296,17 +411,18 @@ def self_test():
                 failures.append(
                     f"seeded {rule} violation in {rel} was not flagged "
                     f"(got: {sorted(got) or 'nothing'})")
-        if clean_rel in by_file:
-            failures.append(
-                f"clean file {clean_rel} was wrongly flagged: "
-                f"{sorted(by_file[clean_rel])}")
+        for clean_rel, _ in CLEAN_SOURCES:
+            if clean_rel in by_file:
+                failures.append(
+                    f"clean file {clean_rel} was wrongly flagged: "
+                    f"{sorted(by_file[clean_rel])}")
 
     if failures:
         for failure in failures:
             print(f"self-test FAILED: {failure}")
         return 1
     print(f"self-test passed: {len(SEEDED_SOURCES)} seeded violations "
-          "flagged, clean file untouched")
+          "flagged, clean files untouched")
     return 0
 
 

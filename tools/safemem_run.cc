@@ -6,6 +6,7 @@
  *   build/tools/safemem_run squid1 --buggy
  *   build/tools/safemem_run gzip --tool purify --overhead
  *   build/tools/safemem_run ypserv1 --buggy --stats=leak
+ *   build/tools/safemem_run all --overhead --workers 0   # parallel sweep
  */
 
 #include <cstdio>
