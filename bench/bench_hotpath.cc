@@ -26,11 +26,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "os/machine.h"
+#include "trace/trace.h"
 
 using namespace safemem;
 
@@ -138,6 +141,7 @@ main(int argc, char **argv)
     std::uint64_t word_accesses = 4'000'000;
     double baseline_ms = 0.0;
     std::string baseline_note;
+    std::string trace_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -151,10 +155,13 @@ main(int argc, char **argv)
             baseline_ms = std::strtod(argv[++i], nullptr);
         } else if (arg == "--baseline-note" && i + 1 < argc) {
             baseline_note = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json] [--out FILE] [--accesses N]"
-                         " [--baseline-ms X [--baseline-note S]]\n",
+                         " [--baseline-ms X [--baseline-note S]]"
+                         " [--trace FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -164,6 +171,13 @@ main(int argc, char **argv)
 
     MachineConfig config;
     config.memoryBytes = 64u << 20;
+    // Tracing enabled measures the flight recorder's wall-clock cost on
+    // the hot path; simulated cycles must be identical either way.
+    std::optional<Trace> trace;
+    if (!trace_path.empty()) {
+        trace.emplace();
+        config.trace = &*trace;
+    }
     Machine machine(config);
 
     // Working sets: the default cache is 256 sets x 8 ways x 64 B = 128 KiB.
@@ -304,6 +318,18 @@ main(int argc, char **argv)
         std::fwrite(doc.data(), 1, doc.size(), file);
         std::fclose(file);
         std::printf("\nwrote %s\n", out_path.c_str());
+    }
+
+    if (trace) {
+        std::ofstream trace_file(trace_path, std::ios::binary);
+        if (!trace_file) {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+            return 1;
+        }
+        writeTraceSection(trace_file, *trace, "hotpath");
+        std::printf("\ntrace: %llu events emitted (%zu retained) -> %s\n",
+                    static_cast<unsigned long long>(trace->emitted()),
+                    trace->size(), trace_path.c_str());
     }
     return 0;
 }

@@ -9,8 +9,11 @@
 #                           the data-race gate for the parallel harness
 #   5. bench smoke        — bench_hotpath --json and bench_matrix --json;
 #                           fail on malformed JSON or missing keys
-#   6. repo lint          — tools/lint/lint.py over the tree + self-test
-#   7. format check       — scripts/check_format.sh (skips w/o clang-format)
+#   6. trace smoke        — a traced safemem_run workload decoded with
+#                           trace_dump; fail on malformed JSON-lines
+#   7. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
+#   8. repo lint          — tools/lint/lint.py over the tree + self-test
+#   9. format check       — scripts/check_format.sh (skips w/o clang-format)
 #
 # Every stage runs even when an earlier one fails; the exit status is
 # non-zero if any stage failed.
@@ -93,12 +96,55 @@ print(f"matrix smoke: {doc['cells']} cells, "
 PYEOF
 }
 
+trace_smoke() {
+    # Record a real (small) workload, then validate the analyzer's
+    # JSON-lines shape end to end: every line an object with the full
+    # key set, event names from the published table, cycles monotone
+    # per run section.
+    local bin=build/trace_smoke.bin
+    local out=build/trace_smoke.jsonl
+    build/tools/safemem_run gzip --requests 20 --trace "$bin" \
+        >/dev/null &&
+        build/tools/trace_dump "$bin" >"$out" &&
+        python3 - "$out" <<'PYEOF'
+import json
+import sys
+
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "trace_dump produced no records"
+
+last_cycle = {}
+last_seq = {}
+for line in lines:
+    rec = json.loads(line)
+    assert set(rec) == {"run", "seq", "cycle", "event", "a", "b", "c"}, \
+        f"bad key set: {sorted(rec)}"
+    assert isinstance(rec["event"], str) and rec["event"] != "?", rec
+    run = rec["run"]
+    assert rec["cycle"] >= last_cycle.get(run, 0), f"cycle ran backwards: {rec}"
+    assert rec["seq"] > last_seq.get(run, -1), f"seq not increasing: {rec}"
+    last_cycle[run] = rec["cycle"]
+    last_seq[run] = rec["seq"]
+assert "gzip/safemem" in last_seq, f"runs seen: {sorted(last_seq)}"
+print(f"trace smoke: {len(lines)} records across {len(last_seq)} run(s)")
+PYEOF
+}
+
+notrace_build() {
+    # The compiled-out configuration must still build everything; the
+    # suite itself runs in the default (traced) configurations above.
+    cmake -B build-notrace -S . -DSAFEMEM_TRACE=OFF &&
+        cmake --build build-notrace -j "$JOBS"
+}
+
 stage "tier-1 (default build + ctest)" build_and_test build
 stage "asan ctest" build_and_test build-asan -DSAFEMEM_ASAN=ON
 stage "ubsan ctest" build_and_test build-ubsan -DSAFEMEM_UBSAN=ON
 stage "tsan ctest" build_and_test build-tsan -DSAFEMEM_TSAN=ON
 stage "bench smoke (hotpath --json)" bench_smoke
 stage "bench smoke (matrix --json)" matrix_smoke
+stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
+stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build
 stage "repo lint" python3 tools/lint/lint.py --root .
 stage "lint self-test" python3 tools/lint/lint.py --self-test
 stage "format check" scripts/check_format.sh

@@ -4,12 +4,13 @@
 #include <unordered_set>
 
 #include "check/simcheck.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
 Cache::Cache(MemoryController &controller, CycleClock &clock,
-             CacheConfig config)
-    : controller_(controller), clock_(clock), config_(config)
+             CacheConfig config, Trace *trace)
+    : controller_(controller), clock_(clock), config_(config), trace_(trace)
 {
     if (config_.sets == 0 || config_.ways == 0)
         fatal("Cache: geometry must be non-zero");
@@ -36,6 +37,7 @@ Cache::fillLine(PhysAddr line_addr)
     if (victim->valid && victim->dirty) {
         stats_.add(CacheStat::Writebacks);
         controller_.evictLine(victim->lineAddr, victim->data);
+        traceWriteback(victim->lineAddr);
     }
     victim->valid = false;
 
@@ -128,6 +130,7 @@ Cache::flushLine(PhysAddr line_addr)
     if (way->dirty) {
         stats_.add(CacheStat::Writebacks);
         controller_.evictLine(way->lineAddr, way->data);
+        traceWriteback(way->lineAddr);
         wrote_back = true;
     }
     SIMCHECK_AUDIT(AuditDomain::Cache, "no_dirty_loss_on_flush",
@@ -136,6 +139,7 @@ Cache::flushLine(PhysAddr line_addr)
     way->valid = false;
     way->dirty = false;
     stats_.add(CacheStat::Flushes);
+    traceFlush(line_addr);
 }
 
 void
@@ -154,6 +158,7 @@ Cache::flushAll()
             if (way.dirty) {
                 stats_.add(CacheStat::Writebacks);
                 controller_.evictLine(way.lineAddr, way.data);
+                traceWriteback(way.lineAddr);
                 wrote_back = true;
             }
             SIMCHECK_AUDIT(AuditDomain::Cache, "no_dirty_loss_on_flush",
@@ -163,8 +168,30 @@ Cache::flushAll()
             way.valid = false;
             way.dirty = false;
             stats_.add(CacheStat::Flushes);
+            traceFlush(way.lineAddr);
         }
     }
+}
+
+void
+Cache::traceWriteback(PhysAddr line_addr)
+{
+    // Writebacks are too frequent for per-event records; sampling every
+    // kTraceSampleInterval-th keeps the ring for the rare events while
+    // still pinning down writeback cadence.
+    std::uint64_t count = stats_.get(CacheStat::Writebacks);
+    if (count % kTraceSampleInterval == 0)
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::CacheWritebackSample,
+                           clock_.now(), line_addr, count);
+}
+
+void
+Cache::traceFlush(PhysAddr line_addr)
+{
+    std::uint64_t count = stats_.get(CacheStat::Flushes);
+    if (count % kTraceSampleInterval == 0)
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::CacheFlushSample,
+                           clock_.now(), line_addr, count);
 }
 
 bool

@@ -32,6 +32,8 @@
 
 namespace safemem {
 
+class Trace;
+
 /** Geometry of the simulated data cache. */
 struct CacheConfig
 {
@@ -58,7 +60,10 @@ class Cache
 {
   public:
     Cache(MemoryController &controller, CycleClock &clock,
-          CacheConfig config = {});
+          CacheConfig config = {}, Trace *trace = nullptr);
+
+    /** Dirty writebacks / flushes are traced once per this many. */
+    static constexpr std::uint64_t kTraceSampleInterval = 64;
 
     /**
      * Read @p size bytes at physical address @p addr (must not cross a
@@ -192,9 +197,14 @@ class Cache
      */
     Way *fillLine(PhysAddr line_addr);
 
+    /** Sampled trace emits (out of line: the hit path stays emit-free). */
+    void traceWriteback(PhysAddr line_addr);
+    void traceFlush(PhysAddr line_addr);
+
     MemoryController &controller_;
     CycleClock &clock_;
     CacheConfig config_;
+    Trace *trace_;
     std::vector<std::vector<Way>> sets_;
     std::uint64_t useCounter_ = 0;
     StatSet stats_{kCacheStatNames};

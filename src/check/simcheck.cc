@@ -1,5 +1,7 @@
 #include "check/simcheck.h"
 
+#include "trace/trace.h"
+
 namespace safemem {
 
 const char *
@@ -30,9 +32,13 @@ SimCheck::report(AuditDomain domain, const char *invariant,
         violations_.push_back(AuditViolation{domain, invariant, detail});
     }
 
+    // The thread's flight recorder (when one is installed) turns a bare
+    // invariant failure into a story: the violation plus the last few
+    // events that led up to it.
     std::string msg = detail::format(
         "SimCheck violation: domain=", auditDomainName(domain),
-        " invariant=", invariant, detail.empty() ? "" : " ", detail);
+        " invariant=", invariant, detail.empty() ? "" : " ", detail,
+        traceContextSummary(8));
     if (throwOnViolation())
         panic(msg);
     logMessage(LogLevel::Warn, msg);

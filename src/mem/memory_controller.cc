@@ -3,11 +3,14 @@
 #include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
-MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock)
-    : memory_(memory), clock_(clock), code_(HsiaoCode::instance())
+MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock,
+                                   Trace *trace)
+    : memory_(memory), clock_(clock), code_(HsiaoCode::instance()),
+      trace_(trace)
 {
 }
 
@@ -26,6 +29,7 @@ MemoryController::lockBus()
         panic("MemoryController: bus already locked");
     busLocked_ = true;
     stats_.add(ControllerStat::BusLocks);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerBusLock, clock_.now());
 }
 
 void
@@ -36,12 +40,17 @@ MemoryController::unlockBus()
     if (!busLocked_)
         panic("MemoryController: bus not locked");
     busLocked_ = false;
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerBusUnlock, clock_.now());
 }
 
 void
 MemoryController::raise(const EccFaultInfo &info)
 {
     stats_.add(ControllerStat::InterruptsRaised);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerInterrupt, clock_.now(),
+                       info.lineAddr,
+                       static_cast<std::uint64_t>(info.wordIndex),
+                       static_cast<std::uint64_t>(info.kind));
     if (!interruptHandler_)
         panic("MemoryController: ECC interrupt with no handler wired; "
               "line=", info.lineAddr, " word=", info.wordIndex);
@@ -80,6 +89,8 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
         }
         // Correct transparently and heal the stored copy.
         stats_.add(ControllerStat::SingleBitCorrected);
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerSingleBitCorrected,
+                           clock_.now(), word_addr);
         memory_.writeWord(word_addr, result.data);
         memory_.writeCheck(word_addr, code_.encode(result.data));
         data_out = result.data;
@@ -130,6 +141,8 @@ MemoryController::fillLine(PhysAddr line_addr, LineData &out)
             ok = false;
         setLineWord(out, i, word);
     }
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerFill, clock_.now(),
+                       line_addr, ok ? 1 : 0);
     return ok;
 }
 
@@ -146,6 +159,8 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
 
     clock_.advance(kDramLineCycles);
     stats_.add(ControllerStat::LineEvictions);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerEvict, clock_.now(),
+                       line_addr);
 
     for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
         PhysAddr word_addr = line_addr + i * kEccGroupSize;
@@ -209,7 +224,18 @@ MemoryController::peekLine(PhysAddr line_addr, LineData &out) const
 void
 MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
 {
+    // The scrub engine is a bus agent like the cache: while the kernel
+    // holds the bus for a scramble, scrub reads of half-written groups
+    // would race the scramble exactly like a fill would.
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
+                   !busLocked_, "scrub of ", lines, " lines at ", start_line,
+                   " while the memory bus is locked");
+    if (busLocked_)
+        panic("MemoryController: scrub while memory bus is locked");
+
     stats_.add(ControllerStat::ScrubPasses);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubBegin, clock_.now(),
+                       start_line, lines);
     for (std::size_t l = 0; l < lines; ++l) {
         PhysAddr line_addr = start_line + l * kCacheLineSize;
         for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
@@ -218,6 +244,8 @@ MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
             decodeWord(line_addr + i * kEccGroupSize, true, word);
         }
     }
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubEnd, clock_.now(),
+                       start_line, lines);
 }
 
 void

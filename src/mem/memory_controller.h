@@ -27,6 +27,8 @@
 
 namespace safemem {
 
+class Trace;
+
 /** Slot indices into the controller StatSet; order matches the names. */
 enum class ControllerStat : std::size_t
 {
@@ -50,7 +52,8 @@ inline constexpr const char *kControllerStatNames[] = {
 class MemoryController
 {
   public:
-    MemoryController(PhysicalMemory &memory, CycleClock &clock);
+    MemoryController(PhysicalMemory &memory, CycleClock &clock,
+                     Trace *trace = nullptr);
 
     /** Switch the controller operating mode (device register write). */
     void setMode(EccMode mode) { mode_ = mode; }
@@ -131,6 +134,7 @@ class MemoryController
     EccMode mode_ = EccMode::CorrectError;
     bool busLocked_ = false;
     EccInterruptHandler interruptHandler_;
+    Trace *trace_;
     StatSet stats_{kControllerStatNames};
 };
 

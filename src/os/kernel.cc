@@ -5,11 +5,13 @@
 #include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
-Kernel::Kernel(MemoryController &controller, Cache &cache, CycleClock &clock)
-    : controller_(controller), cache_(cache), clock_(clock),
+Kernel::Kernel(MemoryController &controller, Cache &cache, CycleClock &clock,
+               Trace *trace)
+    : controller_(controller), cache_(cache), clock_(clock), trace_(trace),
       scramble_(defaultScramblePattern())
 {
     // Build the frame free list over all of physical memory.
@@ -117,6 +119,8 @@ Kernel::translate(VirtAddr vaddr)
             // monitoring path); retry the translation if it handled it.
             stats_.add(KernelStat::SegvDelivered);
             clock_.advance(kFaultDeliveryCycles);
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelSegvDelivered,
+                               clock_.now(), vaddr);
             if (segvHandler_ && segvHandler_(vaddr))
                 continue;
             panic("SIGSEGV: access to protected address ", vaddr);
@@ -176,6 +180,8 @@ void
 Kernel::watchMemory(VirtAddr addr, std::size_t size)
 {
     clock_.advance(kSyscallEntryCycles);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelWatchMemory, clock_.now(),
+                       addr, size);
     if (!isAligned(addr, kCacheLineSize) || !isAligned(size, kCacheLineSize))
         panic("WatchMemory: region must be cache-line aligned (addr=",
               addr, " size=", size, ")");
@@ -261,6 +267,8 @@ void
 Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
 {
     clock_.advance(kSyscallEntryCycles);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelDisableWatchMemory,
+                       clock_.now(), addr, size);
     if (!isAligned(addr, kCacheLineSize) || !isAligned(size, kCacheLineSize))
         panic("DisableWatchMemory: region must be cache-line aligned");
 
@@ -337,6 +345,10 @@ Kernel::onEccInterrupt(const EccFaultInfo &info)
 {
     clock_.advance(kFaultDeliveryCycles);
     stats_.add(KernelStat::EccInterrupts);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelEccInterrupt, clock_.now(),
+                       info.lineAddr,
+                       static_cast<std::uint64_t>(info.wordIndex),
+                       static_cast<std::uint64_t>(info.kind));
 
     if (info.kind == EccFaultKind::UnreportedSingle) {
         // Check-Only mode report; log and continue.
@@ -346,6 +358,8 @@ Kernel::onEccInterrupt(const EccFaultInfo &info)
 
     if (!eccHandler_) {
         // Stock-OS behaviour (paper §2.1): panic / blue screen.
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelPanicNoHandler,
+                           clock_.now(), info.lineAddr);
         panic("kernel panic: uncorrectable ECC memory error at phys line ",
               info.lineAddr);
     }
@@ -368,9 +382,12 @@ Kernel::onEccInterrupt(const EccFaultInfo &info)
     FaultDecision decision = eccHandler_(fault);
     if (decision == FaultDecision::HardwareError) {
         stats_.add(KernelStat::HardwareErrors);
-        if (panicOnHardwareError_)
+        if (panicOnHardwareError_) {
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelPanicHardwareError,
+                               clock_.now(), info.lineAddr);
             panic("kernel panic: hardware ECC error at phys line ",
                   info.lineAddr);
+        }
     } else {
         stats_.add(KernelStat::AccessFaultsHandled);
     }
@@ -415,12 +432,15 @@ Kernel::tick()
         return;
     inScrub_ = true;
     stats_.add(KernelStat::ScrubPasses);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelScrubTickBegin,
+                       clock_.now());
     if (preScrubHook_)
         preScrubHook_();
     controller_.scrubAll();
     if (postScrubHook_)
         postScrubHook_();
     nextScrub_ = clock_.now() + scrubPeriod_;
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelScrubTickEnd, clock_.now());
     inScrub_ = false;
 }
 
@@ -490,6 +510,8 @@ Kernel::swapOutPage(VirtAddr vaddr)
     pageTable_.markSwappedOut(vpage);
     tlb_.invalidate(vpage);
     stats_.add(KernelStat::PagesSwappedOut);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelSwapOut, clock_.now(),
+                       vpage);
     return true;
 }
 
@@ -513,6 +535,8 @@ Kernel::pageIn(VirtAddr vpage)
     swapStore_.erase(it);
     pageTable_.markSwappedIn(vpage, frame);
     stats_.add(KernelStat::PagesSwappedIn);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelSwapIn, clock_.now(),
+                       vpage, frame);
 
     if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch && postSwapInHook_)
         postSwapInHook_(vpage);

@@ -38,6 +38,8 @@
 
 namespace safemem {
 
+class Trace;
+
 /** ECC fault as delivered to the user-level handler. */
 struct UserEccFault
 {
@@ -117,7 +119,8 @@ inline constexpr const char *kKernelStatNames[] = {
 class Kernel
 {
   public:
-    Kernel(MemoryController &controller, Cache &cache, CycleClock &clock);
+    Kernel(MemoryController &controller, Cache &cache, CycleClock &clock,
+           Trace *trace = nullptr);
 
     /** @name Virtual memory */
     /// @{
@@ -262,6 +265,7 @@ class Kernel
     MemoryController &controller_;
     Cache &cache_;
     CycleClock &clock_;
+    Trace *trace_;
     const ScramblePattern &scramble_;
     PageTable pageTable_;
     Tlb tlb_;

@@ -15,9 +15,12 @@ Machine::Machine(MachineConfig config)
     if (config_.simCheck)
         SimCheck::instance().setEnabled(true);
     memory_ = std::make_unique<PhysicalMemory>(config_.memoryBytes);
-    controller_ = std::make_unique<MemoryController>(*memory_, clock_);
-    cache_ = std::make_unique<Cache>(*controller_, clock_, config_.cache);
-    kernel_ = std::make_unique<Kernel>(*controller_, *cache_, clock_);
+    controller_ = std::make_unique<MemoryController>(*memory_, clock_,
+                                                     config_.trace);
+    cache_ = std::make_unique<Cache>(*controller_, clock_, config_.cache,
+                                     config_.trace);
+    kernel_ = std::make_unique<Kernel>(*controller_, *cache_, clock_,
+                                       config_.trace);
 }
 
 void

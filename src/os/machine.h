@@ -31,6 +31,8 @@
 
 namespace safemem {
 
+class Trace;
+
 /** Construction parameters for a Machine. */
 struct MachineConfig
 {
@@ -52,6 +54,13 @@ struct MachineConfig
      * runWorkload()/runMatrix().
      */
     const Log *log = nullptr;
+    /**
+     * Per-run flight recorder (must outlive the machine). Null: tracing
+     * is off and every emit site reduces to one predictable branch.
+     * Routed exactly like `log`: one recorder per run, installed on the
+     * driving thread via TraceScope by the run harness.
+     */
+    Trace *trace = nullptr;
 };
 
 /** Observer invoked before every application load/store. */
@@ -111,6 +120,13 @@ class Machine
      * the driving thread.
      */
     const Log *log() const { return config_.log; }
+
+    /**
+     * @return the configured per-run flight recorder, or null when
+     * tracing is off. Stable for the machine's lifetime, so components
+     * and tools may cache it at construction.
+     */
+    Trace *trace() const { return config_.trace; }
 
     /** @return the machine's cycle clock. */
     CycleClock &clock() { return clock_; }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
@@ -167,6 +168,9 @@ CorruptionDetector::emitReport(CorruptionKind kind, const Buffer &buffer,
     report.reportTime = cpuNow_();
     reports_.push_back(report);
     stats_.add(CorruptionStat::CorruptionReports);
+    SAFEMEM_TRACE_EMIT(machine_.trace(), TraceEvent::CorruptionReported,
+                       machine_.clock().now(), fault_addr, buffer.userAddr,
+                       static_cast<std::uint64_t>(kind));
 }
 
 void

@@ -4,19 +4,29 @@
 
 #include "common/costs.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
 LeakDetector::LeakDetector(const SafeMemConfig &config,
                            WatchBackend &backend,
                            std::function<Cycles()> cpu_now,
-                           std::function<void(Cycles)> charge)
+                           std::function<void(Cycles)> charge,
+                           Trace *trace,
+                           std::function<Cycles()> trace_now)
     : config_(config), backend_(backend), cpuNow_(std::move(cpu_now)),
-      charge_(std::move(charge))
+      charge_(std::move(charge)), trace_(trace),
+      traceNow_(std::move(trace_now))
 {
 }
 
 LeakDetector::~LeakDetector() = default;
+
+Cycles
+LeakDetector::traceNow() const
+{
+    return traceNow_ ? traceNow_() : cpuNow_();
+}
 
 ObjectGroup &
 LeakDetector::groupFor(std::uint64_t size, std::uint64_t signature)
@@ -131,6 +141,8 @@ LeakDetector::maybeRunDetection()
         return;
     lastCheck_ = now;
     stats_.add(LeakStat::DetectionPasses);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::LeakDetectionPass, traceNow(),
+                       groups_.size(), suspects_.size());
     if (charge_)
         charge_(kDetectPassCycles +
                 groups_.size() * kDetectPerGroupCycles);
@@ -235,6 +247,8 @@ LeakDetector::watchSuspect(LiveObject &object, Cycles now)
     ++object.group->suspectCount;
     suspects_[object.addr] = &object;
     stats_.add(LeakStat::SuspectsWatched);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::LeakSuspectWatched, traceNow(),
+                       object.addr, watch_size);
 }
 
 void
@@ -267,6 +281,8 @@ LeakDetector::onSuspectAccessed(VirtAddr base)
     suspects_.erase(base);
     ++prunedSuspects_;
     stats_.add(LeakStat::SuspectsPruned);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::LeakSuspectPruned, traceNow(),
+                       base);
     group.cooldownUntil = now + config_.suspectCooldown;
 
     if (group.everFreed()) {
@@ -307,6 +323,8 @@ LeakDetector::reportLeak(LiveObject &object, Cycles now)
     report.reportTime = now;
     reports_.push_back(report);
     stats_.add(LeakStat::LeaksReported);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::LeakReported, traceNow(),
+                       object.addr, group.key.size, object.siteTag);
 }
 
 void

@@ -31,6 +31,8 @@
 
 namespace safemem {
 
+class Trace;
+
 /** Slot indices into the leak detector StatSet; order matches kLeakStatNames. */
 enum class LeakStat : std::size_t
 {
@@ -67,13 +69,18 @@ class LeakDetector
     static constexpr std::uint64_t kCookie = 0x4c454b; // "LEK"
 
     /**
-     * @param cpu_now returns the application CPU time
-     * @param charge  bills detector work to the tool's cost center;
-     *                may be null (unit tests)
+     * @param cpu_now   returns the application CPU time
+     * @param charge    bills detector work to the tool's cost center;
+     *                  may be null (unit tests)
+     * @param trace     per-run flight recorder; may be null
+     * @param trace_now wall timestamp source for trace records (the
+     *                  machine clock); falls back to cpu_now when null
      */
     LeakDetector(const SafeMemConfig &config, WatchBackend &backend,
                  std::function<Cycles()> cpu_now,
-                 std::function<void(Cycles)> charge = nullptr);
+                 std::function<void(Cycles)> charge = nullptr,
+                 Trace *trace = nullptr,
+                 std::function<Cycles()> trace_now = nullptr);
     ~LeakDetector();
 
     LeakDetector(const LeakDetector &) = delete;
@@ -141,10 +148,15 @@ class LeakDetector
     /** Turn an overdue suspect into a leak report. */
     void reportLeak(LiveObject &object, Cycles now);
 
+    /** Timestamp for trace records (trace_now, else cpu_now). */
+    Cycles traceNow() const;
+
     const SafeMemConfig &config_;
     WatchBackend &backend_;
     std::function<Cycles()> cpuNow_;
     std::function<void(Cycles)> charge_;
+    Trace *trace_;
+    std::function<Cycles()> traceNow_;
 
     std::unordered_map<GroupKey, std::unique_ptr<ObjectGroup>,
                        GroupKeyHash> groups_;

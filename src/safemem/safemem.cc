@@ -18,7 +18,9 @@ SafeMemTool::SafeMemTool(Machine &machine, HeapAllocator &allocator,
     if (config_.detectLeaks)
         leak_ = std::make_unique<LeakDetector>(
             config_, backend_, cpu_now,
-            [this](Cycles cycles) { machine_.clock().advance(cycles); });
+            [this](Cycles cycles) { machine_.clock().advance(cycles); },
+            machine_.trace(),
+            [this] { return machine_.clock().now(); });
     if (config_.detectCorruption)
         corruption_ = std::make_unique<CorruptionDetector>(
             config_, backend_, allocator_, machine_, cpu_now);

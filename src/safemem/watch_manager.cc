@@ -1,11 +1,13 @@
 #include "safemem/watch_manager.h"
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
 EccWatchManager::EccWatchManager(Machine &machine)
-    : machine_(machine), scramble_(defaultScramblePattern())
+    : machine_(machine), scramble_(defaultScramblePattern()),
+      trace_(machine.trace())
 {
 }
 
@@ -19,23 +21,40 @@ EccWatchManager::installFaultHandler()
 void
 EccWatchManager::installScrubHooks()
 {
-    machine_.kernel().setScrubHooks(
-        [this] {
-            // Lift every watch so the scrubber sees clean lines
-            // (paper §2.2.2: SafeMem temporarily unmonitors all watched
-            // regions and blocks the program until scrubbing finishes).
-            while (!regions_.empty()) {
-                auto it = regions_.begin();
-                scrubParked_.push_back(it->second);
-                dropRegion(it);
-            }
-            stats_.add(WatchStat::ScrubUnwatchPasses);
-        },
-        [this] {
-            for (const Region &region : scrubParked_)
-                watch(region.base, region.size, region.kind, region.cookie);
-            scrubParked_.clear();
-        });
+    machine_.kernel().setScrubHooks([this] { parkAllForScrub(); },
+                                    [this] { restoreAfterScrub(); });
+}
+
+void
+EccWatchManager::parkAllForScrub()
+{
+    // Lift every watch so the scrubber sees clean lines (paper §2.2.2:
+    // SafeMem temporarily unmonitors all watched regions and blocks the
+    // program until scrubbing finishes).
+    while (!regions_.empty()) {
+        auto it = regions_.begin();
+        scrubParked_.push_back(it->second);
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchScrubPark,
+                           machine_.clock().now(), it->second.base,
+                           it->second.size);
+        dropRegion(it);
+    }
+    stats_.add(WatchStat::ScrubUnwatchPasses);
+}
+
+void
+EccWatchManager::restoreAfterScrub()
+{
+    // Detach the parked regions first — watch() consults the parking
+    // list for overlaps, so restoring in place would see each region as
+    // overlapping itself.
+    std::vector<Region> restore = std::move(scrubParked_);
+    scrubParked_.clear();
+    for (const Region &region : restore) {
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchScrubRestore,
+                           machine_.clock().now(), region.base, region.size);
+        watch(region.base, region.size, region.kind, region.cookie);
+    }
 }
 
 void
@@ -54,6 +73,9 @@ EccWatchManager::installSwapHooks()
             for (VirtAddr base : bases) {
                 auto it = regions_.find(base);
                 swapParked_.push_back(it->second);
+                SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchSwapPark,
+                                   machine_.clock().now(), it->second.base,
+                                   it->second.size);
                 dropRegion(it);
                 stats_.add(WatchStat::RegionsSwapParked);
             }
@@ -73,6 +95,9 @@ EccWatchManager::installSwapHooks()
             }
             swapParked_ = std::move(keep);
             for (const Region &region : restore) {
+                SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchSwapRestore,
+                                   machine_.clock().now(), region.base,
+                                   region.size);
                 watch(region.base, region.size, region.kind,
                       region.cookie);
                 stats_.add(WatchStat::RegionsSwapRestored);
@@ -104,6 +129,14 @@ EccWatchManager::watch(VirtAddr base, std::size_t size, WatchKind kind,
             panic("EccWatchManager: region ", base,
                   " overlaps a swap-parked watch at ", parked.base);
     }
+    // Scrub-parked regions are just as logically watched as swap-parked
+    // ones: they come back the moment the scrub pass finishes, so
+    // letting a new watch overlap one would double-watch on restore.
+    for (const Region &parked : scrubParked_) {
+        if (base < parked.base + parked.size && parked.base < base + size)
+            panic("EccWatchManager: region ", base,
+                  " overlaps a scrub-parked watch at ", parked.base);
+    }
 
     Region region;
     region.base = base;
@@ -124,12 +157,17 @@ EccWatchManager::watch(VirtAddr base, std::size_t size, WatchKind kind,
     stats_.add(WatchStat::RegionsWatched);
     stats_.maxOf(WatchStat::PeakWatchedBytes, watchedBytes_);
     regions_.emplace(base, std::move(region));
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchEstablish,
+                       machine_.clock().now(), base, size,
+                       static_cast<std::uint64_t>(kind));
 }
 
 void
 EccWatchManager::dropRegion(std::map<VirtAddr, Region>::iterator it)
 {
     const Region &region = it->second;
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchDrop,
+                       machine_.clock().now(), region.base, region.size);
     machine_.kernel().disableWatchMemory(region.base, region.size);
     for (std::size_t off = 0; off < region.size; off += kCacheLineSize)
         lineToRegion_.erase(region.base + off);
@@ -146,13 +184,25 @@ EccWatchManager::unwatch(VirtAddr base)
         stats_.add(WatchStat::RegionsUnwatched);
         return;
     }
-    // A region parked while its page is swapped out is still logically
+    // A parked region — swap- or scrub-parked — is still logically
     // watched; cancelling it only removes the parking entry (its lines
     // were already unscrambled when it was parked).
     for (auto parked = swapParked_.begin(); parked != swapParked_.end();
          ++parked) {
         if (parked->base == base) {
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchSwapCancel,
+                               machine_.clock().now(), base);
             swapParked_.erase(parked);
+            stats_.add(WatchStat::ParkedRegionsCancelled);
+            return;
+        }
+    }
+    for (auto parked = scrubParked_.begin(); parked != scrubParked_.end();
+         ++parked) {
+        if (parked->base == base) {
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchScrubCancel,
+                               machine_.clock().now(), base);
+            scrubParked_.erase(parked);
             stats_.add(WatchStat::ParkedRegionsCancelled);
             return;
         }
@@ -169,6 +219,10 @@ EccWatchManager::isWatched(VirtAddr base) const
         if (region.base == base)
             return true;
     }
+    for (const Region &region : scrubParked_) {
+        if (region.base == base)
+            return true;
+    }
     return false;
 }
 
@@ -179,7 +233,13 @@ EccWatchManager::onEccFault(const UserEccFault &fault)
     auto line_it = lineToRegion_.find(vline);
     if (line_it == lineToRegion_.end()) {
         // Not one of ours: a genuine hardware error somewhere else.
+        if (inRepair_)
+            panic("EccWatchManager: nested ECC fault at line ", vline,
+                  " while repairing a hardware error — the repair path "
+                  "pulled the corrupted region back through the cache");
         stats_.add(WatchStat::ForeignFaults);
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchFaultForeign,
+                           machine_.clock().now(), vline);
         return FaultDecision::HardwareError;
     }
 
@@ -216,15 +276,46 @@ EccWatchManager::onEccFault(const UserEccFault &fault)
         // (padding or a suspected leak) and we hold a pristine copy:
         // repair the region, then report the hardware error.
         stats_.add(WatchStat::HardwareErrorsDetected);
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchFaultHardware,
+                           machine_.clock().now(), vline, region.base);
+        if (inRepair_)
+            panic("EccWatchManager: nested hardware fault inside the "
+                  "repair path at line ", vline);
+        inRepair_ = true;
         Region saved = region;
         dropRegion(it);
-        machine_.write(saved.base, saved.originalWords.data(), saved.size);
+        // Repair through the device-op path: writeWordDeviceOp rewrites
+        // each word with freshly encoded check bytes without any cache
+        // traffic. A machine_.write() here would write-allocate, and the
+        // read-for-ownership fill would pull the still-corrupted line
+        // through the controller — a nested ECC fault inside the fault
+        // handler (the inRepair_ guard above turns that into a panic
+        // rather than unbounded recursion).
+        MemoryController &controller_ref = machine_.controller();
+        Kernel &kernel = machine_.kernel();
+        for (std::size_t off = 0; off < saved.size; off += kCacheLineSize) {
+            PhysAddr pline = kernel.translate(saved.base + off);
+            // The region's lines cannot be cache-resident (watchMemory
+            // flushed them and faulted fills never install), but flush
+            // defensively so a stale copy can never shadow the repair.
+            machine_.cache().flushLine(pline);
+            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+                controller_ref.writeWordDeviceOp(
+                    pline + i * kEccGroupSize,
+                    saved.originalWords[off / kEccGroupSize + i]);
+        }
+        inRepair_ = false;
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchRepairDone,
+                           machine_.clock().now(), saved.base, saved.size);
         return FaultDecision::HardwareError;
     }
 
     // Access fault: remove the watch (only the first access matters),
     // then hand the event to the owning detector.
     stats_.add(WatchStat::AccessFaults);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::WatchFaultAccess,
+                       machine_.clock().now(), vline, region.base,
+                       fault.isWrite ? 1 : 0);
     Region saved = region;
     dropRegion(it);
     if (callback_)

@@ -72,6 +72,18 @@ class EccWatchManager : public WatchBackend
     void installScrubHooks();
 
     /**
+     * Lift every watch ahead of a scrub pass, parking the regions for
+     * restoreAfterScrub() (paper §2.2.2 "Dealing with ECC Memory
+     * Scrubbing"). Parked regions stay logically watched: isWatched()
+     * reports them, unwatch() cancels them, and watch() refuses
+     * overlaps with them — exactly like swap-parked regions.
+     */
+    void parkAllForScrub();
+
+    /** Re-establish every region parked by parkAllForScrub(). */
+    void restoreAfterScrub();
+
+    /**
      * Register swap hooks for the kernel's UnwatchRewatch policy
      * (paper §2.2.2's proposed alternative to pinning): watches on a
      * page that swaps out are parked, and re-established when the page
@@ -115,7 +127,13 @@ class EccWatchManager : public WatchBackend
 
     Machine &machine_;
     const ScramblePattern &scramble_;
+    Trace *trace_;
     WatchFaultCallback callback_;
+
+    /** Guards the hardware-error repair block against re-entry: a
+     *  nested ECC fault while rewriting the corrupted region means the
+     *  repair itself pulled the bad line through the controller. */
+    bool inRepair_ = false;
 
     /** Watched regions keyed by base address. */
     std::map<VirtAddr, Region> regions_;

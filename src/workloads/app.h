@@ -15,6 +15,8 @@
 
 namespace safemem {
 
+class Trace;
+
 /** Run parameters shared by all applications. */
 struct RunParams
 {
@@ -38,6 +40,13 @@ struct RunParams
      * setLogQuiet() shim.
      */
     const Log *log = nullptr;
+    /**
+     * Per-run flight recorder (must outlive the run); routed like
+     * `log` — the driver installs it on the run's thread and on the
+     * machine, so concurrent runMatrix() cells each record into their
+     * own ring. Null: tracing off.
+     */
+    Trace *trace = nullptr;
 };
 
 class App

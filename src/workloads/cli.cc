@@ -1,8 +1,11 @@
 #include "workloads/cli.h"
 
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "check/simcheck.h"
+#include "trace/trace.h"
 #include "workloads/report_writer.h"
 
 namespace safemem {
@@ -42,7 +45,9 @@ cliUsage()
        << "  --overhead        also run uninstrumented and report the "
           "overhead\n"
        << "  --stats[=prefix]  dump run counters (optionally filtered)\n"
-       << "  --simcheck        enable the SimCheck invariant auditor\n";
+       << "  --simcheck        enable the SimCheck invariant auditor\n"
+       << "  --trace <file>    record a flight-recorder trace per run;\n"
+       << "                    decode with tools/trace_dump\n";
     return os.str();
 }
 
@@ -110,6 +115,11 @@ parseCliArguments(const std::vector<std::string> &args)
             if (!value)
                 return result;
             options.params.seed = std::stoull(*value);
+        } else if (arg == "--trace") {
+            const std::string *value = need_value("--trace");
+            if (!value)
+                return result;
+            options.traceFile = *value;
         } else if (arg == "--workers") {
             const std::string *value = need_value("--workers");
             if (!value)
@@ -157,6 +167,18 @@ cliSpecs(const CliOptions &options)
     return specs;
 }
 
+/** @return the trace-section label of @p spec, e.g. "gzip/safemem+buggy". */
+std::string
+traceLabel(const RunSpec &spec)
+{
+    std::string label = spec.app;
+    label += "/";
+    label += toolKindName(spec.tool);
+    if (spec.params.buggy)
+        label += "+buggy";
+    return label;
+}
+
 } // namespace
 
 std::string
@@ -168,8 +190,20 @@ runCli(const CliOptions &options)
     const bool baseline =
         options.compareBaseline && options.tool != ToolKind::None;
     const std::size_t per_app = baseline ? 2 : 1;
-    std::vector<MatrixCell> cells =
-        runMatrix(cliSpecs(options), options.workers);
+    std::vector<RunSpec> specs = cliSpecs(options);
+
+    // One independent flight recorder per matrix cell: parallel runs
+    // never share a ring, and the file keeps one section per run.
+    std::vector<std::unique_ptr<Trace>> traces;
+    if (!options.traceFile.empty()) {
+        traces.reserve(specs.size());
+        for (RunSpec &spec : specs) {
+            traces.push_back(std::make_unique<Trace>());
+            spec.params.trace = traces.back().get();
+        }
+    }
+
+    std::vector<MatrixCell> cells = runMatrix(specs, options.workers);
 
     std::ostringstream os;
     for (std::size_t i = 0; i < cells.size(); i += per_app) {
@@ -190,6 +224,21 @@ runCli(const CliOptions &options)
         if (options.dumpStats)
             os << "\ncounters:\n"
                << formatStats(cell.result, options.statsPrefix);
+    }
+
+    if (!options.traceFile.empty()) {
+        std::ofstream file(options.traceFile, std::ios::binary);
+        if (!file) {
+            os << "cannot write trace file '" << options.traceFile
+               << "'\n";
+        } else {
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                writeTraceSection(file, *traces[i],
+                                  traceLabel(specs[i]));
+            os << "trace: " << specs.size() << " run section"
+               << (specs.size() == 1 ? "" : "s") << " -> "
+               << options.traceFile << "\n";
+        }
     }
     return os.str();
 }

@@ -26,6 +26,7 @@ struct CliOptions
     bool dumpStats = false;       ///< --stats: print every counter
     bool simCheck = false;        ///< --simcheck: enable invariant audits
     std::string statsPrefix;      ///< --stats=<prefix>
+    std::string traceFile;        ///< --trace: flight-recorder output file
 };
 
 /** Outcome of parsing: options, or an error/usage message. */

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "trace/trace.h"
 #include "pageprot/page_watch.h"
 #include "purify/purify.h"
 #include "safemem/safemem.h"
@@ -63,6 +64,12 @@ runWorkload(const std::string &app_name, ToolKind tool,
     if (params.log)
         log_scope.emplace(*params.log);
 
+    // Same routing for the flight recorder: the thread-local scope lets
+    // SimCheck attach trace context to violations raised on this thread.
+    std::optional<TraceScope> trace_scope;
+    if (params.trace)
+        trace_scope.emplace(*params.trace);
+
     std::unique_ptr<App> app = makeApp(app_name);
     if (!app)
         fatal("runWorkload: unknown application '", app_name, "'");
@@ -70,6 +77,7 @@ runWorkload(const std::string &app_name, ToolKind tool,
     MachineConfig machine_config;
     machine_config.memoryBytes = 192u << 20;
     machine_config.log = params.log;
+    machine_config.trace = params.trace;
     Machine machine(machine_config);
     HeapAllocator allocator(machine);
 

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
+#include "trace/trace.h"
 #include "workloads/cli.h"
 #include "workloads/report_writer.h"
 
@@ -81,6 +85,43 @@ TEST(Cli, MissingValueRejected)
 {
     CliParse parse = parseCliArguments({"gzip", "--requests"});
     EXPECT_FALSE(parse.options.has_value());
+}
+
+TEST(Cli, TraceFlagParsed)
+{
+    CliParse parse =
+        parseCliArguments({"gzip", "--trace", "out.trace"});
+    ASSERT_TRUE(parse.options.has_value());
+    EXPECT_EQ(parse.options->traceFile, "out.trace");
+
+    CliParse missing = parseCliArguments({"gzip", "--trace"});
+    EXPECT_FALSE(missing.options.has_value());
+}
+
+TEST(Cli, EndToEndTraceFileHoldsOneSectionPerRun)
+{
+    const std::string path = "cli_trace_test.bin";
+    CliParse parse = parseCliArguments({"gzip", "--requests", "20",
+                                        "--overhead", "--trace", path});
+    ASSERT_TRUE(parse.options.has_value());
+    std::string report = runCli(*parse.options);
+    EXPECT_NE(report.find("trace: 2 run sections -> " + path),
+              std::string::npos);
+
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::vector<TraceSection> sections = readTraceSections(is);
+    ASSERT_EQ(sections.size(), 2u);
+    EXPECT_EQ(sections[0].label, "gzip/safemem");
+    EXPECT_EQ(sections[1].label, "gzip/none");
+    if (kTraceCompiledIn) {
+        // The instrumented run records plenty of watch traffic; the
+        // baseline still records controller fills.
+        EXPECT_GT(sections[0].emitted, 0u);
+        EXPECT_GT(sections[1].emitted, 0u);
+        EXPECT_FALSE(sections[0].records.empty());
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Cli, UnknownFlagRejected)

@@ -16,6 +16,7 @@
 #include "alloc/heap_allocator.h"
 #include "safemem/safemem.h"
 #include "safemem/watch_manager.h"
+#include "trace/trace.h"
 
 namespace safemem {
 namespace {
@@ -115,6 +116,173 @@ TEST(FaultInjection, MultiBitUnderWatchIsRepairedFromPrivateCopy)
     EXPECT_TRUE(tool.corruptionDetector().reports().empty());
     EXPECT_EQ(backend.stats().get("hardware_errors_detected"), 1u);
     tool.finish();
+}
+
+TEST(FaultInjection, HardwareRepairBypassesTheCacheWritePath)
+{
+    // Regression: the repair of a hardware error under a watch must go
+    // through the controller's device-op path. Repairing with ordinary
+    // cached writes write-allocates, and the read-for-ownership fill
+    // pulls the still-corrupted line back through the controller — two
+    // extra fills (and a second ECC fault) for this 128-byte region.
+    Trace trace;
+    MachineConfig machine_config{4u << 20, CacheConfig{16, 2}, 64};
+    machine_config.trace = &trace;
+    Machine machine(machine_config);
+    machine.kernel().setPanicOnHardwareError(false);
+    HeapAllocator allocator(machine);
+    EccWatchManager backend(machine);
+    backend.installFaultHandler();
+
+    SafeMemConfig config;
+    config.detectLeaks = false;
+    SafeMemTool tool(machine, allocator, backend, config);
+    ShadowStack stack;
+
+    VirtAddr buffer = tool.toolAlloc(128, stack, 1);
+    machine.store<std::uint64_t>(buffer, 0x2222ULL);
+    tool.toolFree(buffer); // freed body watched (scrambled)
+
+    PhysAddr line = machine.kernel().translate(buffer);
+    machine.physicalMemory().flipDataBit(line, 2);
+    machine.physicalMemory().flipDataBit(line, 9);
+
+    std::uint64_t fills_before =
+        machine.controller().stats().get("line_fills");
+    EXPECT_EQ(machine.load<std::uint64_t>(buffer), 0x2222ULL);
+    EXPECT_EQ(backend.stats().get("hardware_errors_detected"), 1u);
+    // Exactly the faulted fill and the post-repair retry fill; the
+    // cached-write repair added two write-allocate fills on top.
+    EXPECT_EQ(machine.controller().stats().get("line_fills") -
+                  fills_before, 2u);
+
+    if (kTraceCompiledIn) {
+        // The flight recorder shows the same thing structurally: no
+        // controller fill (and no nested ECC interrupt) between the
+        // hardware-fault classification and the end of the repair.
+        bool in_repair = false;
+        bool repaired = false;
+        for (const TraceRecord &record : trace.records()) {
+            if (record.event == TraceEvent::WatchFaultHardware) {
+                in_repair = true;
+            } else if (record.event == TraceEvent::WatchRepairDone) {
+                in_repair = false;
+                repaired = true;
+            } else if (in_repair) {
+                EXPECT_NE(record.event, TraceEvent::ControllerFill);
+                EXPECT_NE(record.event, TraceEvent::KernelEccInterrupt);
+            }
+        }
+        EXPECT_TRUE(repaired);
+    }
+    tool.finish();
+}
+
+TEST(FaultInjection, ScrubRaceKeepsParkScrubRestoreOrdering)
+{
+    // Multi-bit errors and watch churn race a short-period scrub. The
+    // flight recorder must show every pass as a well-formed
+    //   tick-begin -> park* -> scrub -> restore* -> tick-end
+    // bracket, with no ECC interrupt delivered inside either hook
+    // window (parked lines are unscrambled, so the scrubber never
+    // faults on a watch).
+    if (!kTraceCompiledIn)
+        GTEST_SKIP() << "needs compiled-in trace emit sites";
+
+    Trace trace(1u << 18);
+    MachineConfig machine_config{8u << 20, CacheConfig{16, 2}, 64};
+    machine_config.trace = &trace;
+    Machine machine(machine_config);
+    machine.kernel().setPanicOnHardwareError(false);
+    HeapAllocator allocator(machine);
+    EccWatchManager backend(machine);
+    backend.installFaultHandler();
+    backend.installScrubHooks();
+
+    SafeMemConfig config;
+    config.detectLeaks = false;
+    SafeMemTool tool(machine, allocator, backend, config);
+    ShadowStack stack;
+    Rng rng(97);
+
+    machine.kernel().enableScrubbing(20'000);
+
+    for (int round = 0; round < 200; ++round) {
+        FrameGuard frame(stack, 0x990000);
+        VirtAddr buffer = tool.toolAlloc(128, stack, 3);
+        machine.store<std::uint64_t>(buffer,
+                                     static_cast<std::uint64_t>(round));
+        machine.compute(rng.range(200, 2'000));
+        tool.toolFree(buffer); // freed body watched: churn across scrubs
+
+        if (round % 7 == 3) {
+            // A multi-bit error strikes the scrambled freed body; the
+            // dangling access classifies it as hardware and repairs it.
+            PhysAddr line = machine.kernel().translate(buffer);
+            machine.physicalMemory().flipDataBit(line, 2);
+            machine.physicalMemory().flipDataBit(line, 9);
+            machine.load<std::uint64_t>(buffer);
+        }
+    }
+    tool.finish();
+    machine.kernel().disableScrubbing();
+
+    ASSERT_EQ(trace.dropped(), 0u)
+        << "ring too small to audit the whole run";
+
+    enum Phase { Outside, PreScrubHook, Scrubbing, PostScrubHook };
+    int phase = Outside;
+    std::uint64_t parks = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t passes = 0;
+    std::uint64_t repairs = 0;
+    for (const TraceRecord &record : trace.records()) {
+        switch (record.event) {
+          case TraceEvent::KernelScrubTickBegin:
+            EXPECT_EQ(phase, Outside);
+            phase = PreScrubHook;
+            break;
+          case TraceEvent::ControllerScrubBegin:
+            EXPECT_EQ(phase, PreScrubHook);
+            phase = Scrubbing;
+            break;
+          case TraceEvent::ControllerScrubEnd:
+            EXPECT_EQ(phase, Scrubbing);
+            phase = PostScrubHook;
+            break;
+          case TraceEvent::KernelScrubTickEnd:
+            EXPECT_EQ(phase, PostScrubHook);
+            phase = Outside;
+            ++passes;
+            break;
+          case TraceEvent::WatchScrubPark:
+            EXPECT_EQ(phase, PreScrubHook);
+            ++parks;
+            break;
+          case TraceEvent::WatchScrubRestore:
+            EXPECT_EQ(phase, PostScrubHook);
+            ++restores;
+            break;
+          case TraceEvent::ControllerInterrupt:
+          case TraceEvent::KernelEccInterrupt:
+            EXPECT_NE(phase, PreScrubHook)
+                << "interrupt inside the pre-scrub hook";
+            EXPECT_NE(phase, PostScrubHook)
+                << "interrupt inside the post-scrub hook";
+            break;
+          case TraceEvent::WatchRepairDone:
+            ++repairs;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(phase, Outside);
+    EXPECT_GE(passes, 2u);
+    EXPECT_GE(parks, 1u);
+    EXPECT_EQ(parks, restores);
+    EXPECT_GE(repairs, 1u);
+    EXPECT_EQ(backend.stats().get("hardware_errors_detected"), repairs);
 }
 
 TEST(FaultInjection, MultiBitOnPlainMemoryPanicsWithoutSafeMem)

@@ -173,6 +173,16 @@ TEST_F(ControllerTest, BusLockBlocksTransfersViaPanic)
     EXPECT_TRUE(controller.fillLine(0, out));
 }
 
+TEST_F(ControllerTest, BusLockBlocksScrubViaPanic)
+{
+    // A scrub pass is bus traffic like any other: running one while the
+    // bus is locked for a scramble would read half-scrambled lines.
+    controller.lockBus();
+    EXPECT_THROW(controller.scrubRange(0, 1), PanicError);
+    controller.unlockBus();
+    controller.scrubRange(0, 1);
+}
+
 TEST_F(ControllerTest, DoubleBusLockPanics)
 {
     controller.lockBus();

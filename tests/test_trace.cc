@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Flight-recorder tests: ring semantics, the binary section format and
+ * its JSON-lines export, thread-local scope routing, SimCheck context
+ * attachment, and the per-run recording contract under runMatrix().
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/simcheck.h"
+#include "common/logging.h"
+#include "os/machine.h"
+#include "trace/trace.h"
+#include "workloads/driver.h"
+
+namespace safemem {
+namespace {
+
+TEST(Trace, RingWrapKeepsNewestRecords)
+{
+    Trace trace(16);
+    EXPECT_EQ(trace.capacity(), 16u);
+    for (std::uint64_t i = 0; i < 40; ++i)
+        trace.emit(TraceEvent::WatchEstablish, i, i * 10);
+
+    EXPECT_EQ(trace.emitted(), 40u);
+    EXPECT_EQ(trace.dropped(), 24u);
+    EXPECT_EQ(trace.size(), 16u);
+
+    std::vector<TraceRecord> records = trace.records();
+    ASSERT_EQ(records.size(), 16u);
+    // Oldest retained first: cycles 24..39.
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].cycle, 24 + i);
+        EXPECT_EQ(records[i].a, (24 + i) * 10);
+    }
+}
+
+TEST(Trace, PayloadWordsDefaultToZero)
+{
+    Trace trace(16);
+    trace.emit(TraceEvent::ControllerFill, 7);
+    trace.emit(TraceEvent::ControllerInterrupt, 8, 1, 2, 3);
+
+    std::vector<TraceRecord> records = trace.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0],
+              (TraceRecord{7, 0, 0, 0, TraceEvent::ControllerFill}));
+    EXPECT_EQ(records[1],
+              (TraceRecord{8, 1, 2, 3, TraceEvent::ControllerInterrupt}));
+}
+
+TEST(Trace, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(Trace(10).capacity(), 16u);
+    EXPECT_EQ(Trace(0).capacity(), 16u);
+    EXPECT_EQ(Trace(4096).capacity(), 4096u);
+    EXPECT_EQ(Trace(4097).capacity(), 8192u);
+}
+
+TEST(Trace, LastRecordsReturnsNewestOldestFirst)
+{
+    Trace trace(16);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        trace.emit(TraceEvent::WatchDrop, i);
+
+    std::vector<TraceRecord> last = trace.lastRecords(3);
+    ASSERT_EQ(last.size(), 3u);
+    EXPECT_EQ(last[0].cycle, 2u);
+    EXPECT_EQ(last[2].cycle, 4u);
+    EXPECT_EQ(trace.lastRecords(99).size(), 5u);
+}
+
+TEST(Trace, ClearForgetsEverything)
+{
+    Trace trace(16);
+    trace.emit(TraceEvent::WatchDrop, 1);
+    trace.clear();
+    EXPECT_EQ(trace.emitted(), 0u);
+    EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(Trace, EventNamesCoverEveryEvent)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceEvent::NumEvents); ++i) {
+        std::string name =
+            traceEventName(static_cast<TraceEvent>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+    }
+    EXPECT_STREQ(traceEventName(TraceEvent::NumEvents), "?");
+}
+
+TEST(Trace, BinarySectionsRoundTrip)
+{
+    Trace first(16);
+    for (std::uint64_t i = 0; i < 40; ++i)
+        first.emit(TraceEvent::ControllerFill, i, i, i + 1, i + 2);
+    Trace second(32);
+    second.emit(TraceEvent::LeakReported, 99, 0xabc, 128, 7);
+
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceSection(stream, first, "gzip/safemem+buggy");
+    writeTraceSection(stream, second, "hotpath");
+
+    std::vector<TraceSection> sections = readTraceSections(stream);
+    ASSERT_EQ(sections.size(), 2u);
+
+    EXPECT_EQ(sections[0].label, "gzip/safemem+buggy");
+    EXPECT_EQ(sections[0].emitted, 40u);
+    EXPECT_EQ(sections[0].capacity, 16u);
+    EXPECT_EQ(sections[0].records, first.records());
+
+    EXPECT_EQ(sections[1].label, "hotpath");
+    EXPECT_EQ(sections[1].emitted, 1u);
+    EXPECT_EQ(sections[1].records, second.records());
+}
+
+TEST(Trace, EmptyStreamYieldsNoSections)
+{
+    std::stringstream stream;
+    EXPECT_TRUE(readTraceSections(stream).empty());
+}
+
+TEST(Trace, MalformedMagicThrows)
+{
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    stream << "NOPE this is not a trace file";
+    EXPECT_THROW(readTraceSections(stream), FatalError);
+}
+
+TEST(Trace, TruncatedSectionThrows)
+{
+    Trace trace(16);
+    trace.emit(TraceEvent::WatchDrop, 1);
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceSection(stream, trace, "cut");
+    std::string bytes = stream.str();
+    bytes.resize(bytes.size() - 5);
+
+    std::stringstream cut(bytes, std::ios::in | std::ios::binary);
+    EXPECT_THROW(readTraceSections(cut), FatalError);
+}
+
+TEST(Trace, JsonLinesCarryAbsoluteSequenceNumbers)
+{
+    Trace trace(16);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        trace.emit(TraceEvent::ControllerEvict, 100 + i, i);
+
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceSection(stream, trace, "run \"x\"");
+    std::vector<TraceSection> sections = readTraceSections(stream);
+    ASSERT_EQ(sections.size(), 1u);
+    ASSERT_EQ(sections[0].records.size(), 16u);
+
+    // 20 emitted into a 16-ring: the first retained record is emit #4.
+    std::string line = traceRecordJsonLine(sections[0], 0);
+    EXPECT_NE(line.find("\"run\":\"run \\\"x\\\"\""), std::string::npos);
+    EXPECT_NE(line.find("\"seq\":4"), std::string::npos);
+    EXPECT_NE(line.find("\"cycle\":104"), std::string::npos);
+    EXPECT_NE(line.find("\"event\":\"controller_evict\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"a\":4"), std::string::npos);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Trace, ScopeRoutesAndNests)
+{
+    EXPECT_EQ(currentTrace(), nullptr);
+    Trace outer(16);
+    {
+        TraceScope outer_scope(outer);
+        EXPECT_EQ(currentTrace(), &outer);
+        Trace inner(16);
+        {
+            TraceScope inner_scope(inner);
+            EXPECT_EQ(currentTrace(), &inner);
+        }
+        EXPECT_EQ(currentTrace(), &outer);
+    }
+    EXPECT_EQ(currentTrace(), nullptr);
+}
+
+TEST(Trace, ContextSummaryShowsNewestEvents)
+{
+    EXPECT_TRUE(traceContextSummary(4).empty());
+
+    Trace trace(16);
+    TraceScope scope(trace);
+    EXPECT_TRUE(traceContextSummary(4).empty()) << "empty ring";
+
+    trace.emit(TraceEvent::WatchScrubPark, 123, 0x40, 64);
+    trace.emit(TraceEvent::ControllerScrubBegin, 130, 0, 512);
+    std::string summary = traceContextSummary(4);
+    EXPECT_NE(summary.find("last trace events:"), std::string::npos);
+    EXPECT_NE(summary.find("watch_scrub_park@123"), std::string::npos);
+    EXPECT_NE(summary.find("controller_scrub_begin@130"),
+              std::string::npos);
+}
+
+TEST(Trace, SimCheckViolationsCarryTraceContext)
+{
+    ASSERT_TRUE(SimCheck::instance().enabled());
+    Trace trace(16);
+    TraceScope scope(trace);
+    trace.emit(TraceEvent::KernelScrubTickBegin, 555);
+
+    try {
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "self_test_trace",
+                       false, "seeded violation with trace context");
+        FAIL() << "audit failure did not throw";
+    } catch (const PanicError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("SimCheck violation"), std::string::npos);
+        EXPECT_NE(what.find("last trace events:"), std::string::npos);
+        EXPECT_NE(what.find("kernel_scrub_tick_begin@555"),
+                  std::string::npos);
+    }
+}
+
+TEST(Trace, MachineRecordsControllerTraffic)
+{
+    if (!kTraceCompiledIn)
+        GTEST_SKIP() << "emit sites compiled out";
+
+    Trace trace;
+    MachineConfig config{4u << 20, CacheConfig{16, 2}, 64};
+    config.trace = &trace;
+    Machine machine(config);
+
+    VirtAddr region = machine.kernel().mapRegion(kPageSize);
+    for (int i = 0; i < 64; ++i)
+        machine.store<std::uint64_t>(region + i * 64, i);
+    machine.cache().flushAll();
+
+    std::uint64_t fills = 0;
+    std::uint64_t evicts = 0;
+    for (const TraceRecord &record : trace.records()) {
+        if (record.event == TraceEvent::ControllerFill)
+            ++fills;
+        if (record.event == TraceEvent::ControllerEvict)
+            ++evicts;
+    }
+    EXPECT_GT(fills, 0u);
+    EXPECT_GT(evicts, 0u);
+}
+
+TEST(Trace, MatrixCellsRecordIdenticallySerialAndParallel)
+{
+    if (!kTraceCompiledIn)
+        GTEST_SKIP() << "emit sites compiled out";
+
+    auto make_specs = [](std::vector<Trace> &traces) {
+        RunParams params;
+        params.requests = 10;
+        params.seed = 42;
+        std::vector<RunSpec> specs;
+        specs.push_back(RunSpec{"gzip", ToolKind::SafeMemBoth, params});
+        params.buggy = true;
+        specs.push_back(RunSpec{"tar", ToolKind::SafeMemBoth, params});
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            specs[i].params.trace = &traces[i];
+        return specs;
+    };
+
+    std::vector<Trace> serial_traces(2);
+    std::vector<MatrixCell> serial =
+        runMatrix(make_specs(serial_traces), 1);
+    std::vector<Trace> parallel_traces(2);
+    std::vector<MatrixCell> parallel =
+        runMatrix(make_specs(parallel_traces), 2);
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_TRUE(serial[i].ok());
+        ASSERT_TRUE(parallel[i].ok());
+        EXPECT_GT(serial_traces[i].emitted(), 0u);
+        EXPECT_EQ(serial_traces[i].emitted(),
+                  parallel_traces[i].emitted());
+        EXPECT_EQ(serial_traces[i].records(),
+                  parallel_traces[i].records());
+    }
+    EXPECT_NE(serial_traces[0].records(), serial_traces[1].records())
+        << "distinct runs should record distinct streams";
+}
+
+} // namespace
+} // namespace safemem

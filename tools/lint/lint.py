@@ -25,6 +25,11 @@ Rules (scoped to ``src/`` unless noted):
                    matrix depends on.  ``const``/``constexpr`` data and
                    ``thread_local`` slots are fine; the deprecated quiet
                    flag is allowlisted.
+  string-trace-payload  No string literal inside a ``SAFEMEM_TRACE_EMIT``
+                   (or ``...trace->emit(...)``) argument list under
+                   ``src/``: flight-recorder payloads are enum IDs and
+                   integer words only, so the emit path never formats and
+                   the binary record stays fixed-size.
 
 Usage:
   lint.py [--root DIR]   lint the tree rooted at DIR (default: repo root)
@@ -274,6 +279,37 @@ def check_mutable_globals(rel, stripped, violations):
             "or per-run (const/constexpr/thread_local are fine)"))
 
 
+# A trace emit site: the SAFEMEM_TRACE_EMIT macro, or a direct emit()
+# call on something trace-shaped (`trace_->emit(`, `machine.trace()->emit(`).
+TRACE_EMIT_OPEN = re.compile(
+    r"\bSAFEMEM_TRACE_EMIT\s*\(|"
+    r"(?:\btrace\w*|\btrace\s*\(\s*\))\s*(?:->|\.)\s*emit\s*\(")
+
+
+def check_string_trace_payload(rel, stripped, violations):
+    # The stripper blanks string *contents* but keeps the quote chars, so
+    # any literal in the argument list still shows up as a '"'.
+    if not rel.startswith("src/"):
+        return
+    for match in TRACE_EMIT_OPEN.finditer(stripped):
+        depth = 0
+        end = match.end() - 1  # the opening '('
+        while end < len(stripped):
+            if stripped[end] == "(":
+                depth += 1
+            elif stripped[end] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        if '"' in stripped[match.end():end]:
+            lineno = stripped.count("\n", 0, match.start()) + 1
+            violations.append(Violation(
+                rel, lineno, "string-trace-payload",
+                "string literal in a trace emit: flight-recorder payloads "
+                "are enum IDs and integer words only"))
+
+
 def check_header_docs(rel, raw, violations):
     if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
         return
@@ -299,6 +335,7 @@ def lint_file(root, rel, violations):
     check_header_docs(rel, raw, violations)
     check_string_keyed_stats(rel, stripped, violations)
     check_mutable_globals(rel, stripped, violations)
+    check_string_trace_payload(rel, stripped, violations)
 
 
 def lint_tree(root):
@@ -355,6 +392,18 @@ SEEDED_SOURCES = {
         '#include "common/types.h"\n'
         "namespace safemem {\nnamespace {\n"
         "std::size_t g_calls{0};\n}\n}\n"),
+    "src/safemem/bad_trace_macro.cc": (
+        "string-trace-payload",
+        '#include "trace/trace.h"\n'
+        "void oops(safemem::Trace *trace_)\n{\n"
+        "    SAFEMEM_TRACE_EMIT(trace_, safemem::TraceEvent::WatchDrop,\n"
+        '                       0, sizeof("leaked region"));\n}\n'),
+    "src/safemem/bad_trace_emit.cc": (
+        "string-trace-payload",
+        '#include "trace/trace.h"\n'
+        "void oops2(safemem::Trace &trace)\n{\n"
+        "    trace.emit(safemem::TraceEvent::WatchDrop, 0,\n"
+        '               sizeof("a string payload"));\n}\n'),
 }
 
 CLEAN_SOURCES = [
@@ -383,6 +432,15 @@ CLEAN_SOURCES = [
      "    return history;\n}\n"
      "struct Pod\n{\n    int field = 0;\n};\n"
      "}\n"),
+    # Well-formed trace emits: integer payloads only — the macro form
+    # (null-guarded) and a direct emit() both stay quiet.
+    ("src/safemem/clean_trace.cc",
+     '#include "trace/trace.h"\n'
+     "void fine(safemem::Trace *trace_)\n{\n"
+     "    SAFEMEM_TRACE_EMIT(trace_, safemem::TraceEvent::WatchDrop,\n"
+     "                       1, 2, 3);\n"
+     "    if (trace_)\n"
+     "        trace_->emit(safemem::TraceEvent::WatchDrop, 1);\n}\n"),
 ]
 
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Offline analyzer for flight-recorder trace files: reads the binary
+ * sections a `--trace FILE` run appended (one per run, labelled) and
+ * prints one JSON object per record to stdout — grep/jq-friendly
+ * JSON-lines, never parsed back by the simulator itself.
+ *
+ * usage: trace_dump FILE...
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "trace/trace.h"
+
+using namespace safemem;
+
+namespace {
+
+/** Dump every section of @p path; @return false on a malformed file. */
+bool
+dumpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "trace_dump: cannot open %s\n", path.c_str());
+        return false;
+    }
+
+    std::vector<TraceSection> sections;
+    try {
+        sections = readTraceSections(is);
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "trace_dump: %s: %s\n", path.c_str(),
+                     err.what());
+        return false;
+    }
+
+    for (const TraceSection &section : sections) {
+        for (std::size_t i = 0; i < section.records.size(); ++i) {
+            std::string line = traceRecordJsonLine(section, i);
+            std::fwrite(line.data(), 1, line.size(), stdout);
+            std::fputc('\n', stdout);
+        }
+        if (section.emitted > section.records.size())
+            std::fprintf(stderr,
+                         "trace_dump: %s: section '%s' dropped %llu of "
+                         "%llu events to ring wrap\n",
+                         path.c_str(), section.label.c_str(),
+                         static_cast<unsigned long long>(
+                             section.emitted - section.records.size()),
+                         static_cast<unsigned long long>(section.emitted));
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+        return 2;
+    }
+
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = dumpFile(argv[i]) && ok;
+    return ok ? 0 : 1;
+}
