@@ -10,10 +10,13 @@
 #   5. bench smoke        — bench_hotpath --json and bench_matrix --json;
 #                           fail on malformed JSON or missing keys
 #   6. trace smoke        — a traced safemem_run workload decoded with
-#                           trace_dump; fail on malformed JSON-lines
-#   7. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
-#   8. repo lint          — tools/lint/lint.py over the tree + self-test
-#   9. format check       — scripts/check_format.sh (skips w/o clang-format)
+#                           trace_dump (records + --summary); fail on
+#                           malformed JSON-lines
+#   7. multiproc smoke    — the full app sweep at --procs 2 must produce
+#                           byte-identical reports for any worker count
+#   8. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
+#   9. repo lint          — tools/lint/lint.py over the tree + self-test
+#  10. format check       — scripts/check_format.sh (skips w/o clang-format)
 #
 # Every stage runs even when an earlier one fails; the exit status is
 # non-zero if any stage failed.
@@ -103,9 +106,25 @@ trace_smoke() {
     # per run section.
     local bin=build/trace_smoke.bin
     local out=build/trace_smoke.jsonl
+    local summary=build/trace_smoke_summary.jsonl
     build/tools/safemem_run gzip --requests 20 --trace "$bin" \
         >/dev/null &&
         build/tools/trace_dump "$bin" >"$out" &&
+        build/tools/trace_dump --summary "$bin" >"$summary" &&
+        python3 - "$summary" <<'PYEOF' &&
+import json
+import sys
+
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "trace_dump --summary produced no sections"
+for line in lines:
+    doc = json.loads(line)
+    assert set(doc) == {"run", "emitted", "retained", "cycle_first",
+                        "cycle_last", "events"}, f"bad key set: {sorted(doc)}"
+    assert doc["retained"] == sum(doc["events"].values()), doc
+    assert doc["cycle_first"] <= doc["cycle_last"], doc
+print(f"trace summary: {len(lines)} section(s)")
+PYEOF
         python3 - "$out" <<'PYEOF'
 import json
 import sys
@@ -117,7 +136,8 @@ last_cycle = {}
 last_seq = {}
 for line in lines:
     rec = json.loads(line)
-    assert set(rec) == {"run", "seq", "cycle", "event", "a", "b", "c"}, \
+    assert set(rec) == {"run", "seq", "cycle", "pid", "event",
+                        "a", "b", "c"}, \
         f"bad key set: {sorted(rec)}"
     assert isinstance(rec["event"], str) and rec["event"] != "?", rec
     run = rec["run"]
@@ -128,6 +148,29 @@ for line in lines:
 assert "gzip/safemem" in last_seq, f"runs seen: {sorted(last_seq)}"
 print(f"trace smoke: {len(lines)} records across {len(last_seq)} run(s)")
 PYEOF
+}
+
+multiproc_smoke() {
+    # Consolidated runs must be pure functions of their RunSpec: the
+    # whole-matrix sweep at --procs 2 has to produce byte-identical
+    # reports (per-process detector slices, contention counters, every
+    # stat) no matter how many matrix workers drive it.
+    local serial=build/multiproc_serial.txt
+    local parallel=build/multiproc_parallel.txt
+    build/tools/safemem_run all --tool safemem --buggy --procs 2 \
+        --requests 60 --stats --simcheck --workers 1 >"$serial" &&
+        build/tools/safemem_run all --tool safemem --buggy --procs 2 \
+            --requests 60 --stats --simcheck --workers 4 >"$parallel" &&
+        grep -q "x2 consolidated processes" "$serial" &&
+        grep -q "\[pid 1\]" "$serial" &&
+        grep -q "cross-process evictions" "$serial" &&
+        if cmp -s "$serial" "$parallel"; then
+            echo "multiproc smoke: serial and 4-worker sweeps identical"
+        else
+            echo "multiproc smoke: worker count changed the results:"
+            diff "$serial" "$parallel" | head -20
+            false
+        fi
 }
 
 notrace_build() {
@@ -144,6 +187,7 @@ stage "tsan ctest" build_and_test build-tsan -DSAFEMEM_TSAN=ON
 stage "bench smoke (hotpath --json)" bench_smoke
 stage "bench smoke (matrix --json)" matrix_smoke
 stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
+stage "multiproc smoke (--procs 2, serial vs parallel)" multiproc_smoke
 stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build
 stage "repo lint" python3 tools/lint/lint.py --root .
 stage "lint self-test" python3 tools/lint/lint.py --self-test

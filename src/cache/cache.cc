@@ -34,6 +34,12 @@ Cache::fillLine(PhysAddr line_addr)
             victim = &way;
     }
 
+    if (victim->valid && victim->ownerPid != currentPid_) {
+        // Consolidation contention: this fill pushes out a line some
+        // other process brought in (a shared-cache effect no
+        // single-process run can produce, so the counter stays 0 there).
+        stats_.add(CacheStat::CrossProcEvictions);
+    }
     if (victim->valid && victim->dirty) {
         stats_.add(CacheStat::Writebacks);
         controller_.evictLine(victim->lineAddr, victim->data);
@@ -57,6 +63,7 @@ Cache::fillLine(PhysAddr line_addr)
     victim->dirty = false;
     victim->lineAddr = line_addr;
     victim->lastUse = ++useCounter_;
+    victim->ownerPid = currentPid_;
     victim->data = data;
     return victim;
 }

@@ -49,11 +49,16 @@ enum class CacheStat : std::size_t
     Writebacks,
     FaultedFills,
     Flushes,
+    /** Evictions where the victim was filled by a different process —
+     *  the consolidation contention signal (stays 0, and therefore out
+     *  of stat snapshots, on single-process machines). */
+    CrossProcEvictions,
 };
 
 /** Report/snapshot names for CacheStat, in enumerator order. */
 inline constexpr const char *kCacheStatNames[] = {
-    "hits", "misses", "writebacks", "faulted_fills", "flushes",
+    "hits",    "misses",          "writebacks",
+    "faulted_fills", "flushes", "cross_proc_evictions",
 };
 
 class Cache
@@ -139,6 +144,11 @@ class Cache
     /** @return cache statistics (hits, misses, writebacks...). */
     const StatSet &stats() const { return stats_; }
 
+    /** Tag subsequent fills with the running process (the kernel's
+     *  context-switch path calls this) so evictions can tell whether the
+     *  victim belonged to someone else. */
+    void setCurrentPid(std::uint32_t pid) { currentPid_ = pid; }
+
   private:
     struct Way
     {
@@ -146,6 +156,7 @@ class Cache
         bool dirty = false;
         PhysAddr lineAddr = 0;
         std::uint64_t lastUse = 0;
+        std::uint32_t ownerPid = 0; ///< process whose access filled it
         LineData data{};
     };
 
@@ -207,6 +218,7 @@ class Cache
     Trace *trace_;
     std::vector<std::vector<Way>> sets_;
     std::uint64_t useCounter_ = 0;
+    std::uint32_t currentPid_ = 0;
     StatSet stats_{kCacheStatNames};
 };
 

@@ -101,4 +101,11 @@ inline constexpr Cycles kScrubWordCycles = 2;
 /** Swapping one page out to (or in from) the backing store. */
 inline constexpr Cycles kSwapPageCycles = 24000;
 
+/** Creating a fresh process (address-space setup, kernel structures). */
+inline constexpr Cycles kProcessCreateCycles = 12000;
+
+/** One cooperative context switch (register save/restore, CR3 write;
+ *  TLBs are per-address-space — ASID-tagged — so no flush is charged). */
+inline constexpr Cycles kContextSwitchCycles = 2400;
+
 } // namespace safemem

@@ -21,8 +21,76 @@ Kernel::Kernel(MemoryController &controller, Cache &cache, CycleClock &clock,
     for (std::size_t i = frames; i-- > 0;)
         freeFrames_.push_back(static_cast<PhysAddr>(i) * kPageSize);
 
+    // The init process exists at power-on: free (no cycles, no trace),
+    // so a single-process machine boots exactly as it always has.
+    processes_.push_back(std::make_unique<Process>(0));
+    current_ = processes_.front().get();
+
     controller_.setInterruptHandler(
         [this](const EccFaultInfo &info) { onEccInterrupt(info); });
+}
+
+void
+Kernel::switchTo(Process &proc)
+{
+    current_ = &proc;
+    cache_.setCurrentPid(proc.pid());
+    if (trace_)
+        trace_->setPid(proc.pid());
+}
+
+Pid
+Kernel::createProcess()
+{
+    clock_.advance(kSyscallEntryCycles + kProcessCreateCycles,
+                   CostCenter::Kernel);
+    Pid pid = static_cast<Pid>(processes_.size());
+    processes_.push_back(std::make_unique<Process>(pid));
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::SchedProcessCreated, clock_.now(),
+                       pid);
+    return pid;
+}
+
+void
+Kernel::exitProcess(Pid pid)
+{
+    Process &proc = process(pid);
+    if (!proc.alive_)
+        panic("Kernel::exitProcess: pid ", pid, " already exited");
+    proc.alive_ = false;
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::SchedProcessExited, clock_.now(),
+                       pid);
+}
+
+void
+Kernel::setCurrentProcess(Pid pid)
+{
+    Process &proc = process(pid);
+    if (!proc.alive_)
+        panic("Kernel::setCurrentProcess: pid ", pid, " has exited");
+    // The clock's default cost center belongs to the outgoing call
+    // stack's CostScopes: park it with the process and restore the
+    // incoming one's, or a switch landing inside a tool scope would
+    // bill the next process's application work to this one's tool.
+    current_->costCenter_ = clock_.currentCenter();
+    clock_.setCurrentCenter(proc.costCenter_);
+    switchTo(proc);
+}
+
+Process &
+Kernel::process(Pid pid)
+{
+    if (pid >= processes_.size())
+        panic("Kernel::process: no such pid ", pid);
+    return *processes_[pid];
+}
+
+const Process &
+Kernel::process(Pid pid) const
+{
+    if (pid >= processes_.size())
+        panic("Kernel::process: no such pid ", pid);
+    return *processes_[pid];
 }
 
 PhysAddr
@@ -45,14 +113,15 @@ VirtAddr
 Kernel::mapRegion(std::size_t bytes)
 {
     clock_.advance(kSyscallEntryCycles);
+    AddressSpace &space = current_->space_;
     std::size_t pages = alignUp(bytes, kPageSize) / kPageSize;
     if (pages == 0)
         pages = 1;
-    VirtAddr base = nextVirt_;
-    nextVirt_ += pages * kPageSize;
+    VirtAddr base = space.nextVirt;
+    space.nextVirt += pages * kPageSize;
     for (std::size_t i = 0; i < pages; ++i)
-        pageTable_.map(base + i * kPageSize, allocFrame());
-    stats_.add(KernelStat::PagesMapped, pages);
+        space.pageTable.map(base + i * kPageSize, allocFrame());
+    bump(KernelStat::PagesMapped, pages);
     return base;
 }
 
@@ -60,12 +129,13 @@ void
 Kernel::unmapRegion(VirtAddr base, std::size_t bytes)
 {
     clock_.advance(kSyscallEntryCycles);
+    AddressSpace &space = current_->space_;
     if (!isAligned(base, kPageSize))
         panic("Kernel::unmapRegion: unaligned base ", base);
     std::size_t pages = alignUp(bytes, kPageSize) / kPageSize;
     for (std::size_t i = 0; i < pages; ++i) {
         VirtAddr vpage = base + i * kPageSize;
-        PageTableEntry *entry = pageTable_.find(vpage);
+        PageTableEntry *entry = space.pageTable.find(vpage);
         if (!entry)
             panic("Kernel::unmapRegion: vpage ", vpage, " not mapped");
         if (entry->pinCount > 0)
@@ -76,40 +146,42 @@ Kernel::unmapRegion(VirtAddr base, std::size_t bytes)
                 cache_.flushLine(entry->frame + l * kCacheLineSize);
             freeFrame(entry->frame);
         } else {
-            swapStore_.erase(vpage);
+            space.swapStore.erase(vpage);
         }
-        pageTable_.unmap(vpage);
-        tlb_.invalidate(vpage);
+        space.pageTable.unmap(vpage);
+        space.tlb.invalidate(vpage);
     }
-    stats_.add(KernelStat::PagesUnmapped, pages);
+    bump(KernelStat::PagesUnmapped, pages);
 }
 
 bool
 Kernel::pageMapped(VirtAddr vaddr) const
 {
-    return pageTable_.find(alignDown(vaddr, kPageSize)) != nullptr;
+    return current_->space_.pageTable.find(alignDown(vaddr, kPageSize)) !=
+           nullptr;
 }
 
 bool
 Kernel::pageResident(VirtAddr vaddr) const
 {
     const PageTableEntry *entry =
-        pageTable_.find(alignDown(vaddr, kPageSize));
+        current_->space_.pageTable.find(alignDown(vaddr, kPageSize));
     return entry && entry->present;
 }
 
 PhysAddr
 Kernel::translate(VirtAddr vaddr)
 {
+    AddressSpace &space = current_->space_;
     VirtAddr vpage = alignDown(vaddr, kPageSize);
-    if (!tlb_.access(vpage))
+    if (!space.tlb.access(vpage))
         clock_.advance(kTlbMissCycles);
     for (int attempt = 0; attempt < 4; ++attempt) {
-        PageTableEntry *entry = pageTable_.find(vpage);
+        PageTableEntry *entry = space.pageTable.find(vpage);
         if (!entry) {
             // Never leave an invalid translation cached: the access above
             // optimistically inserted the vpage before the walk failed.
-            tlb_.invalidate(vpage);
+            space.tlb.invalidate(vpage);
             panic("SIGSEGV: access to unmapped address ", vaddr);
         }
         if (!entry->present)
@@ -117,11 +189,11 @@ Kernel::translate(VirtAddr vaddr)
         if (!entry->accessible) {
             // Deliver SIGSEGV to the user handler (page-protection
             // monitoring path); retry the translation if it handled it.
-            stats_.add(KernelStat::SegvDelivered);
+            bump(KernelStat::SegvDelivered);
             clock_.advance(kFaultDeliveryCycles);
             SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelSegvDelivered,
                                clock_.now(), vaddr);
-            if (segvHandler_ && segvHandler_(vaddr))
+            if (current_->segvHandler_ && current_->segvHandler_(vaddr))
                 continue;
             panic("SIGSEGV: access to protected address ", vaddr);
         }
@@ -134,31 +206,32 @@ void
 Kernel::mprotectRange(VirtAddr base, std::size_t bytes, bool accessible)
 {
     clock_.advance(kSyscallEntryCycles);
+    AddressSpace &space = current_->space_;
     if (!isAligned(base, kPageSize) || !isAligned(bytes, kPageSize))
         panic("Kernel::mprotectRange: unaligned region");
     for (std::size_t off = 0; off < bytes; off += kPageSize) {
         clock_.advance(kPageTableWalkCycles + kPageProtCycles);
-        PageTableEntry *entry = pageTable_.find(base + off);
+        PageTableEntry *entry = space.pageTable.find(base + off);
         if (!entry)
             panic("Kernel::mprotectRange: unmapped vpage ", base + off);
         entry->accessible = accessible;
     }
     clock_.advance(kTlbFlushCycles);
-    tlb_.flush();
-    stats_.add(KernelStat::MprotectCalls);
+    space.tlb.flush();
+    bump(KernelStat::MprotectCalls);
 }
 
 void
 Kernel::registerSegvHandler(UserSegvHandler handler)
 {
-    segvHandler_ = std::move(handler);
+    current_->segvHandler_ = std::move(handler);
 }
 
 void
 Kernel::pinPage(VirtAddr vpage)
 {
     clock_.advance(kPagePinCycles);
-    PageTableEntry *entry = pageTable_.find(vpage);
+    PageTableEntry *entry = current_->space_.pageTable.find(vpage);
     if (!entry)
         panic("Kernel::pinPage: unmapped vpage ", vpage);
     if (!entry->present)
@@ -170,7 +243,7 @@ void
 Kernel::unpinPage(VirtAddr vpage)
 {
     clock_.advance(kPagePinCycles);
-    PageTableEntry *entry = pageTable_.find(vpage);
+    PageTableEntry *entry = current_->space_.pageTable.find(vpage);
     if (!entry || entry->pinCount == 0)
         panic("Kernel::unpinPage: vpage ", vpage, " not pinned");
     --entry->pinCount;
@@ -182,6 +255,8 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
     clock_.advance(kSyscallEntryCycles);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelWatchMemory, clock_.now(),
                        addr, size);
+    Process &proc = *current_;
+    AddressSpace &space = proc.space_;
     if (!isAligned(addr, kCacheLineSize) || !isAligned(size, kCacheLineSize))
         panic("WatchMemory: region must be cache-line aligned (addr=",
               addr, " size=", size, ")");
@@ -191,12 +266,12 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
     for (VirtAddr vpage = alignDown(addr, kPageSize);
          vpage < addr + size; vpage += kPageSize) {
         clock_.advance(kPageTableWalkCycles);
-        PageTableEntry *entry = pageTable_.find(vpage);
+        PageTableEntry *entry = space.pageTable.find(vpage);
         if (!entry)
             panic("WatchMemory: unmapped address ", vpage);
         if (!entry->present)
             pageIn(vpage);
-        if (swapPolicy_ == SwapWatchPolicy::PinPages)
+        if (proc.swapPolicy_ == SwapWatchPolicy::PinPages)
             pinPage(vpage);
     }
 
@@ -208,8 +283,8 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
         VirtAddr vline = addr + off;
         VirtAddr vpage = alignDown(vline, kPageSize);
         PhysAddr pline =
-            pageTable_.find(vpage)->frame + (vline - vpage);
-        if (watched_.count(pline))
+            space.pageTable.find(vpage)->frame + (vline - vpage);
+        if (proc.watched_.count(pline))
             panic("WatchMemory: line ", vline, " already watched");
         cache_.flushLine(pline); // charges kCacheFlushLineCycles
         plines.push_back(pline);
@@ -256,11 +331,12 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
 
     clock_.advance(kWatchInsertCycles);
     for (std::size_t off = 0; off < size; off += kCacheLineSize) {
-        watched_[plines[off / kCacheLineSize]] =
-            WatchEntry{addr + off};
-        stats_.add(KernelStat::LinesWatched);
+        proc.watched_[plines[off / kCacheLineSize]] =
+            Process::WatchEntry{addr + off};
+        bump(KernelStat::LinesWatched);
     }
-    stats_.maxOf(KernelStat::MaxWatchedLines, watched_.size());
+    stats_.maxOf(KernelStat::MaxWatchedLines, totalWatchedLineCount());
+    proc.stats_.maxOf(KernelStat::MaxWatchedLines, proc.watched_.size());
 }
 
 void
@@ -269,13 +345,15 @@ Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
     clock_.advance(kSyscallEntryCycles);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelDisableWatchMemory,
                        clock_.now(), addr, size);
+    Process &proc = *current_;
+    AddressSpace &space = proc.space_;
     if (!isAligned(addr, kCacheLineSize) || !isAligned(size, kCacheLineSize))
         panic("DisableWatchMemory: region must be cache-line aligned");
 
     for (VirtAddr vpage = alignDown(addr, kPageSize);
          vpage < addr + size; vpage += kPageSize) {
         clock_.advance(kPageTableWalkCycles);
-        PageTableEntry *entry = pageTable_.find(vpage);
+        PageTableEntry *entry = space.pageTable.find(vpage);
         if (!entry)
             panic("DisableWatchMemory: unmapped address ", vpage);
         if (!entry->present)
@@ -290,9 +368,9 @@ Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
         VirtAddr vline = addr + off;
         VirtAddr vpage = alignDown(vline, kPageSize);
         PhysAddr pline =
-            pageTable_.find(vpage)->frame + (vline - vpage);
-        auto it = watched_.find(pline);
-        if (it == watched_.end())
+            space.pageTable.find(vpage)->frame + (vline - vpage);
+        auto it = proc.watched_.find(pline);
+        if (it == proc.watched_.end())
             panic("DisableWatchMemory: line ", vline, " not watched");
 
         clock_.advance(kUnscrambleLineCycles);
@@ -302,13 +380,13 @@ Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
             controller_.writeWordDeviceOp(word_addr,
                                           scramble_.apply(scrambled));
         }
-        watched_.erase(it);
-        stats_.add(KernelStat::LinesUnwatched);
+        proc.watched_.erase(it);
+        bump(KernelStat::LinesUnwatched);
     }
     controller_.unlockBus();
 
     clock_.advance(kWatchRemoveCycles);
-    if (swapPolicy_ == SwapWatchPolicy::PinPages) {
+    if (proc.swapPolicy_ == SwapWatchPolicy::PinPages) {
         for (VirtAddr vpage = alignDown(addr, kPageSize);
              vpage < addr + size; vpage += kPageSize)
             unpinPage(vpage);
@@ -319,25 +397,35 @@ void
 Kernel::registerEccFaultHandler(UserEccHandler handler)
 {
     clock_.advance(kSyscallEntryCycles);
-    eccHandler_ = std::move(handler);
+    current_->eccHandler_ = std::move(handler);
 }
 
 bool
 Kernel::isWatched(VirtAddr vaddr) const
 {
+    const AddressSpace &space = current_->space_;
     VirtAddr vpage = alignDown(vaddr, kPageSize);
-    const PageTableEntry *entry = pageTable_.find(vpage);
+    const PageTableEntry *entry = space.pageTable.find(vpage);
     if (!entry || !entry->present)
         return false;
     PhysAddr pline =
         entry->frame + (alignDown(vaddr, kCacheLineSize) - vpage);
-    return watched_.count(pline) != 0;
+    return current_->watched_.count(pline) != 0;
 }
 
 std::size_t
 Kernel::watchedLineCount() const
 {
-    return watched_.size();
+    return current_->watched_.size();
+}
+
+std::size_t
+Kernel::totalWatchedLineCount() const
+{
+    std::size_t total = 0;
+    for (const auto &proc : processes_)
+        total += proc->watched_.size();
+    return total;
 }
 
 void
@@ -350,38 +438,61 @@ Kernel::onEccInterrupt(const EccFaultInfo &info)
                        static_cast<std::uint64_t>(info.wordIndex),
                        static_cast<std::uint64_t>(info.kind));
 
+    // Route to the process owning the faulting frame. A fault in a frame
+    // no process maps (an injected error in free memory hit by the
+    // scrubber) is delivered to the current process, which triggered the
+    // device access — the single-process behaviour, generalised.
+    PhysAddr frame = alignDown(info.lineAddr, kPageSize);
+    Process *owner = nullptr;
+    VirtAddr vaddr = 0;
+    for (const auto &proc : processes_) {
+        if (auto vpage = proc->space_.pageTable.reverse(frame)) {
+            owner = proc.get();
+            vaddr = *vpage + (info.lineAddr - frame);
+            break;
+        }
+    }
+    Process *target = owner ? owner : current_;
+    target->stats_.add(KernelStat::EccInterrupts);
+
     if (info.kind == EccFaultKind::UnreportedSingle) {
         // Check-Only mode report; log and continue.
         stats_.add(KernelStat::SingleBitReports);
+        target->stats_.add(KernelStat::SingleBitReports);
         return;
     }
 
-    if (!eccHandler_) {
-        // Stock-OS behaviour (paper §2.1): panic / blue screen.
+    if (!target->eccHandler_) {
+        // Stock-OS behaviour (paper §2.1): panic / blue screen. Another
+        // process's handler is no help — the fault is not its memory.
         SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelPanicNoHandler,
-                           clock_.now(), info.lineAddr);
+                           clock_.now(), info.lineAddr, target->pid());
         panic("kernel panic: uncorrectable ECC memory error at phys line ",
               info.lineAddr);
     }
 
     UserEccFault fault;
+    fault.vaddr = vaddr;
     fault.lineAddr = info.lineAddr;
     fault.wordIndex = info.wordIndex;
     fault.kind = info.kind;
     fault.rawData = info.rawData;
-    fault.isWrite = lastAccessWrite_;
+    fault.isWrite = current_->lastAccessWrite_;
 
-    // Recover the virtual address from the frame reverse map.
-    PhysAddr frame = alignDown(info.lineAddr, kPageSize);
-    if (auto vpage = pageTable_.reverse(frame)) {
-        fault.vaddr = *vpage + (info.lineAddr - frame);
-    } else {
-        fault.vaddr = 0;
-    }
+    // Dispatch in the owner's context so the handler's repair/unwatch
+    // syscalls act on the owner's address space, then restore whoever
+    // was running. The inInterrupt_ flag keeps the Machine's scheduling
+    // point from switching away mid-handler.
+    Process *running = current_;
+    inInterrupt_ = true;
+    switchTo(*target);
+    FaultDecision decision = target->eccHandler_(fault);
+    switchTo(*running);
+    inInterrupt_ = false;
 
-    FaultDecision decision = eccHandler_(fault);
     if (decision == FaultDecision::HardwareError) {
         stats_.add(KernelStat::HardwareErrors);
+        target->stats_.add(KernelStat::HardwareErrors);
         if (panicOnHardwareError_) {
             SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelPanicHardwareError,
                                clock_.now(), info.lineAddr);
@@ -390,6 +501,7 @@ Kernel::onEccInterrupt(const EccFaultInfo &info)
         }
     } else {
         stats_.add(KernelStat::AccessFaultsHandled);
+        target->stats_.add(KernelStat::AccessFaultsHandled);
     }
 }
 
@@ -419,8 +531,8 @@ Kernel::disableScrubbing()
 void
 Kernel::setScrubHooks(std::function<void()> pre, std::function<void()> post)
 {
-    preScrubHook_ = std::move(pre);
-    postScrubHook_ = std::move(post);
+    current_->preScrubHook_ = std::move(pre);
+    current_->postScrubHook_ = std::move(post);
 }
 
 void
@@ -434,11 +546,27 @@ Kernel::tick()
     stats_.add(KernelStat::ScrubPasses);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelScrubTickBegin,
                        clock_.now());
-    if (preScrubHook_)
-        preScrubHook_();
+    // One scrubber, many watch sets: every process's pre-hook parks its
+    // watches (in its own context), the shared pass runs, every
+    // post-hook restores. Zombies included — a leak left watched by an
+    // exited process must still be parked or the scrub would fault on
+    // it.
+    Process *running = current_;
+    for (const auto &proc : processes_) {
+        if (!proc->preScrubHook_)
+            continue;
+        switchTo(*proc);
+        proc->preScrubHook_();
+    }
+    switchTo(*running);
     controller_.scrubAll();
-    if (postScrubHook_)
-        postScrubHook_();
+    for (const auto &proc : processes_) {
+        if (!proc->postScrubHook_)
+            continue;
+        switchTo(*proc);
+        proc->postScrubHook_();
+    }
+    switchTo(*running);
     nextScrub_ = clock_.now() + scrubPeriod_;
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelScrubTickEnd, clock_.now());
     inScrub_ = false;
@@ -447,49 +575,51 @@ Kernel::tick()
 void
 Kernel::setSwapWatchPolicy(SwapWatchPolicy policy)
 {
-    if (!watched_.empty())
+    if (!current_->watched_.empty())
         panic("Kernel: cannot change the swap/watch policy while lines "
               "are watched");
-    swapPolicy_ = policy;
+    current_->swapPolicy_ = policy;
 }
 
 void
 Kernel::setSwapHooks(std::function<void(VirtAddr)> pre_out,
                      std::function<void(VirtAddr)> post_in)
 {
-    preSwapOutHook_ = std::move(pre_out);
-    postSwapInHook_ = std::move(post_in);
+    current_->preSwapOutHook_ = std::move(pre_out);
+    current_->postSwapInHook_ = std::move(post_in);
 }
 
 bool
 Kernel::swapOutPage(VirtAddr vaddr)
 {
+    Process &proc = *current_;
+    AddressSpace &space = proc.space_;
     VirtAddr vpage = alignDown(vaddr, kPageSize);
-    PageTableEntry *entry = pageTable_.find(vpage);
+    PageTableEntry *entry = space.pageTable.find(vpage);
     if (!entry || !entry->present || entry->pinCount > 0)
         return false;
 
-    if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch) {
+    if (proc.swapPolicy_ == SwapWatchPolicy::UnwatchRewatch) {
         // Lift any watches on this page before the frame leaves; the
         // hook (SafeMem's library) parks them for the swap-in side.
         bool page_watched = false;
         for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l) {
-            if (watched_.count(entry->frame + l * kCacheLineSize)) {
+            if (proc.watched_.count(entry->frame + l * kCacheLineSize)) {
                 page_watched = true;
                 break;
             }
         }
         if (page_watched) {
-            if (!preSwapOutHook_)
+            if (!proc.preSwapOutHook_)
                 panic("Kernel: watched page swapping out with no "
                       "pre-swap hook registered");
-            preSwapOutHook_(vpage);
+            proc.preSwapOutHook_(vpage);
             for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l) {
-                if (watched_.count(entry->frame + l * kCacheLineSize))
+                if (proc.watched_.count(entry->frame + l * kCacheLineSize))
                     panic("Kernel: pre-swap hook left line watched on "
                           "vpage ", vpage);
             }
-            stats_.add(KernelStat::WatchedPagesSwapped);
+            bump(KernelStat::WatchedPagesSwapped);
         }
     }
 
@@ -499,7 +629,7 @@ Kernel::swapOutPage(VirtAddr vaddr)
     for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l)
         cache_.flushLine(entry->frame + l * kCacheLineSize);
 
-    std::vector<std::uint8_t> &store = swapStore_[vpage];
+    std::vector<std::uint8_t> &store = space.swapStore[vpage];
     store.resize(kPageSize);
     for (std::size_t off = 0; off < kPageSize; off += kEccGroupSize) {
         std::uint64_t word = controller_.peekWord(entry->frame + off);
@@ -507,9 +637,9 @@ Kernel::swapOutPage(VirtAddr vaddr)
     }
 
     freeFrame(entry->frame);
-    pageTable_.markSwappedOut(vpage);
-    tlb_.invalidate(vpage);
-    stats_.add(KernelStat::PagesSwappedOut);
+    space.pageTable.markSwappedOut(vpage);
+    space.tlb.invalidate(vpage);
+    bump(KernelStat::PagesSwappedOut);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelSwapOut, clock_.now(),
                        vpage);
     return true;
@@ -519,8 +649,10 @@ void
 Kernel::pageIn(VirtAddr vpage)
 {
     clock_.advance(kSwapPageCycles, CostCenter::Kernel);
-    auto it = swapStore_.find(vpage);
-    if (it == swapStore_.end())
+    Process &proc = *current_;
+    AddressSpace &space = proc.space_;
+    auto it = space.swapStore.find(vpage);
+    if (it == space.swapStore.end())
         panic("Kernel::pageIn: no swap copy for vpage ", vpage);
 
     PhysAddr frame = allocFrame();
@@ -532,14 +664,15 @@ Kernel::pageIn(VirtAddr vpage)
         std::memcpy(&word, it->second.data() + off, sizeof(word));
         controller_.writeWordDeviceOp(frame + off, word);
     }
-    swapStore_.erase(it);
-    pageTable_.markSwappedIn(vpage, frame);
-    stats_.add(KernelStat::PagesSwappedIn);
+    space.swapStore.erase(it);
+    space.pageTable.markSwappedIn(vpage, frame);
+    bump(KernelStat::PagesSwappedIn);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::KernelSwapIn, clock_.now(),
                        vpage, frame);
 
-    if (swapPolicy_ == SwapWatchPolicy::UnwatchRewatch && postSwapInHook_)
-        postSwapInHook_(vpage);
+    if (proc.swapPolicy_ == SwapWatchPolicy::UnwatchRewatch &&
+        proc.postSwapInHook_)
+        proc.postSwapInHook_(vpage);
 }
 
 void
@@ -548,58 +681,94 @@ Kernel::auditInvariants() const
     if (!simCheckActive())
         return;
 
-    // TLB ⊆ page table: every cached translation must refer to a mapped,
-    // resident page. Unmap, mprotect and swap transitions all shoot the
-    // entry down, and failed walks never install one.
-    tlb_.forEachEntry([&](VirtAddr vpage) {
-        const PageTableEntry *entry = pageTable_.find(vpage);
-        SIMCHECK_AUDIT(AuditDomain::Kernel, "tlb_entry_mapped",
-                       entry != nullptr,
-                       "TLB caches unmapped vpage ", vpage);
-        SIMCHECK_AUDIT(AuditDomain::Kernel, "tlb_entry_resident",
-                       !entry || entry->present,
-                       "TLB caches swapped-out vpage ", vpage);
-    });
+    // Frames mapped by any process, for exclusivity and free-list checks.
+    std::unordered_map<PhysAddr, Pid> owned;
 
-    // Watch bookkeeping must reconcile with the syscall history: every
-    // watched line entered through WatchMemory and left through
-    // DisableWatchMemory (or a swap hook, which goes through the same
-    // syscall).
-    SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_count_matches_history",
-                   watched_.size() == stats_.get(KernelStat::LinesWatched) -
-                                          stats_.get(KernelStat::LinesUnwatched),
-                   watched_.size(), " lines watched but history says ",
+    for (const auto &proc : processes_) {
+        const AddressSpace &space = proc->space_;
+
+        // TLB ⊆ page table, per process: every cached translation must
+        // refer to a mapped, resident page of *this* space. Unmap,
+        // mprotect and swap transitions all shoot the entry down, and
+        // failed walks never install one.
+        space.tlb.forEachEntry([&](VirtAddr vpage) {
+            const PageTableEntry *entry = space.pageTable.find(vpage);
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "tlb_entry_mapped",
+                           entry != nullptr, "pid ", proc->pid(),
+                           " TLB caches unmapped vpage ", vpage);
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "tlb_entry_resident",
+                           !entry || entry->present, "pid ", proc->pid(),
+                           " TLB caches swapped-out vpage ", vpage);
+        });
+
+        // A frame backs at most one page of one process — address spaces
+        // never share memory.
+        space.pageTable.forEach([&](VirtAddr vpage,
+                                    const PageTableEntry &entry) {
+            if (!entry.present)
+                return;
+            auto [it, fresh] = owned.emplace(entry.frame, proc->pid());
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "frame_exclusive", fresh,
+                           "frame ", entry.frame, " mapped by pid ",
+                           proc->pid(), " and pid ", it->second,
+                           " (vpage ", vpage, ")");
+        });
+
+        // Watch bookkeeping must reconcile with the per-process syscall
+        // history: every watched line entered through WatchMemory and
+        // left through DisableWatchMemory (or a swap hook, which goes
+        // through the same syscall).
+        SIMCHECK_AUDIT(
+            AuditDomain::Kernel, "watch_count_matches_history",
+            proc->watched_.size() ==
+                proc->stats_.get(KernelStat::LinesWatched) -
+                    proc->stats_.get(KernelStat::LinesUnwatched),
+            "pid ", proc->pid(), ": ", proc->watched_.size(),
+            " lines watched but history says ",
+            proc->stats_.get(KernelStat::LinesWatched), " - ",
+            proc->stats_.get(KernelStat::LinesUnwatched));
+
+        for (const auto &[pline, entry] : proc->watched_) {
+            PhysAddr frame = alignDown(pline, kPageSize);
+            auto vpage = space.pageTable.reverse(frame);
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_line_mapped",
+                           vpage.has_value(), "watched phys line ", pline,
+                           " backs no mapped page of pid ", proc->pid());
+            if (!vpage)
+                continue;
+            const PageTableEntry *pte = space.pageTable.find(*vpage);
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_page_resident",
+                           pte && pte->present, "watched phys line ", pline,
+                           " on a non-resident page");
+            if (proc->swapPolicy_ == SwapWatchPolicy::PinPages) {
+                SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_page_pinned",
+                               pte && pte->pinCount > 0,
+                               "watched phys line ", pline,
+                               " on an unpinned page under PinPages");
+            }
+            SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_vline_translates",
+                           *vpage + (pline - frame) == entry.vline,
+                           "watch entry for phys line ", pline,
+                           " recorded vline ", entry.vline,
+                           " but the frame maps to vpage ", *vpage);
+        }
+    }
+
+    // The machine-wide aggregate must reconcile the same way.
+    SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_total_matches_history",
+                   totalWatchedLineCount() ==
+                       stats_.get(KernelStat::LinesWatched) -
+                           stats_.get(KernelStat::LinesUnwatched),
+                   totalWatchedLineCount(),
+                   " lines watched machine-wide but history says ",
                    stats_.get(KernelStat::LinesWatched), " - ",
                    stats_.get(KernelStat::LinesUnwatched));
 
-    for (const auto &[pline, entry] : watched_) {
-        PhysAddr frame = alignDown(pline, kPageSize);
-        auto vpage = pageTable_.reverse(frame);
-        SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_line_mapped",
-                       vpage.has_value(), "watched phys line ", pline,
-                       " backs no mapped page");
-        if (!vpage)
-            continue;
-        const PageTableEntry *pte = pageTable_.find(*vpage);
-        SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_page_resident",
-                       pte && pte->present, "watched phys line ", pline,
-                       " on a non-resident page");
-        if (swapPolicy_ == SwapWatchPolicy::PinPages) {
-            SIMCHECK_AUDIT(AuditDomain::Kernel, "watched_page_pinned",
-                           pte && pte->pinCount > 0, "watched phys line ",
-                           pline, " on an unpinned page under PinPages");
-        }
-        SIMCHECK_AUDIT(AuditDomain::Kernel, "watch_vline_translates",
-                       *vpage + (pline - frame) == entry.vline,
-                       "watch entry for phys line ", pline,
-                       " recorded vline ", entry.vline,
-                       " but the frame maps to vpage ", *vpage);
-    }
-
-    // Frame allocator: a frame on the free list must not back any page.
+    // Frame allocator: a frame on the free list must not back any page
+    // of any process.
     for (PhysAddr frame : freeFrames_) {
         SIMCHECK_AUDIT(AuditDomain::Kernel, "free_frame_unmapped",
-                       !pageTable_.reverse(frame).has_value(),
+                       owned.find(frame) == owned.end(),
                        "free frame ", frame, " still maps a page");
     }
 }

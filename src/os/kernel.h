@@ -9,13 +9,19 @@
  *     user-level handler.
  *
  * Plus the stock facilities the baselines and substrate need: virtual
- * memory with a page table and frame allocator, mprotect and user SIGSEGV
- * delivery (the page-protection baseline), page pinning, a swap daemon
- * (to demonstrate why watched pages are pinned), and scrub coordination
- * hooks (SafeMem unwatches everything around a scrub pass, §2.2.2).
+ * memory with per-process page tables and a shared frame allocator,
+ * mprotect and user SIGSEGV delivery (the page-protection baseline),
+ * page pinning, a swap daemon (to demonstrate why watched pages are
+ * pinned), and scrub coordination hooks (SafeMem unwatches everything
+ * around a scrub pass, §2.2.2).
  *
- * An ECC interrupt with no registered user handler panics the kernel —
- * the behaviour of stock Linux/Windows the paper describes in §2.1.
+ * The kernel is multi-process: it owns a table of Process objects (see
+ * os/process.h) and a current-process pointer that the Machine switches
+ * on scheduler decisions. Syscalls act on the current process; ECC
+ * interrupts are routed to the process *owning* the faulting frame,
+ * whoever is running — an interrupt with no handler registered by the
+ * owner panics the kernel, the behaviour of stock Linux/Windows the
+ * paper describes in §2.1.
  */
 
 #pragma once
@@ -23,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -33,88 +40,11 @@
 #include "common/types.h"
 #include "ecc/scramble.h"
 #include "mem/memory_controller.h"
-#include "os/page_table.h"
-#include "os/tlb.h"
+#include "os/process.h"
 
 namespace safemem {
 
 class Trace;
-
-/** ECC fault as delivered to the user-level handler. */
-struct UserEccFault
-{
-    VirtAddr vaddr = 0;       ///< virtual address of the faulting line
-    PhysAddr lineAddr = 0;    ///< physical address of the faulting line
-    int wordIndex = 0;        ///< faulting ECC group within the line
-    EccFaultKind kind = EccFaultKind::MultiBit;
-    std::uint64_t rawData = 0;
-    /** The faulting instruction was a store (its RFO fill faulted). */
-    bool isWrite = false;
-};
-
-/** How the kernel reconciles ECC watches with page swapping. */
-enum class SwapWatchPolicy : std::uint8_t
-{
-    /** Watched pages are pinned; the swap daemon skips them (the
-     *  paper's implemented scheme, §2.2.2). */
-    PinPages,
-    /** Watched pages may swap; registered hooks unwatch on swap-out
-     *  and rewatch on swap-in (the paper's proposed "better
-     *  solution"). */
-    UnwatchRewatch
-};
-
-/** What the user-level ECC handler concluded. */
-enum class FaultDecision : std::uint8_t
-{
-    Handled,       ///< access fault consumed; restart the access
-    HardwareError  ///< data does not match the scramble signature
-};
-
-/** User-level ECC fault handler (RegisterECCFaultHandler). */
-using UserEccHandler = std::function<FaultDecision(const UserEccFault &)>;
-
-/** User-level SIGSEGV handler; returns true when the fault was handled. */
-using UserSegvHandler = std::function<bool(VirtAddr)>;
-
-/** Slot indices into the kernel StatSet; order matches kKernelStatNames. */
-enum class KernelStat : std::size_t
-{
-    PagesMapped,
-    PagesUnmapped,
-    SegvDelivered,
-    MprotectCalls,
-    LinesWatched,
-    LinesUnwatched,
-    MaxWatchedLines,
-    EccInterrupts,
-    SingleBitReports,
-    HardwareErrors,
-    AccessFaultsHandled,
-    ScrubPasses,
-    WatchedPagesSwapped,
-    PagesSwappedOut,
-    PagesSwappedIn,
-};
-
-/** Report/snapshot names for KernelStat, in enumerator order. */
-inline constexpr const char *kKernelStatNames[] = {
-    "pages_mapped",
-    "pages_unmapped",
-    "segv_delivered",
-    "mprotect_calls",
-    "lines_watched",
-    "lines_unwatched",
-    "max_watched_lines",
-    "ecc_interrupts",
-    "single_bit_reports",
-    "hardware_errors",
-    "access_faults_handled",
-    "scrub_passes",
-    "watched_pages_swapped",
-    "pages_swapped_out",
-    "pages_swapped_in",
-};
 
 class Kernel
 {
@@ -122,7 +52,54 @@ class Kernel
     Kernel(MemoryController &controller, Cache &cache, CycleClock &clock,
            Trace *trace = nullptr);
 
-    /** @name Virtual memory */
+    /** @name Processes */
+    /// @{
+
+    /**
+     * Create a fresh process with an empty address space.
+     * @return its pid. Does not switch to it.
+     */
+    Pid createProcess();
+
+    /**
+     * Mark @p pid exited. The zombie keeps its address space, watches
+     * and counters for post-run harvesting (the machine is torn down
+     * wholesale after a run, exactly as single-process runs never
+     * unmapped either); it only leaves the scheduling universe.
+     */
+    void exitProcess(Pid pid);
+
+    /**
+     * Retarget the CPU context at @p pid (must be alive). Charges no
+     * cycles — the Machine's context-switch path prices the switch; this
+     * is the raw CR3 write, also used directly by tests.
+     */
+    void setCurrentProcess(Pid pid);
+
+    /** @return the running process's pid. */
+    Pid currentPid() const { return current_->pid(); }
+
+    /** @return the running process. */
+    Process &currentProcess() { return *current_; }
+    const Process &currentProcess() const { return *current_; }
+
+    /** @return process @p pid (panics when out of range). */
+    Process &process(Pid pid);
+    const Process &process(Pid pid) const;
+
+    /** @return number of processes ever created (zombies included). */
+    std::size_t processCount() const { return processes_.size(); }
+
+    /**
+     * @return true when it is safe to context-switch: not inside a scrub
+     * pass and not dispatching an interrupt. The Machine's scheduling
+     * point checks this so a switch never lands mid-handler on a
+     * borrowed process context.
+     */
+    bool schedulable() const { return !inScrub_ && !inInterrupt_; }
+    /// @}
+
+    /** @name Virtual memory (current process) */
     /// @{
 
     /**
@@ -151,7 +128,7 @@ class Kernel
     void registerSegvHandler(UserSegvHandler handler);
     /// @}
 
-    /** @name The paper's three syscalls */
+    /** @name The paper's three syscalls (current process) */
     /// @{
 
     /**
@@ -172,16 +149,36 @@ class Kernel
      * access is a store, so fault handlers can tell reads from writes
      * (a real kernel reads this from the faulting instruction).
      */
-    void noteAccessType(bool is_write) { lastAccessWrite_ = is_write; }
+    void noteAccessType(bool is_write)
+    {
+        current_->lastAccessWrite_ = is_write;
+    }
 
     /** @return true when the in-flight access is a store. */
-    bool lastAccessWasWrite() const { return lastAccessWrite_; }
+    bool lastAccessWasWrite() const { return current_->lastAccessWrite_; }
 
-    /** @return true when the line containing @p vaddr is watched. */
+    /** Install / clear the current process's per-access tool hook. */
+    void setAccessHook(AccessHook hook)
+    {
+        current_->accessHook_ = std::move(hook);
+    }
+
+    /** @return the running process's access hook (Machine access path). */
+    const AccessHook &currentAccessHook() const
+    {
+        return current_->accessHook_;
+    }
+
+    /** @return true when the line containing @p vaddr is watched by the
+     *  current process. */
     bool isWatched(VirtAddr vaddr) const;
 
-    /** @return number of currently watched lines. */
+    /** @return number of lines watched by the current process. */
     std::size_t watchedLineCount() const;
+
+    /** @return number of watched lines across every process — the load
+     *  the one shared scrubber coordinates with. */
+    std::size_t totalWatchedLineCount() const;
 
     /** @name Scrubbing (paper §2.2.2 "Dealing with ECC Memory Scrubbing") */
     /// @{
@@ -192,14 +189,15 @@ class Kernel
     /** Disable periodic scrubbing. */
     void disableScrubbing();
 
-    /** Hooks run immediately before/after each scrub pass. */
+    /** Hooks run immediately before/after each scrub pass, registered by
+     *  (and dispatched in the context of) the current process. */
     void setScrubHooks(std::function<void()> pre, std::function<void()> post);
 
     /** Run a scrub pass now if one is due; called from the machine loop. */
     void tick();
     /// @}
 
-    /** @name Swap daemon (tests/ablation) */
+    /** @name Swap daemon (tests/ablation; current process) */
     /// @{
 
     /**
@@ -215,7 +213,10 @@ class Kernel
     void setSwapWatchPolicy(SwapWatchPolicy policy);
 
     /** @return the active swap/watch policy. */
-    SwapWatchPolicy swapWatchPolicy() const { return swapPolicy_; }
+    SwapWatchPolicy swapWatchPolicy() const
+    {
+        return current_->swapPolicy_;
+    }
 
     /**
      * Hooks for the UnwatchRewatch policy: @p pre_out runs before a
@@ -229,32 +230,34 @@ class Kernel
     /**
      * Control whether a HardwareError decision from the user handler (or
      * an unhandled hardware fault) panics. Tests flip this to observe the
-     * accounting instead of unwinding.
+     * accounting instead of unwinding. Machine-wide.
      */
     void setPanicOnHardwareError(bool value);
 
     /**
-     * SimCheck deep audit: TLB/page-table consistency, watch bookkeeping
-     * against syscall history, frame free-list sanity. No-op when auditing
-     * is disabled; called periodically by the Machine and by tests.
+     * SimCheck deep audit: per-process TLB/page-table consistency, watch
+     * bookkeeping against syscall history, cross-process frame
+     * exclusivity, frame free-list sanity. No-op when auditing is
+     * disabled; called periodically by the Machine and by tests.
      */
     void auditInvariants() const;
 
-    /** @return kernel statistics. */
+    /** @return machine-wide kernel statistics (sum over processes plus
+     *  machine-global events like scrub passes). */
     const StatSet &stats() const { return stats_; }
 
-    /** @return the page table (inspection in tests). */
-    const PageTable &pageTable() const { return pageTable_; }
+    /** @return the current process's page table (inspection in tests;
+     *  code outside src/os/ goes through the Process seam instead). */
+    const PageTable &pageTable() const
+    {
+        return current_->space_.pageTable;
+    }
 
-    /** @return the CPU-side TLB (stats inspection). */
-    const Tlb &tlb() const { return tlb_; }
+    /** @return the current process's TLB (stats inspection in tests;
+     *  code outside src/os/ goes through the Process seam instead). */
+    const Tlb &tlb() const { return current_->space_.tlb; }
 
   private:
-    struct WatchEntry
-    {
-        VirtAddr vline = 0;
-    };
-
     void onEccInterrupt(const EccFaultInfo &info);
     void pinPage(VirtAddr vpage);
     void unpinPage(VirtAddr vpage);
@@ -262,40 +265,42 @@ class Kernel
     void freeFrame(PhysAddr frame);
     void pageIn(VirtAddr vpage);
 
+    /** Raw context retarget shared by setCurrentProcess, interrupt
+     *  routing and scrub-hook dispatch: current pointer, cache owner
+     *  tag, trace pid stamp. No aliveness check, no cycle charge. */
+    void switchTo(Process &proc);
+
+    /** Bump @p stat in the machine-wide set and the current process. */
+    void
+    bump(KernelStat stat, std::uint64_t delta = 1)
+    {
+        stats_.add(stat, delta);
+        current_->stats_.add(stat, delta);
+    }
+
     MemoryController &controller_;
     Cache &cache_;
     CycleClock &clock_;
     Trace *trace_;
     const ScramblePattern &scramble_;
-    PageTable pageTable_;
-    Tlb tlb_;
 
+    /** Process table, indexed by pid. Never shrinks; exited processes
+     *  become zombies. */
+    std::vector<std::unique_ptr<Process>> processes_;
+    Process *current_ = nullptr;
+
+    /** Frame free list — frames are a shared machine resource. */
     std::vector<PhysAddr> freeFrames_;
-    VirtAddr nextVirt_ = 0x10000000;
-
-    /** Watched physical lines. */
-    std::unordered_map<PhysAddr, WatchEntry> watched_;
-
-    UserEccHandler eccHandler_;
-    UserSegvHandler segvHandler_;
 
     bool scrubEnabled_ = false;
     bool inScrub_ = false;
+    bool inInterrupt_ = false;
     Cycles scrubPeriod_ = 0;
     Cycles nextScrub_ = 0;
-    std::function<void()> preScrubHook_;
-    std::function<void()> postScrubHook_;
 
     bool panicOnHardwareError_ = true;
-    bool lastAccessWrite_ = false;
 
-    SwapWatchPolicy swapPolicy_ = SwapWatchPolicy::PinPages;
-    std::function<void(VirtAddr)> preSwapOutHook_;
-    std::function<void(VirtAddr)> postSwapInHook_;
-
-    /** Swapped-out page contents, keyed by vpage. */
-    std::unordered_map<VirtAddr, std::vector<std::uint8_t>> swapStore_;
-
+    /** Machine-wide aggregate counters (see stats()). */
     StatSet stats_{kKernelStatNames};
 };
 

@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "check/simcheck.h"
+#include "common/costs.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace safemem {
 
@@ -41,6 +43,39 @@ Machine::maybeTick()
         ticksSinceAudit_ = 0;
         auditNow();
     }
+    schedule();
+}
+
+void
+Machine::schedule()
+{
+    // Access-count-driven scheduling points keep consolidated runs
+    // deterministic: the switch happens after the same access of the
+    // same workload no matter how the host schedules the driving
+    // threads. schedulable() keeps a switch from landing mid scrub pass
+    // or mid interrupt handler, where the kernel runs on a borrowed
+    // process context.
+    if (!yieldHook_ || !kernel_->schedulable())
+        return;
+    Pid from = kernel_->currentPid();
+    std::optional<Pid> next = scheduler_.pickNext(from);
+    if (!next || *next == from)
+        return;
+    contextSwitchTo(*next);
+    yieldHook_(from, *next);
+}
+
+void
+Machine::contextSwitchTo(Pid to)
+{
+    Pid from = kernel_->currentPid();
+    if (to == from)
+        return;
+    clock_.advance(kContextSwitchCycles, CostCenter::Kernel);
+    kernel_->setCurrentProcess(to);
+    scheduler_.noteSwitch();
+    SAFEMEM_TRACE_EMIT(config_.trace, TraceEvent::SchedContextSwitch,
+                       clock_.now(), from, to);
 }
 
 void
@@ -78,8 +113,8 @@ Machine::read(VirtAddr addr, void *out, std::size_t size)
     if (size == 0)
         return;
     kernel_->noteAccessType(false);
-    if (accessHook_)
-        accessHook_(addr, size, false);
+    if (const AccessHook &hook = kernel_->currentAccessHook())
+        hook(addr, size, false);
     maybeTick();
 
     auto *cursor = static_cast<std::uint8_t *>(out);
@@ -99,8 +134,8 @@ Machine::write(VirtAddr addr, const void *in, std::size_t size)
     if (size == 0)
         return;
     kernel_->noteAccessType(true);
-    if (accessHook_)
-        accessHook_(addr, size, true);
+    if (const AccessHook &hook = kernel_->currentAccessHook())
+        hook(addr, size, true);
     maybeTick();
 
     auto *cursor = const_cast<std::uint8_t *>(

@@ -28,6 +28,7 @@
 #include "mem/memory_controller.h"
 #include "mem/physical_memory.h"
 #include "os/kernel.h"
+#include "os/scheduler.h"
 
 namespace safemem {
 
@@ -63,9 +64,15 @@ struct MachineConfig
     Trace *trace = nullptr;
 };
 
-/** Observer invoked before every application load/store. */
-using AccessHook =
-    std::function<void(VirtAddr addr, std::size_t size, bool is_write)>;
+/**
+ * Called right after the machine context-switches away from @p from to
+ * @p to at a scheduling point. The consolidated run harness uses this to
+ * hand control to the thread driving process @p to and block the current
+ * one until @p from is scheduled again — cooperative multitasking with
+ * one CPU. (AccessHook lives in os/process.h with the other per-process
+ * hook types.)
+ */
+using YieldHook = std::function<void(Pid from, Pid to)>;
 
 class Machine
 {
@@ -110,8 +117,37 @@ class Machine
      */
     void auditNow() const;
 
-    /** Install / clear the per-access tool hook. */
-    void setAccessHook(AccessHook hook) { accessHook_ = std::move(hook); }
+    /** Install / clear the current process's per-access tool hook. */
+    void
+    setAccessHook(AccessHook hook)
+    {
+        kernel_->setAccessHook(std::move(hook));
+    }
+
+    /** @name Scheduling (consolidated runs) */
+    /// @{
+
+    /** @return the cooperative round-robin scheduler. Single-process
+     *  machines never admit anything, so it stays empty and the access
+     *  path never switches. */
+    Scheduler &scheduler() { return scheduler_; }
+    const Scheduler &scheduler() const { return scheduler_; }
+
+    /**
+     * Install the hand-off callback fired after every scheduler-driven
+     * context switch (see YieldHook). Scheduling points only fire while
+     * a hook is installed.
+     */
+    void setYieldHook(YieldHook hook) { yieldHook_ = std::move(hook); }
+
+    /**
+     * Context-switch to @p to now: charge kContextSwitchCycles, retarget
+     * the kernel's current process, count and trace the switch. No-op
+     * when @p to is already current. Does not fire the yield hook — the
+     * run harness calls this directly for admission and exit hand-offs.
+     */
+    void contextSwitchTo(Pid to);
+    /// @}
 
     /**
      * @return the configured per-run log sink, or null when this
@@ -148,8 +184,14 @@ class Machine
     void accessSpan(VirtAddr addr, void *buffer, std::size_t size,
                     bool is_write);
 
-    /** Periodic work folded into the access path: kernel tick + audits. */
+    /** Periodic work folded into the access path: kernel tick + audits
+     *  + the scheduling point. */
     void maybeTick();
+
+    /** Scheduling point: round-robin to the next runnable process (when
+     *  one exists, a yield hook is installed, and the kernel is not mid
+     *  scrub/interrupt), then fire the hook. */
+    void schedule();
 
     MachineConfig config_;
     CycleClock clock_;
@@ -157,7 +199,8 @@ class Machine
     std::unique_ptr<MemoryController> controller_;
     std::unique_ptr<Cache> cache_;
     std::unique_ptr<Kernel> kernel_;
-    AccessHook accessHook_;
+    Scheduler scheduler_;
+    YieldHook yieldHook_;
     std::uint32_t accessesSinceTick_ = 0;
     std::uint32_t ticksSinceAudit_ = 0;
 };

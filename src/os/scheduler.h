@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cooperative round-robin scheduler for consolidated runs.
+ *
+ * The scheduler is a run queue plus counters; it decides *who runs next*
+ * and nothing else. The Machine consults it on kernel ticks (the access
+ * path's periodic work) and performs the actual context switch — charging
+ * the switch cost, retargeting the kernel's current process, and firing
+ * the yield hook that hands control to the next workload's driving
+ * thread. Single-process machines never admit anything, so the scheduler
+ * stays empty and the access path is untouched.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "os/process.h"
+
+namespace safemem {
+
+/** Slot indices into the scheduler StatSet; order matches
+ *  kSchedStatNames. */
+enum class SchedStat : std::size_t
+{
+    ContextSwitches,
+    Admitted,
+    Exited,
+};
+
+/** Report/snapshot names for SchedStat, in enumerator order. */
+inline constexpr const char *kSchedStatNames[] = {
+    "context_switches",
+    "admitted",
+    "exited",
+};
+
+class Scheduler
+{
+  public:
+    /** Add @p pid to the run queue (admission order is rotation order). */
+    void
+    admit(Pid pid)
+    {
+        if (contains(pid))
+            panic("Scheduler::admit: pid ", pid, " already runnable");
+        runnable_.push_back(pid);
+        stats_.add(SchedStat::Admitted);
+    }
+
+    /** Remove an exiting @p pid from the run queue. */
+    void
+    markExited(Pid pid)
+    {
+        auto it = std::find(runnable_.begin(), runnable_.end(), pid);
+        if (it == runnable_.end())
+            panic("Scheduler::markExited: pid ", pid, " not runnable");
+        runnable_.erase(it);
+        stats_.add(SchedStat::Exited);
+    }
+
+    /**
+     * Round-robin choice: the runnable pid after @p current in admission
+     * order (which is @p current itself when it is the only one left).
+     * @return nullopt when the run queue is empty; the head of the queue
+     * when @p current is not runnable (it already exited).
+     */
+    std::optional<Pid>
+    pickNext(Pid current) const
+    {
+        if (runnable_.empty())
+            return std::nullopt;
+        auto it = std::find(runnable_.begin(), runnable_.end(), current);
+        if (it == runnable_.end())
+            return runnable_.front();
+        ++it;
+        return it == runnable_.end() ? runnable_.front() : *it;
+    }
+
+    /** @return true when @p pid is in the run queue. */
+    bool
+    contains(Pid pid) const
+    {
+        return std::find(runnable_.begin(), runnable_.end(), pid) !=
+               runnable_.end();
+    }
+
+    /** @return number of runnable processes. */
+    std::size_t runnableCount() const { return runnable_.size(); }
+
+    /** Count one performed context switch (the Machine's switch path). */
+    void noteSwitch() { stats_.add(SchedStat::ContextSwitches); }
+
+    /** @return scheduler statistics. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    std::vector<Pid> runnable_;
+    StatSet stats_{kSchedStatNames};
+};
+
+} // namespace safemem

@@ -12,7 +12,8 @@ namespace {
 
 /// Section framing for writeTraceSection()/readTraceSections().
 constexpr char kTraceMagic[4] = {'S', 'F', 'T', 'R'};
-constexpr std::uint32_t kTraceVersion = 1;
+/// v2 added the pid word to every serialized record.
+constexpr std::uint32_t kTraceVersion = 2;
 
 /// The driving thread's flight recorder (TraceScope; mirrors the Log
 /// routing in common/logging.cc — per-thread, so parallel runMatrix
@@ -160,6 +161,7 @@ writeTraceSection(std::ostream &os, const Trace &trace,
         putScalar(os, rec.a);
         putScalar(os, rec.b);
         putScalar(os, rec.c);
+        putScalar(os, rec.pid);
         putScalar(os, static_cast<std::uint16_t>(rec.event));
     }
 }
@@ -196,7 +198,7 @@ readTraceSections(std::istream &is)
             std::uint16_t event = 0;
             if (!getScalar(is, rec.cycle) || !getScalar(is, rec.a) ||
                 !getScalar(is, rec.b) || !getScalar(is, rec.c) ||
-                !getScalar(is, event))
+                !getScalar(is, rec.pid) || !getScalar(is, event))
                 throw FatalError("trace: truncated record stream");
             rec.event = static_cast<TraceEvent>(event);
             section.records.push_back(rec);
@@ -216,9 +218,48 @@ traceRecordJsonLine(const TraceSection &section, std::size_t index)
         section.emitted - section.records.size() + index;
     std::ostringstream out;
     out << "{\"run\":\"" << jsonEscape(section.label) << "\",\"seq\":" << seq
-        << ",\"cycle\":" << rec.cycle << ",\"event\":\""
-        << traceEventName(rec.event) << "\",\"a\":" << rec.a
+        << ",\"cycle\":" << rec.cycle << ",\"pid\":" << rec.pid
+        << ",\"event\":\"" << traceEventName(rec.event) << "\",\"a\":" << rec.a
         << ",\"b\":" << rec.b << ",\"c\":" << rec.c << "}";
+    return out.str();
+}
+
+std::string
+traceSectionSummaryJson(const TraceSection &section)
+{
+    // Per-event counts over the retained records, plus the cycle span
+    // they cover — enough to skim a long consolidated trace for which
+    // sections saw interrupts, switches or scrub traffic.
+    std::uint64_t counts[static_cast<std::size_t>(TraceEvent::NumEvents)] =
+        {};
+    Cycles first = 0;
+    Cycles last = 0;
+    for (std::size_t i = 0; i < section.records.size(); ++i) {
+        const TraceRecord &rec = section.records[i];
+        auto index = static_cast<std::size_t>(rec.event);
+        if (index < static_cast<std::size_t>(TraceEvent::NumEvents))
+            ++counts[index];
+        if (i == 0)
+            first = rec.cycle;
+        last = rec.cycle;
+    }
+    std::ostringstream out;
+    out << "{\"run\":\"" << jsonEscape(section.label)
+        << "\",\"emitted\":" << section.emitted
+        << ",\"retained\":" << section.records.size()
+        << ",\"cycle_first\":" << first << ",\"cycle_last\":" << last
+        << ",\"events\":{";
+    bool comma = false;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceEvent::NumEvents); ++i) {
+        if (counts[i] == 0)
+            continue;
+        if (comma)
+            out << ",";
+        out << "\"" << kTraceEventNames[i] << "\":" << counts[i];
+        comma = true;
+    }
+    out << "}}";
     return out.str();
 }
 

@@ -94,6 +94,13 @@ enum class TraceEvent : std::uint16_t
     CorruptionReported, ///< a=fault addr, b=user addr, c=kind
     /// @}
 
+    /** @name Scheduler / processes */
+    /// @{
+    SchedProcessCreated, ///< a=new pid
+    SchedProcessExited,  ///< a=exiting pid
+    SchedContextSwitch,  ///< a=from pid, b=to pid
+    /// @}
+
     NumEvents
 };
 
@@ -136,6 +143,9 @@ inline constexpr const char *kTraceEventNames[] = {
     "leak_suspect_pruned",
     "leak_reported",
     "corruption_reported",
+    "sched_process_created",
+    "sched_process_exited",
+    "sched_context_switch",
 };
 static_assert(sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]) ==
                   static_cast<std::size_t>(TraceEvent::NumEvents),
@@ -151,6 +161,7 @@ struct TraceRecord
     std::uint64_t a = 0;
     std::uint64_t b = 0;
     std::uint64_t c = 0;
+    std::uint32_t pid = 0;  ///< process running when the event fired
     TraceEvent event = TraceEvent::NumEvents;
 
     bool operator==(const TraceRecord &) const = default;
@@ -181,9 +192,14 @@ class Trace
         slot.a = a;
         slot.b = b;
         slot.c = c;
+        slot.pid = pid_;
         slot.event = event;
         ++seq_;
     }
+
+    /** Stamp subsequent records with @p pid (the kernel's context-switch
+     *  path calls this; single-process runs stay at the default 0). */
+    void setPid(std::uint32_t pid) { pid_ = pid; }
 
     /** @return total events emitted, including overwritten ones. */
     std::uint64_t emitted() const { return seq_; }
@@ -220,6 +236,7 @@ class Trace
     std::vector<TraceRecord> ring_;
     std::uint64_t mask_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint32_t pid_ = 0;
 };
 
 /** True when emit sites are compiled in (-DSAFEMEM_TRACE=ON, default). */
@@ -288,6 +305,13 @@ std::vector<TraceSection> readTraceSections(std::istream &is);
  */
 std::string traceRecordJsonLine(const TraceSection &section,
                                 std::size_t index);
+
+/**
+ * @return one JSON object summarising @p section: emitted/retained
+ * counts, the cycle span of the retained records, and per-event counts
+ * (zero-count events omitted). Backs `trace_dump --summary`.
+ */
+std::string traceSectionSummaryJson(const TraceSection &section);
 
 #ifdef SAFEMEM_TRACE_DISABLED
 namespace trace_detail {

@@ -42,6 +42,9 @@ cliUsage()
        << "  --seed <n>        request-stream seed (default: 42)\n"
        << "  --workers <n>     parallel runs for sweeps/overhead pairs\n"
        << "                    (default: 1 = sequential, 0 = all cores)\n"
+       << "  --procs <n>       consolidate n instances of the workload as\n"
+       << "                    separate processes on one machine "
+          "(default: 1)\n"
        << "  --overhead        also run uninstrumented and report the "
           "overhead\n"
        << "  --stats[=prefix]  dump run counters (optionally filtered)\n"
@@ -126,6 +129,17 @@ parseCliArguments(const std::vector<std::string> &args)
                 return result;
             options.workers =
                 static_cast<unsigned>(std::stoul(*value));
+        } else if (arg == "--procs") {
+            const std::string *value = need_value("--procs");
+            if (!value)
+                return result;
+            options.procs =
+                static_cast<std::uint32_t>(std::stoul(*value));
+            if (options.procs < 1) {
+                result.message =
+                    "--procs needs at least 1\n\n" + cliUsage();
+                return result;
+            }
         } else {
             result.message =
                 "unknown option '" + arg + "'\n\n" + cliUsage();
@@ -160,9 +174,10 @@ cliSpecs(const CliOptions &options)
         RunParams params = options.params;
         if (params.requests == 0)
             params.requests = defaultRequests(app);
-        specs.push_back(RunSpec{app, options.tool, params});
+        specs.push_back(RunSpec{app, options.tool, params, options.procs});
         if (baseline)
-            specs.push_back(RunSpec{app, ToolKind::None, params});
+            specs.push_back(
+                RunSpec{app, ToolKind::None, params, options.procs});
     }
     return specs;
 }
@@ -176,6 +191,8 @@ traceLabel(const RunSpec &spec)
     label += toolKindName(spec.tool);
     if (spec.params.buggy)
         label += "+buggy";
+    if (spec.procs > 1)
+        label += "+procs" + std::to_string(spec.procs);
     return label;
 }
 

@@ -22,6 +22,7 @@ struct CliOptions
     RunParams params;
     bool allApps = false;         ///< app was "all": sweep every workload
     unsigned workers = 1;         ///< --workers: matrix fan-out (0 = cores)
+    std::uint32_t procs = 1;      ///< --procs: consolidated processes/cell
     bool compareBaseline = false; ///< --overhead: also run uninstrumented
     bool dumpStats = false;       ///< --stats: print every counter
     bool simCheck = false;        ///< --simcheck: enable invariant audits

@@ -1,8 +1,11 @@
 #include "workloads/driver.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -51,6 +54,167 @@ mergeStats(std::map<std::string, std::uint64_t> &out,
         out[prefix + "." + name] = value;
 }
 
+/**
+ * One process's monitoring configuration: allocator, watch backend,
+ * tool, environment. Built while the owning process is the kernel's
+ * current process, so every handler/hook registration lands on it.
+ */
+struct ToolStack
+{
+    std::unique_ptr<HeapAllocator> allocator;
+    std::unique_ptr<EccWatchManager> eccBackend;
+    std::unique_ptr<PageWatchBackend> pageBackend;
+    std::unique_ptr<SafeMemTool> safememTool;
+    std::unique_ptr<PurifyTool> purifyTool;
+    std::unique_ptr<NullTool> nullTool;
+    std::unique_ptr<Env> env;
+    Tool *active = nullptr;
+};
+
+/** Assemble the @p tool stack for the kernel's current process. */
+ToolStack
+makeToolStack(Machine &machine, ToolKind tool)
+{
+    ToolStack stack;
+    stack.allocator = std::make_unique<HeapAllocator>(machine);
+
+    auto make_safemem = [&](WatchBackend &backend, bool ml, bool mc) {
+        SafeMemConfig config;
+        config.detectLeaks = ml;
+        config.detectCorruption = mc;
+        stack.safememTool = std::make_unique<SafeMemTool>(
+            machine, *stack.allocator, backend, config);
+        stack.active = stack.safememTool.get();
+    };
+
+    switch (tool) {
+      case ToolKind::None:
+        stack.nullTool =
+            std::make_unique<NullTool>(machine, *stack.allocator);
+        stack.active = stack.nullTool.get();
+        break;
+
+      case ToolKind::SafeMemML:
+      case ToolKind::SafeMemMC:
+      case ToolKind::SafeMemBoth:
+        stack.eccBackend = std::make_unique<EccWatchManager>(machine);
+        stack.eccBackend->installFaultHandler();
+        stack.eccBackend->installScrubHooks();
+        make_safemem(*stack.eccBackend, tool != ToolKind::SafeMemMC,
+                     tool != ToolKind::SafeMemML);
+        break;
+
+      case ToolKind::PageProtBoth:
+        stack.pageBackend = std::make_unique<PageWatchBackend>(machine);
+        stack.pageBackend->install();
+        make_safemem(*stack.pageBackend, true, true);
+        break;
+
+      case ToolKind::Purify:
+        stack.purifyTool =
+            std::make_unique<PurifyTool>(machine, *stack.allocator);
+        stack.purifyTool->install();
+        stack.active = stack.purifyTool.get();
+        break;
+    }
+
+    stack.env =
+        std::make_unique<Env>(machine, *stack.allocator, *stack.active);
+    if (stack.purifyTool) {
+        Env *env = stack.env.get();
+        stack.purifyTool->setRootProvider([env] { return env->roots(); });
+    }
+    return stack;
+}
+
+/**
+ * Score @p stack's detector output against the workloads' ground truth
+ * and merge its tool counters, filling the shared detector fields of
+ * @p result (a RunResult or a ProcResult).
+ */
+template <typename Result>
+void
+scoreToolStack(const ToolStack &stack, Result &result)
+{
+    if (stack.safememTool) {
+        if (stack.safememTool->config().detectLeaks) {
+            const LeakDetector &leak = stack.safememTool->leakDetector();
+            for (const LeakReport &report : leak.reports()) {
+                if (isBuggySite(report.siteTag)) {
+                    ++result.leakReportsTrue;
+                } else {
+                    ++result.leakReportsFalse;
+                    result.stats["leak.false_report_site." +
+                                 std::to_string(report.siteTag &
+                                                0xffffffffULL)] += 1;
+                }
+            }
+            for (const LeakReport &report : leak.suspectedGroupReports()) {
+                if (isBuggySite(report.siteTag)) {
+                    ++result.suspectedTrue;
+                } else {
+                    ++result.suspectedFalse;
+                    result.stats["leak.suspected_site." +
+                                 std::to_string(report.siteTag &
+                                                0xffffffffULL)] += 1;
+                }
+            }
+            result.prunedSuspects = leak.prunedSuspects();
+            for (const auto &entry : leak.stabilityData())
+                result.stabilityWarmups.push_back(entry.warmUpTime);
+            mergeStats(result.stats, "leak", leak.stats());
+        }
+        if (stack.safememTool->config().detectCorruption) {
+            const CorruptionDetector &corruption =
+                stack.safememTool->corruptionDetector();
+            for (const CorruptionReport &report : corruption.reports()) {
+                if (isBuggySite(report.siteTag))
+                    ++result.corruptionTrue;
+                else
+                    ++result.corruptionFalse;
+            }
+            result.wasteBytes = corruption.cumulativeWasteBytes();
+            result.userBytes = corruption.cumulativeUserBytes();
+            mergeStats(result.stats, "corruption", corruption.stats());
+        }
+    }
+
+    if (stack.purifyTool) {
+        for (const CorruptionReport &report :
+             stack.purifyTool->corruptionReports()) {
+            if (isBuggySite(report.siteTag)) {
+                ++result.corruptionTrue;
+            } else {
+                ++result.corruptionFalse;
+                result.stats[std::string("purify.false_report.") +
+                             corruptionKindName(report.kind) + ".site" +
+                             std::to_string(report.siteTag &
+                                            0xffffffffULL) + ".fault" +
+                             std::to_string(report.faultAddr) + ".user" +
+                             std::to_string(report.userAddr)] += 1;
+            }
+        }
+        std::uint64_t leak_blocks_true = 0;
+        for (const LeakReport &report : stack.purifyTool->leakReports()) {
+            if (isBuggySite(report.siteTag))
+                ++leak_blocks_true;
+            else
+                ++result.leakReportsFalse;
+        }
+        // Purify reports per block; collapse the bug site to one hit.
+        result.leakReportsTrue = leak_blocks_true > 0 ? 1 : 0;
+        mergeStats(result.stats, "purify", stack.purifyTool->stats());
+    }
+
+    if (stack.eccBackend)
+        mergeStats(result.stats, "watch", stack.eccBackend->stats());
+    if (stack.pageBackend)
+        mergeStats(result.stats, "watch", stack.pageBackend->stats());
+
+    result.bugDetected =
+        result.leakReportsTrue > 0 || result.corruptionTrue > 0;
+}
+
 } // namespace
 
 RunResult
@@ -79,149 +243,239 @@ runWorkload(const std::string &app_name, ToolKind tool,
     machine_config.log = params.log;
     machine_config.trace = params.trace;
     Machine machine(machine_config);
-    HeapAllocator allocator(machine);
 
     RunResult result;
     result.app = app_name;
     result.tool = tool;
     result.buggy = params.buggy;
 
-    // Assemble the tool stack for this configuration.
-    std::unique_ptr<EccWatchManager> ecc_backend;
-    std::unique_ptr<PageWatchBackend> page_backend;
-    std::unique_ptr<SafeMemTool> safemem_tool;
-    std::unique_ptr<PurifyTool> purify_tool;
-    std::unique_ptr<NullTool> null_tool;
-    Tool *active = nullptr;
+    // Assemble the tool stack for this configuration (on the machine's
+    // init process — single-process runs never create another).
+    ToolStack stack = makeToolStack(machine, tool);
 
-    auto make_safemem = [&](WatchBackend &backend, bool ml, bool mc) {
-        SafeMemConfig config;
-        config.detectLeaks = ml;
-        config.detectCorruption = mc;
-        safemem_tool = std::make_unique<SafeMemTool>(machine, allocator,
-                                                     backend, config);
-        active = safemem_tool.get();
-    };
-
-    switch (tool) {
-      case ToolKind::None:
-        null_tool = std::make_unique<NullTool>(machine, allocator);
-        active = null_tool.get();
-        break;
-
-      case ToolKind::SafeMemML:
-      case ToolKind::SafeMemMC:
-      case ToolKind::SafeMemBoth:
-        ecc_backend = std::make_unique<EccWatchManager>(machine);
-        ecc_backend->installFaultHandler();
-        ecc_backend->installScrubHooks();
-        make_safemem(*ecc_backend, tool != ToolKind::SafeMemMC,
-                     tool != ToolKind::SafeMemML);
-        break;
-
-      case ToolKind::PageProtBoth:
-        page_backend = std::make_unique<PageWatchBackend>(machine);
-        page_backend->install();
-        make_safemem(*page_backend, true, true);
-        break;
-
-      case ToolKind::Purify:
-        purify_tool = std::make_unique<PurifyTool>(machine, allocator);
-        purify_tool->install();
-        active = purify_tool.get();
-        break;
-    }
-
-    Env env(machine, allocator, *active);
-    if (purify_tool)
-        purify_tool->setRootProvider([&env] { return env.roots(); });
-
-    app->run(env, params);
-    active->finish();
+    app->run(*stack.env, params);
+    stack.active->finish();
 
     result.totalCycles = machine.clock().now();
     result.appCycles = machine.clock().charged(CostCenter::Application);
 
-    // Score detector output against the workloads' ground truth.
-    if (safemem_tool) {
-        if (safemem_tool->config().detectLeaks) {
-            const LeakDetector &leak = safemem_tool->leakDetector();
-            for (const LeakReport &report : leak.reports()) {
-                if (isBuggySite(report.siteTag)) {
-                    ++result.leakReportsTrue;
-                } else {
-                    ++result.leakReportsFalse;
-                    result.stats["leak.false_report_site." +
-                                 std::to_string(report.siteTag &
-                                                0xffffffffULL)] += 1;
-                }
-            }
-            for (const LeakReport &report : leak.suspectedGroupReports()) {
-                if (isBuggySite(report.siteTag)) {
-                    ++result.suspectedTrue;
-                } else {
-                    ++result.suspectedFalse;
-                    result.stats["leak.suspected_site." +
-                                 std::to_string(report.siteTag &
-                                                0xffffffffULL)] += 1;
-                }
-            }
-            result.prunedSuspects = leak.prunedSuspects();
-            for (const auto &entry : leak.stabilityData())
-                result.stabilityWarmups.push_back(entry.warmUpTime);
-            mergeStats(result.stats, "leak", leak.stats());
-        }
-        if (safemem_tool->config().detectCorruption) {
-            const CorruptionDetector &corruption =
-                safemem_tool->corruptionDetector();
-            for (const CorruptionReport &report : corruption.reports()) {
-                if (isBuggySite(report.siteTag))
-                    ++result.corruptionTrue;
-                else
-                    ++result.corruptionFalse;
-            }
-            result.wasteBytes = corruption.cumulativeWasteBytes();
-            result.userBytes = corruption.cumulativeUserBytes();
-            mergeStats(result.stats, "corruption", corruption.stats());
-        }
-    }
-
-    if (purify_tool) {
-        for (const CorruptionReport &report :
-             purify_tool->corruptionReports()) {
-            if (isBuggySite(report.siteTag)) {
-                ++result.corruptionTrue;
-            } else {
-                ++result.corruptionFalse;
-                result.stats[std::string("purify.false_report.") +
-                             corruptionKindName(report.kind) + ".site" +
-                             std::to_string(report.siteTag &
-                                            0xffffffffULL) + ".fault" +
-                             std::to_string(report.faultAddr) + ".user" +
-                             std::to_string(report.userAddr)] += 1;
-            }
-        }
-        std::uint64_t leak_blocks_true = 0;
-        for (const LeakReport &report : purify_tool->leakReports()) {
-            if (isBuggySite(report.siteTag))
-                ++leak_blocks_true;
-            else
-                ++result.leakReportsFalse;
-        }
-        // Purify reports per block; collapse the bug site to one hit.
-        result.leakReportsTrue = leak_blocks_true > 0 ? 1 : 0;
-        mergeStats(result.stats, "purify", purify_tool->stats());
-    }
-
-    if (ecc_backend)
-        mergeStats(result.stats, "watch", ecc_backend->stats());
-    if (page_backend)
-        mergeStats(result.stats, "watch", page_backend->stats());
+    // Score detector output against the workloads' ground truth, then
+    // append the machine-wide component counters.
+    scoreToolStack(stack, result);
     mergeStats(result.stats, "kernel", machine.kernel().stats());
-    mergeStats(result.stats, "tlb", machine.kernel().tlb().stats());
+    mergeStats(result.stats, "tlb",
+               machine.kernel().currentProcess().tlb().stats());
     mergeStats(result.stats, "cache", machine.cache().stats());
     mergeStats(result.stats, "controller", machine.controller().stats());
-    mergeStats(result.stats, "alloc", allocator.stats());
+    mergeStats(result.stats, "alloc", stack.allocator->stats());
+    return result;
+}
+
+namespace {
+
+/**
+ * Hand-off gate for consolidated runs: one token, one holder. Exactly
+ * the thread whose process the machine last switched to may touch the
+ * machine, so the simulation stays single-threaded in all but name —
+ * bit-identical and data-race free (the mutex carries the
+ * happens-before edge between consecutive holders).
+ */
+class TokenGate
+{
+  public:
+    /** Thrown out of waitFor() to unwind threads on a failed run. */
+    struct Aborted
+    {
+    };
+
+    /** Block until @p pid holds the token (or the run aborts). */
+    void
+    waitFor(Pid pid)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return abort_ || running_ == pid; });
+        if (abort_)
+            throw Aborted{};
+    }
+
+    /** Pass the token to @p pid and wake its thread. */
+    void
+    handOff(Pid pid)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            running_ = pid;
+        }
+        cv_.notify_all();
+    }
+
+    /** Fail the run: every thread blocked in waitFor() throws. */
+    void
+    abortAll()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            abort_ = true;
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    Pid running_ = 0;
+    bool abort_ = false;
+};
+
+} // namespace
+
+RunResult
+runConsolidated(const RunSpec &spec)
+{
+    std::uint32_t nprocs = spec.procs < 1 ? 1 : spec.procs;
+
+    std::optional<LogScope> log_scope;
+    if (spec.params.log)
+        log_scope.emplace(*spec.params.log);
+    std::optional<TraceScope> trace_scope;
+    if (spec.params.trace)
+        trace_scope.emplace(*spec.params.trace);
+
+    MachineConfig machine_config;
+    machine_config.memoryBytes =
+        (192u << 20) + static_cast<std::size_t>(96u << 20) * (nprocs - 1);
+    machine_config.log = spec.params.log;
+    machine_config.trace = spec.params.trace;
+    Machine machine(machine_config);
+    Kernel &kernel = machine.kernel();
+
+    RunResult result;
+    result.app = spec.app;
+    result.tool = spec.tool;
+    result.buggy = spec.params.buggy;
+
+    // Boot one process per workload instance. Stacks are built with the
+    // owning process current, so handlers, hooks and heap mappings all
+    // land in the right address space; instances diverge via seed + k.
+    struct ProcRun
+    {
+        Pid pid = 0;
+        RunParams params;
+        std::unique_ptr<App> app;
+        ToolStack stack;
+    };
+    std::vector<ProcRun> runs(nprocs);
+    for (std::uint32_t k = 0; k < nprocs; ++k) {
+        ProcRun &run = runs[k];
+        run.app = makeApp(spec.app);
+        if (!run.app)
+            fatal("runConsolidated: unknown application '", spec.app, "'");
+        run.params = spec.params;
+        run.params.seed = spec.params.seed + k;
+        run.pid = kernel.createProcess();
+        kernel.setCurrentProcess(run.pid);
+        run.stack = makeToolStack(machine, spec.tool);
+        machine.scheduler().admit(run.pid);
+    }
+
+    TokenGate gate;
+    machine.setYieldHook([&gate](Pid from, Pid to) {
+        gate.handOff(to);
+        gate.waitFor(from);
+    });
+
+    // Point the machine at the first workload before its thread starts;
+    // from here on only the token holder touches the machine.
+    kernel.setCurrentProcess(runs.front().pid);
+
+    std::mutex error_mutex;
+    std::string error;
+    std::vector<std::thread> threads;
+    threads.reserve(nprocs);
+    for (ProcRun &run : runs) {
+        threads.emplace_back([&, &run = run] {
+            // Per-thread sink/recorder scopes: handlers fired while this
+            // thread drives the machine report through the run's sinks.
+            std::optional<LogScope> thread_log;
+            if (spec.params.log)
+                thread_log.emplace(*spec.params.log);
+            std::optional<TraceScope> thread_trace;
+            if (spec.params.trace)
+                thread_trace.emplace(*spec.params.trace);
+            try {
+                gate.waitFor(run.pid);
+                run.app->run(*run.stack.env, run.params);
+                run.stack.active->finish();
+
+                // Exit: pick the successor while still runnable (round
+                // robin continues from this slot), leave the run queue,
+                // become a zombie, and hand the machine over. The last
+                // process to finish picks itself and just returns.
+                std::optional<Pid> next =
+                    machine.scheduler().pickNext(run.pid);
+                machine.scheduler().markExited(run.pid);
+                kernel.exitProcess(run.pid);
+                if (next && *next != run.pid) {
+                    machine.contextSwitchTo(*next);
+                    gate.handOff(*next);
+                }
+            } catch (const TokenGate::Aborted &) {
+                // Another process's failure ended the run.
+            } catch (const std::exception &err) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (error.empty())
+                        error = err.what();
+                }
+                gate.abortAll();
+            }
+        });
+    }
+
+    gate.handOff(runs.front().pid);
+    for (std::thread &thread : threads)
+        thread.join();
+    machine.setYieldHook(nullptr);
+
+    if (!error.empty())
+        fatal("consolidated run failed: ", error);
+
+    result.totalCycles = machine.clock().now();
+    result.appCycles = machine.clock().charged(CostCenter::Application);
+
+    // Per-process slices: detector verdicts plus the counters that have
+    // a per-process identity. Top-level detector counts are the sums.
+    for (ProcRun &run : runs) {
+        ProcResult proc;
+        proc.pid = run.pid;
+        proc.app = spec.app;
+        proc.tool = spec.tool;
+        proc.buggy = run.params.buggy;
+        scoreToolStack(run.stack, proc);
+        mergeStats(proc.stats, "kernel", kernel.process(run.pid).stats());
+        mergeStats(proc.stats, "tlb",
+                   kernel.process(run.pid).tlb().stats());
+        mergeStats(proc.stats, "alloc", run.stack.allocator->stats());
+
+        result.leakReportsTrue += proc.leakReportsTrue;
+        result.leakReportsFalse += proc.leakReportsFalse;
+        result.suspectedTrue += proc.suspectedTrue;
+        result.suspectedFalse += proc.suspectedFalse;
+        result.prunedSuspects += proc.prunedSuspects;
+        result.corruptionTrue += proc.corruptionTrue;
+        result.corruptionFalse += proc.corruptionFalse;
+        result.wasteBytes += proc.wasteBytes;
+        result.userBytes += proc.userBytes;
+        result.procs.push_back(std::move(proc));
+    }
+
+    // Machine-wide counters: the shared resources every process
+    // contended on, including the consolidation signals
+    // (cache.cross_proc_evictions, sched.context_switches).
+    mergeStats(result.stats, "kernel", kernel.stats());
+    mergeStats(result.stats, "cache", machine.cache().stats());
+    mergeStats(result.stats, "controller", machine.controller().stats());
+    mergeStats(result.stats, "sched", machine.scheduler().stats());
 
     result.bugDetected =
         result.leakReportsTrue > 0 || result.corruptionTrue > 0;
@@ -236,7 +490,9 @@ runCell(const RunSpec &spec, MatrixCell &cell)
 {
     cell.spec = spec;
     try {
-        cell.result = runWorkload(spec.app, spec.tool, spec.params);
+        cell.result = spec.procs > 1
+                          ? runConsolidated(spec)
+                          : runWorkload(spec.app, spec.tool, spec.params);
     } catch (const std::exception &err) {
         cell.error = err.what();
     } catch (...) {

@@ -34,6 +34,37 @@ enum class ToolKind
 /** @return a short printable name for @p kind. */
 const char *toolKindName(ToolKind kind);
 
+/**
+ * One process's slice of a consolidated run: its detector verdicts and
+ * per-process counters (kernel syscalls, TLB, allocator, tool state).
+ * Machine-wide numbers — cycles, cache, controller, scheduler — live on
+ * the owning RunResult; they cannot be attributed to one process.
+ */
+struct ProcResult
+{
+    std::uint32_t pid = 0;
+    std::string app;
+    ToolKind tool = ToolKind::None;
+    bool buggy = false;
+
+    std::uint64_t leakReportsTrue = 0;
+    std::uint64_t leakReportsFalse = 0;
+    std::uint64_t suspectedTrue = 0;
+    std::uint64_t suspectedFalse = 0;
+    std::uint64_t prunedSuspects = 0;
+    std::uint64_t corruptionTrue = 0;
+    std::uint64_t corruptionFalse = 0;
+    bool bugDetected = false;
+    std::uint64_t wasteBytes = 0;
+    std::uint64_t userBytes = 0;
+    std::vector<Cycles> stabilityWarmups;
+
+    /** Per-process counters (leak/corruption/watch/kernel/tlb/alloc). */
+    std::map<std::string, std::uint64_t> stats;
+
+    bool operator==(const ProcResult &) const = default;
+};
+
 /** Everything measured from one run. */
 struct RunResult
 {
@@ -77,6 +108,12 @@ struct RunResult
     /** Assorted named counters from the run's components. */
     std::map<std::string, std::uint64_t> stats;
 
+    /** Per-process slices of a consolidated (multi-process) run, in pid
+     *  order. Empty for ordinary single-process runs, so their snapshots
+     *  and equality semantics are untouched; for consolidated runs the
+     *  top-level detector counts above are the sums over these. */
+    std::vector<ProcResult> procs;
+
     /** @return waste as a percentage of requested bytes. */
     double
     wastePercent() const
@@ -103,7 +140,26 @@ struct RunSpec
     std::string app;
     ToolKind tool = ToolKind::SafeMemBoth;
     RunParams params;
+    /**
+     * Number of consolidated processes for this cell. 1 (the default)
+     * runs the classic single-process path; N > 1 boots one machine
+     * with N processes each running @ref app under @ref tool, seeded
+     * params.seed + k so the instances diverge, scheduled round-robin
+     * on kernel ticks.
+     */
+    std::uint32_t procs = 1;
 };
+
+/**
+ * Run @p spec.procs instances of the workload consolidated on one
+ * machine: per-process address spaces, heaps and tool stacks over a
+ * shared cache, controller and scrubber. Each process is driven by its
+ * own thread, but exactly one runs at a time (cooperative hand-off at
+ * the machine's deterministic scheduling points), so results are
+ * bit-identical run to run. @return the machine-wide result with one
+ * ProcResult per process in RunResult::procs.
+ */
+RunResult runConsolidated(const RunSpec &spec);
 
 /** One cell's outcome: the result, or the failure that replaced it. */
 struct MatrixCell

@@ -47,9 +47,34 @@ formatRunSummary(const RunResult &result)
 {
     std::ostringstream os;
     os << "=== " << result.app << " under " << toolKindName(result.tool)
-       << " (" << (result.buggy ? "buggy" : "normal") << " inputs) ===\n";
+       << " (" << (result.buggy ? "buggy" : "normal") << " inputs)";
+    if (!result.procs.empty())
+        os << " x" << result.procs.size() << " consolidated processes";
+    os << " ===\n";
     os << "  simulated time     " << seconds(result.totalCycles)
        << " total, " << seconds(result.appCycles) << " application\n";
+
+    // Consolidated run: one detector report per process, then the
+    // machine-wide contention counters for the shared resources.
+    for (const ProcResult &proc : result.procs) {
+        os << "  [pid " << proc.pid << "] leaks " << proc.leakReportsTrue
+           << " at the bug site / " << proc.leakReportsFalse
+           << " elsewhere, corruptions " << proc.corruptionTrue << " / "
+           << proc.corruptionFalse << " -> "
+           << (proc.bugDetected ? "BUG DETECTED" : "no bug found") << "\n";
+    }
+    if (!result.procs.empty()) {
+        auto stat = [&](const char *name) -> std::uint64_t {
+            auto it = result.stats.find(name);
+            return it == result.stats.end() ? 0 : it->second;
+        };
+        os << "  contention         "
+           << stat("cache.cross_proc_evictions")
+           << " cross-process evictions, "
+           << stat("sched.context_switches") << " context switches, "
+           << stat("kernel.scrub_passes")
+           << " shared scrub passes\n";
+    }
 
     if (result.tool == ToolKind::SafeMemML ||
         result.tool == ToolKind::SafeMemBoth ||

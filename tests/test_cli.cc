@@ -74,6 +74,25 @@ TEST(Cli, WorkersDefaultsToSequential)
     EXPECT_EQ(parse.options->workers, 1u);
 }
 
+TEST(Cli, ProcsFlagParsed)
+{
+    CliParse parse = parseCliArguments({"ypserv1", "--procs", "3"});
+    ASSERT_TRUE(parse.options.has_value());
+    EXPECT_EQ(parse.options->procs, 3u);
+
+    CliParse zero = parseCliArguments({"ypserv1", "--procs", "0"});
+    EXPECT_FALSE(zero.options.has_value());
+    EXPECT_NE(zero.message.find("at least 1"), std::string::npos);
+
+    CliParse missing = parseCliArguments({"ypserv1", "--procs"});
+    EXPECT_FALSE(missing.options.has_value());
+
+    // Default stays on the classic single-process path.
+    CliParse plain = parseCliArguments({"ypserv1"});
+    ASSERT_TRUE(plain.options.has_value());
+    EXPECT_EQ(plain.options->procs, 1u);
+}
+
 TEST(Cli, BadToolRejected)
 {
     CliParse parse = parseCliArguments({"gzip", "--tool", "valgrind"});

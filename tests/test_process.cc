@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the multi-process kernel: the scheduler's round-robin run
+ * queue, per-process ECC fault routing (a fault is the owning process's
+ * problem — a neighbour's handler is no help), ASID-tagged TLB isolation
+ * across context switches, per-process syscall accounting, and the
+ * determinism contract of consolidated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "os/machine.h"
+#include "workloads/driver.h"
+
+namespace safemem {
+namespace {
+
+TEST(Scheduler, RoundRobinRotatesInAdmissionOrder)
+{
+    Scheduler sched;
+    EXPECT_EQ(sched.pickNext(1), std::nullopt);
+
+    sched.admit(1);
+    sched.admit(2);
+    sched.admit(3);
+    EXPECT_EQ(sched.runnableCount(), 3u);
+    EXPECT_EQ(sched.pickNext(1), 2u);
+    EXPECT_EQ(sched.pickNext(2), 3u);
+    EXPECT_EQ(sched.pickNext(3), 1u); // wraps
+}
+
+TEST(Scheduler, ExitedProcessLeavesTheRotation)
+{
+    Scheduler sched;
+    sched.admit(1);
+    sched.admit(2);
+    sched.admit(3);
+    sched.markExited(2);
+    EXPECT_EQ(sched.pickNext(1), 3u);
+    // A pid no longer runnable (it exited while current) resolves to
+    // the head of the queue, not to its old neighbour.
+    EXPECT_EQ(sched.pickNext(2), 1u);
+    sched.markExited(1);
+    // The last process keeps picking itself.
+    EXPECT_EQ(sched.pickNext(3), 3u);
+    sched.markExited(3);
+    EXPECT_EQ(sched.pickNext(3), std::nullopt);
+    EXPECT_EQ(sched.stats().get("admitted"), 3u);
+    EXPECT_EQ(sched.stats().get("exited"), 3u);
+}
+
+TEST(Scheduler, DoubleAdmitAndUnknownExitPanic)
+{
+    Scheduler sched;
+    sched.admit(7);
+    EXPECT_THROW(sched.admit(7), PanicError);
+    EXPECT_THROW(sched.markExited(8), PanicError);
+}
+
+class ProcessTest : public ::testing::Test
+{
+  protected:
+    ProcessTest() : machine(MachineConfig{4u << 20, CacheConfig{16, 2}, 64})
+    {
+    }
+
+    /** Create a process, make it current, and map one written page. */
+    VirtAddr
+    bootProcess(Pid &pid, std::uint64_t fill)
+    {
+        pid = machine.kernel().createProcess();
+        machine.kernel().setCurrentProcess(pid);
+        VirtAddr base = machine.kernel().mapRegion(kPageSize);
+        machine.store<std::uint64_t>(base, fill);
+        return base;
+    }
+
+    Machine machine;
+};
+
+TEST_F(ProcessTest, EccFaultRoutesToOwningProcessHandler)
+{
+    Kernel &kernel = machine.kernel();
+    Pid a = 0, b = 0;
+    VirtAddr buf_a = bootProcess(a, 0xAAAA);
+    PhysAddr line_a = kernel.translate(buf_a);
+
+    // A registers a handler that repairs the line by undoing the known
+    // flips; it records whose context it ran in.
+    int faults_seen = 0;
+    Pid handler_ran_as = 99;
+    VirtAddr faulted_vaddr = 0;
+    kernel.registerEccFaultHandler(
+        [&](const UserEccFault &fault) {
+            ++faults_seen;
+            handler_ran_as = kernel.currentPid();
+            faulted_vaddr = fault.vaddr;
+            machine.physicalMemory().flipDataBit(fault.lineAddr, 2);
+            machine.physicalMemory().flipDataBit(fault.lineAddr, 9);
+            return FaultDecision::Handled;
+        });
+
+    VirtAddr buf_b = bootProcess(b, 0xBBBB);
+    ASSERT_EQ(kernel.currentPid(), b);
+
+    // An uncorrectable error strikes A's frame while B is running (the
+    // scrubber walks all of DRAM on B's time). The interrupt must be
+    // delivered to A — the frame's owner — in A's context, and B must
+    // be running again afterwards.
+    machine.cache().flushAll();
+    machine.physicalMemory().flipDataBit(line_a, 2);
+    machine.physicalMemory().flipDataBit(line_a, 9);
+    machine.controller().scrubAll();
+
+    EXPECT_EQ(faults_seen, 1);
+    EXPECT_EQ(handler_ran_as, a);
+    EXPECT_EQ(faulted_vaddr, buf_a);
+    EXPECT_EQ(kernel.currentPid(), b);
+    EXPECT_EQ(kernel.process(a).stats().get("ecc_interrupts"), 1u);
+    EXPECT_EQ(kernel.process(b).stats().get("ecc_interrupts"), 0u);
+    EXPECT_EQ(machine.load<std::uint64_t>(buf_b), 0xBBBBULL);
+    kernel.setCurrentProcess(a);
+    EXPECT_EQ(machine.load<std::uint64_t>(buf_a), 0xAAAAULL)
+        << "handler repair visible through A's mapping";
+}
+
+TEST_F(ProcessTest, FaultWithoutOwnHandlerPanicsDespiteNeighborHandler)
+{
+    Kernel &kernel = machine.kernel();
+    Pid a = 0, b = 0;
+    bootProcess(a, 0xAAAA);
+    int faults_seen = 0;
+    kernel.registerEccFaultHandler([&](const UserEccFault &) {
+        ++faults_seen;
+        return FaultDecision::Handled;
+    });
+
+    // B never registers a handler. An uncorrectable error in B's own
+    // memory is stock-OS behaviour: kernel panic. A's handler is not
+    // consulted — the fault is not its memory.
+    VirtAddr buf_b = bootProcess(b, 0xBBBB);
+    machine.cache().flushAll();
+    PhysAddr line_b = kernel.translate(buf_b);
+    machine.physicalMemory().flipDataBit(line_b, 2);
+    machine.physicalMemory().flipDataBit(line_b, 9);
+    EXPECT_THROW(machine.load<std::uint64_t>(buf_b), PanicError);
+    EXPECT_EQ(faults_seen, 0);
+}
+
+TEST_F(ProcessTest, TlbEntriesNeverLeakAcrossContextSwitch)
+{
+    // Both address spaces hand out virtual addresses from the same
+    // cursor, so A's first page and B's first page share a vaddr but
+    // map different frames — the classic stale-TLB trap. The TLB is
+    // ASID-tagged instead of flushed, so each process must keep hitting
+    // its own translation.
+    Kernel &kernel = machine.kernel();
+    Pid a = 0, b = 0;
+    VirtAddr buf_a = bootProcess(a, 0xAAAA);
+    VirtAddr buf_b = bootProcess(b, 0xBBBB);
+    ASSERT_EQ(buf_a, buf_b);
+
+    for (int round = 0; round < 4; ++round) {
+        kernel.setCurrentProcess(a);
+        EXPECT_EQ(machine.load<std::uint64_t>(buf_a), 0xAAAAULL);
+        kernel.setCurrentProcess(b);
+        EXPECT_EQ(machine.load<std::uint64_t>(buf_b), 0xBBBBULL);
+    }
+
+    // A's unmap must not disturb B's same-vaddr translation.
+    kernel.setCurrentProcess(a);
+    kernel.unmapRegion(buf_a, kPageSize);
+    EXPECT_THROW(machine.load<std::uint64_t>(buf_a), PanicError);
+    kernel.setCurrentProcess(b);
+    EXPECT_EQ(machine.load<std::uint64_t>(buf_b), 0xBBBBULL);
+}
+
+TEST_F(ProcessTest, PerProcessStatsSumToMachineWide)
+{
+    Kernel &kernel = machine.kernel();
+    Pid a = 0, b = 0;
+    bootProcess(a, 1);
+    kernel.mapRegion(2 * kPageSize);
+    bootProcess(b, 2);
+
+    EXPECT_EQ(kernel.process(a).stats().get("pages_mapped"), 3u);
+    EXPECT_EQ(kernel.process(b).stats().get("pages_mapped"), 1u);
+    EXPECT_EQ(kernel.stats().get("pages_mapped"), 4u);
+}
+
+TEST_F(ProcessTest, ExitedProcessCannotRunAgain)
+{
+    Kernel &kernel = machine.kernel();
+    Pid a = 0;
+    bootProcess(a, 1);
+    kernel.setCurrentProcess(0); // back to init before A exits
+    kernel.exitProcess(a);
+    EXPECT_FALSE(kernel.process(a).alive());
+    EXPECT_THROW(kernel.setCurrentProcess(a), PanicError);
+    EXPECT_THROW(kernel.exitProcess(a), PanicError);
+}
+
+TEST(Consolidated, RunsAreBitIdentical)
+{
+    RunSpec spec;
+    spec.app = "ypserv1";
+    spec.tool = ToolKind::SafeMemBoth;
+    spec.params.requests = 60;
+    spec.params.seed = 42;
+    spec.params.buggy = true;
+    spec.procs = 2;
+
+    RunResult first = runConsolidated(spec);
+    RunResult second = runConsolidated(spec);
+    ASSERT_EQ(first.procs.size(), 2u);
+    EXPECT_EQ(first.procs[0].pid, 1u);
+    EXPECT_EQ(first.procs[1].pid, 2u);
+    EXPECT_TRUE(first == second) << "consolidated runs must be pure "
+                                    "functions of their RunSpec";
+
+    // The top-level detector counts are the sums of the slices.
+    EXPECT_EQ(first.leakReportsTrue, first.procs[0].leakReportsTrue +
+                                         first.procs[1].leakReportsTrue);
+    EXPECT_EQ(first.corruptionTrue, first.procs[0].corruptionTrue +
+                                        first.procs[1].corruptionTrue);
+}
+
+TEST(Consolidated, MatrixWorkerCountDoesNotChangeResults)
+{
+    std::vector<RunSpec> specs;
+    for (const char *app : {"gzip", "tar"}) {
+        RunSpec spec;
+        spec.app = app;
+        spec.tool = ToolKind::SafeMemBoth;
+        spec.params.requests = 40;
+        spec.params.seed = 42;
+        spec.params.buggy = true;
+        spec.procs = 2;
+        specs.push_back(spec);
+    }
+
+    std::vector<MatrixCell> serial = runMatrix(specs, 1);
+    std::vector<MatrixCell> parallel = runMatrix(specs, 2);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+        EXPECT_TRUE(serial[i].result == parallel[i].result);
+    }
+}
+
+TEST(Consolidated, SingleProcSpecUsesTheClassicPath)
+{
+    RunSpec spec;
+    spec.app = "gzip";
+    spec.tool = ToolKind::SafeMemBoth;
+    spec.params.requests = 40;
+    spec.params.seed = 42;
+    spec.procs = 1;
+
+    std::vector<MatrixCell> cells = runMatrix({spec}, 1);
+    ASSERT_TRUE(cells[0].ok()) << cells[0].error;
+    EXPECT_TRUE(cells[0].result.procs.empty())
+        << "single-process results must keep their pre-refactor shape";
+    RunResult direct =
+        runWorkload(spec.app, spec.tool, spec.params);
+    EXPECT_TRUE(cells[0].result == direct);
+}
+
+} // namespace
+} // namespace safemem

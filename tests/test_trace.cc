@@ -49,9 +49,9 @@ TEST(Trace, PayloadWordsDefaultToZero)
     std::vector<TraceRecord> records = trace.records();
     ASSERT_EQ(records.size(), 2u);
     EXPECT_EQ(records[0],
-              (TraceRecord{7, 0, 0, 0, TraceEvent::ControllerFill}));
+              (TraceRecord{7, 0, 0, 0, 0, TraceEvent::ControllerFill}));
     EXPECT_EQ(records[1],
-              (TraceRecord{8, 1, 2, 3, TraceEvent::ControllerInterrupt}));
+              (TraceRecord{8, 1, 2, 3, 0, TraceEvent::ControllerInterrupt}));
 }
 
 TEST(Trace, CapacityRoundsUpToPowerOfTwo)
@@ -172,6 +172,52 @@ TEST(Trace, JsonLinesCarryAbsoluteSequenceNumbers)
               std::string::npos);
     EXPECT_NE(line.find("\"a\":4"), std::string::npos);
     EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Trace, SectionSummaryCountsEventsAndCycleSpan)
+{
+    Trace trace(16);
+    trace.emit(TraceEvent::ControllerFill, 100);
+    trace.emit(TraceEvent::ControllerFill, 250);
+    trace.emit(TraceEvent::ControllerEvict, 900);
+
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceSection(stream, trace, "summary/run");
+    std::vector<TraceSection> sections = readTraceSections(stream);
+    ASSERT_EQ(sections.size(), 1u);
+
+    std::string summary = traceSectionSummaryJson(sections[0]);
+    EXPECT_NE(summary.find("\"run\":\"summary/run\""), std::string::npos);
+    EXPECT_NE(summary.find("\"emitted\":3"), std::string::npos);
+    EXPECT_NE(summary.find("\"retained\":3"), std::string::npos);
+    EXPECT_NE(summary.find("\"cycle_first\":100"), std::string::npos);
+    EXPECT_NE(summary.find("\"cycle_last\":900"), std::string::npos);
+    EXPECT_NE(summary.find("\"controller_fill\":2"), std::string::npos);
+    EXPECT_NE(summary.find("\"controller_evict\":1"), std::string::npos);
+    // Events with zero occurrences are omitted, not listed as zero.
+    EXPECT_EQ(summary.find("\"leak_reported\""), std::string::npos);
+    EXPECT_EQ(summary.find('\n'), std::string::npos);
+}
+
+TEST(Trace, RecordsCarryTheEmittingPid)
+{
+    Trace trace(16);
+    trace.emit(TraceEvent::ControllerFill, 10);
+    trace.setPid(3);
+    trace.emit(TraceEvent::ControllerFill, 20);
+    ASSERT_EQ(trace.records().size(), 2u);
+    EXPECT_EQ(trace.records()[0].pid, 0u);
+    EXPECT_EQ(trace.records()[1].pid, 3u);
+
+    std::stringstream stream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceSection(stream, trace, "pids");
+    std::vector<TraceSection> sections = readTraceSections(stream);
+    ASSERT_EQ(sections.size(), 1u);
+    EXPECT_EQ(sections[0].records, trace.records());
+    EXPECT_NE(traceRecordJsonLine(sections[0], 1).find("\"pid\":3"),
+              std::string::npos);
 }
 
 TEST(Trace, ScopeRoutesAndNests)

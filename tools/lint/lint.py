@@ -30,6 +30,13 @@ Rules (scoped to ``src/`` unless noted):
                    ``src/``: flight-recorder payloads are enum IDs and
                    integer words only, so the emit path never formats and
                    the binary record stays fixed-size.
+  single-space-kernel  No legacy single-address-space kernel accessors
+                   (``kernel().pageTable()`` / ``kernel().tlb()``) outside
+                   ``src/os/``: the kernel is multi-process now, and those
+                   delegate to *whichever process is current*.  Code
+                   elsewhere must name the process it means via the
+                   Process seam (``kernel().currentProcess().tlb()`` or
+                   ``kernel().process(pid).pageTable()``).
 
 Usage:
   lint.py [--root DIR]   lint the tree rooted at DIR (default: repo root)
@@ -310,6 +317,27 @@ def check_string_trace_payload(rel, stripped, violations):
                 "are enum IDs and integer words only"))
 
 
+# The legacy accessors delegate to the *current* process; outside the
+# kernel's own layer that is an accident waiting for a context switch.
+# `.process(pid).` / `.currentProcess().` between the kernel and the
+# accessor is the sanctioned seam and must not match.
+SINGLE_SPACE_KERNEL = re.compile(
+    r"\bkernel(?:_|\s*\(\s*\))\s*(?:\.|->)\s*(?P<name>pageTable|tlb)\s*\(")
+
+
+def check_single_space_kernel(rel, stripped, violations):
+    if not rel.startswith("src/") or rel.startswith("src/os/"):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        match = SINGLE_SPACE_KERNEL.search(line)
+        if match:
+            violations.append(Violation(
+                rel, lineno, "single-space-kernel",
+                f"legacy kernel().{match.group('name')}() reads whichever "
+                "process is current: go through the Process seam "
+                "(kernel().currentProcess()/process(pid)) instead"))
+
+
 def check_header_docs(rel, raw, violations):
     if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
         return
@@ -336,6 +364,7 @@ def lint_file(root, rel, violations):
     check_string_keyed_stats(rel, stripped, violations)
     check_mutable_globals(rel, stripped, violations)
     check_string_trace_payload(rel, stripped, violations)
+    check_single_space_kernel(rel, stripped, violations)
 
 
 def lint_tree(root):
@@ -404,6 +433,16 @@ SEEDED_SOURCES = {
         "void oops2(safemem::Trace &trace)\n{\n"
         "    trace.emit(safemem::TraceEvent::WatchDrop, 0,\n"
         '               sizeof("a string payload"));\n}\n'),
+    "src/safemem/bad_kernel_tlb.cc": (
+        "single-space-kernel",
+        '#include "os/machine.h"\n'
+        "std::uint64_t hits(safemem::Machine &machine)\n{\n"
+        '    return machine.kernel().tlb().stats().get("hits");\n}\n'),
+    "src/workloads/bad_kernel_pt.cc": (
+        "single-space-kernel",
+        '#include "os/machine.h"\n'
+        "bool mapped(safemem::Kernel *kernel_, safemem::VirtAddr va)\n{\n"
+        "    return kernel_->pageTable().find(va) != nullptr;\n}\n"),
 }
 
 CLEAN_SOURCES = [
@@ -441,6 +480,20 @@ CLEAN_SOURCES = [
      "                       1, 2, 3);\n"
      "    if (trace_)\n"
      "        trace_->emit(safemem::TraceEvent::WatchDrop, 1);\n}\n"),
+    # The Process seam is the sanctioned way to read per-process state
+    # outside src/os/ — and src/os/ itself may keep the legacy accessors.
+    ("src/workloads/clean_process_seam.cc",
+     '#include "os/machine.h"\n'
+     "std::uint64_t hits(safemem::Machine &machine, safemem::Pid pid)\n{\n"
+     "    return machine.kernel().currentProcess().tlb().stats()\n"
+     '               .get("hits") +\n'
+     "           machine.kernel().process(pid).tlb().stats()\n"
+     '               .get("hits");\n}\n'),
+    ("src/os/clean_kernel_internal.cc",
+     '#include "os/machine.h"\n'
+     "bool selfCheck(safemem::Machine &machine)\n{\n"
+     "    return machine.kernel().tlb().size() <=\n"
+     "           machine.kernel().pageTable().size();\n}\n"),
 ]
 
 

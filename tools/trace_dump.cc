@@ -5,10 +5,15 @@
  * prints one JSON object per record to stdout — grep/jq-friendly
  * JSON-lines, never parsed back by the simulator itself.
  *
- * usage: trace_dump FILE...
+ * With --summary, prints one JSON object per *section* instead
+ * (per-event counts and the cycle span of the retained records), which
+ * makes long multi-process traces skimmable before diving into records.
+ *
+ * usage: trace_dump [--summary] FILE...
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -22,7 +27,7 @@ namespace {
 
 /** Dump every section of @p path; @return false on a malformed file. */
 bool
-dumpFile(const std::string &path)
+dumpFile(const std::string &path, bool summary)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
@@ -40,6 +45,12 @@ dumpFile(const std::string &path)
     }
 
     for (const TraceSection &section : sections) {
+        if (summary) {
+            std::string line = traceSectionSummaryJson(section);
+            std::fwrite(line.data(), 1, line.size(), stdout);
+            std::fputc('\n', stdout);
+            continue;
+        }
         for (std::size_t i = 0; i < section.records.size(); ++i) {
             std::string line = traceRecordJsonLine(section, i);
             std::fwrite(line.data(), 1, line.size(), stdout);
@@ -62,13 +73,21 @@ dumpFile(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    bool summary = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--summary") == 0)
+            summary = true;
+        else
+            files.push_back(argv[i]);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "usage: %s [--summary] FILE...\n", argv[0]);
         return 2;
     }
 
     bool ok = true;
-    for (int i = 1; i < argc; ++i)
-        ok = dumpFile(argv[i]) && ok;
+    for (const std::string &file : files)
+        ok = dumpFile(file, summary) && ok;
     return ok ? 0 : 1;
 }
