@@ -15,8 +15,12 @@
 #   7. multiproc smoke    — the full app sweep at --procs 2 must produce
 #                           byte-identical reports for any worker count
 #   8. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
-#   9. repo lint          — tools/lint/lint.py over the tree + self-test
-#  10. format check       — scripts/check_format.sh (skips w/o clang-format)
+#   9. static analysis    — -Wthread-safety build (clang++), clang-tidy
+#                           gauntlet, negative-compile proof, repo lint;
+#                           the Clang-only pieces SKIP with a visible
+#                           warning on GCC-only hosts
+#  10. repo lint          — tools/lint/lint.py over the tree + self-test
+#  11. format check       — scripts/check_format.sh (skips w/o clang-format)
 #
 # Every stage runs even when an earlier one fails; the exit status is
 # non-zero if any stage failed.
@@ -180,6 +184,47 @@ notrace_build() {
         cmake --build build-notrace -j "$JOBS"
 }
 
+static_analysis() {
+    # The lock-discipline gauntlet. The annotations are no-ops under
+    # GCC, so each Clang-dependent layer hunts for a Clang binary and
+    # SKIPS with a visible warning instead of passing vacuously.
+    local status=0
+
+    local clangxx=""
+    for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                     clang++-17 clang++-16 clang++-15 clang++-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            clangxx="$candidate"
+            break
+        fi
+    done
+    if [ -n "$clangxx" ]; then
+        # -Werror=thread-safety: every mutex-guarded structure must
+        # carry annotations that hold up under the analysis.
+        cmake -B build-tsafety -S . -DSAFEMEM_THREAD_SAFETY=ON \
+            -DCMAKE_CXX_COMPILER="$clangxx" &&
+            cmake --build build-tsafety -j "$JOBS" || status=1
+    else
+        echo "static-analysis: WARNING: no clang++ on PATH — the" \
+             "-Wthread-safety build is SKIPPED (the annotations are" \
+             "compiled as no-ops and NOT being enforced)"
+    fi
+
+    scripts/run_clang_tidy.sh || status=1
+
+    # Exit 77 is the harness's "no Clang available" skip, already
+    # reported with its own warning; anything else non-zero is real.
+    tests/negative_compile/run_negative_compile.sh
+    local rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 77 ]; then
+        status=1
+    fi
+
+    python3 tools/lint/lint.py --root . || status=1
+    python3 tools/lint/lint.py --self-test || status=1
+    return "$status"
+}
+
 stage "tier-1 (default build + ctest)" build_and_test build
 stage "asan ctest" build_and_test build-asan -DSAFEMEM_ASAN=ON
 stage "ubsan ctest" build_and_test build-ubsan -DSAFEMEM_UBSAN=ON
@@ -189,6 +234,7 @@ stage "bench smoke (matrix --json)" matrix_smoke
 stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
 stage "multiproc smoke (--procs 2, serial vs parallel)" multiproc_smoke
 stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build
+stage "static-analysis gauntlet" static_analysis
 stage "repo lint" python3 tools/lint/lint.py --root .
 stage "lint self-test" python3 tools/lint/lint.py --self-test
 stage "format check" scripts/check_format.sh

@@ -28,7 +28,7 @@ SimCheck::report(AuditDomain domain, const char *invariant,
                  const std::string &detail)
 {
     {
-        std::lock_guard<std::mutex> lock(violationsMutex_);
+        MutexLock lock(violationsMutex_);
         violations_.push_back(AuditViolation{domain, invariant, detail});
     }
 
@@ -47,14 +47,14 @@ SimCheck::report(AuditDomain domain, const char *invariant,
 std::vector<AuditViolation>
 SimCheck::violations() const
 {
-    std::lock_guard<std::mutex> lock(violationsMutex_);
+    MutexLock lock(violationsMutex_);
     return violations_;
 }
 
 void
 SimCheck::clearViolations()
 {
-    std::lock_guard<std::mutex> lock(violationsMutex_);
+    MutexLock lock(violationsMutex_);
     violations_.clear();
 }
 

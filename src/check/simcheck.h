@@ -26,11 +26,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace safemem {
 
@@ -111,17 +111,17 @@ class SimCheck
     }
 
     /** @return a snapshot of violations recorded since the last clear. */
-    std::vector<AuditViolation> violations() const;
+    std::vector<AuditViolation> violations() const EXCLUDES(violationsMutex_);
 
     /** Forget recorded violations (between self-test cases). */
-    void clearViolations();
+    void clearViolations() EXCLUDES(violationsMutex_);
 
   private:
     std::atomic<bool> enabled_{false};
     std::atomic<bool> throwOnViolation_{true};
     std::atomic<std::uint64_t> auditsRun_{0};
-    mutable std::mutex violationsMutex_;
-    std::vector<AuditViolation> violations_;
+    mutable Mutex violationsMutex_;
+    std::vector<AuditViolation> violations_ GUARDED_BY(violationsMutex_);
 };
 
 /**

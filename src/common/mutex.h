@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Annotated locking primitives for the host-thread layer.
+ *
+ * libstdc++'s std::mutex carries no thread-safety attributes, so code
+ * locking one is invisible to Clang's -Wthread-safety analysis. These
+ * thin wrappers restore visibility at zero cost:
+ *
+ *  - Mutex       an annotated CAPABILITY over std::mutex;
+ *  - MutexLock   the SCOPED_CAPABILITY lock_guard equivalent;
+ *  - CondVar     a condition variable that waits on a Mutex, REQUIRES()
+ *                annotated so predicates read GUARDED_BY state legally
+ *                (write the wait as `while (!pred) cv.wait(mutex_);` in
+ *                the function that already holds the lock — no lambda,
+ *                nothing for the analysis to lose track of);
+ *  - Capability  a zero-size tag for *simulated* locks (the memory-bus
+ *                lock, the scrub-park state) so ACQUIRE/RELEASE pairing
+ *                is compiler-checked even where no host mutex exists.
+ *
+ * Every mutex-owning class in src/ must name what each field is guarded
+ * by (GUARDED_BY) or carry an explicit `// lint: unguarded` waiver; the
+ * repo lint rule `unguarded-shared-state` enforces this.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace safemem {
+
+/** An annotated std::mutex: the unit of the thread-safety analysis. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mutex_.lock(); }
+    void unlock() RELEASE() { mutex_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mutex_;
+};
+
+/** RAII lock for a Mutex (std::lock_guard with annotations). */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable over a Mutex. wait() REQUIRES the mutex, so the
+ * canonical use keeps the analysis fully informed:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!condition)   // reads of GUARDED_BY(mutex_) state are legal
+ *         cv_.wait(mutex_);
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p mutex, sleep, and reacquire before return. */
+    void
+    wait(Mutex &mutex) REQUIRES(mutex)
+    {
+        // Adopt the already-held native mutex for the wait, then release
+        // the unique_lock's ownership claim so the caller's guard keeps
+        // sole responsibility for the final unlock.
+        std::unique_lock<std::mutex> relock(mutex.mutex_, std::adopt_lock);
+        cv_.wait(relock);
+        relock.release();
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+/**
+ * A zero-size capability tag for locks that exist only inside the
+ * simulation (no host mutex to wrap). Functions that take or drop the
+ * simulated lock are annotated ACQUIRE/RELEASE against the owning
+ * class's Capability member, which gives compile-time pairing and
+ * double-acquire checking on every call path Clang can see.
+ */
+class CAPABILITY("role") Capability
+{
+  public:
+    Capability() = default;
+    Capability(const Capability &) = delete;
+    Capability &operator=(const Capability &) = delete;
+};
+
+} // namespace safemem

@@ -12,13 +12,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace safemem {
 
@@ -40,7 +40,7 @@ class ThreadPool
     {
         drain();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stopping_ = true;
         }
         wake_.notify_all();
@@ -53,10 +53,10 @@ class ThreadPool
 
     /** Enqueue @p job; it runs on some worker in FIFO order. */
     void
-    submit(std::function<void()> job)
+    submit(std::function<void()> job) EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             queue_.push_back(std::move(job));
             ++unfinished_;
         }
@@ -65,10 +65,11 @@ class ThreadPool
 
     /** Block until every submitted job has finished running. */
     void
-    drain()
+    drain() EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return unfinished_ == 0; });
+        MutexLock lock(mutex_);
+        while (unfinished_ != 0)
+            idle_.wait(mutex_);
     }
 
     /** @return the number of worker threads. */
@@ -93,14 +94,14 @@ class ThreadPool
 
   private:
     void
-    workerLoop()
+    workerLoop() EXCLUDES(mutex_)
     {
         while (true) {
             std::function<void()> job;
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+                MutexLock lock(mutex_);
+                while (!stopping_ && queue_.empty())
+                    wake_.wait(mutex_);
                 if (queue_.empty())
                     return; // stopping_, and nothing left to run
                 job = std::move(queue_.front());
@@ -108,20 +109,21 @@ class ThreadPool
             }
             job();
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (--unfinished_ == 0)
                     idle_.notify_all();
             }
         }
     }
 
-    std::mutex mutex_;
-    std::condition_variable wake_; ///< signals queued work / shutdown
-    std::condition_variable idle_; ///< signals "all jobs finished"
-    std::deque<std::function<void()>> queue_;
-    std::size_t unfinished_ = 0; ///< queued + currently running jobs
-    bool stopping_ = false;
-    std::vector<std::thread> threads_;
+    Mutex mutex_;
+    CondVar wake_; ///< signals queued work / shutdown
+    CondVar idle_; ///< signals "all jobs finished"
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+    std::size_t unfinished_ GUARDED_BY(mutex_) = 0; ///< queued + running jobs
+    bool stopping_ GUARDED_BY(mutex_) = false;
+    /** Fixed at construction, joined in the destructor. */
+    std::vector<std::thread> threads_; // lint: unguarded
 };
 
 } // namespace safemem

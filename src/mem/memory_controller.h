@@ -18,6 +18,7 @@
 #pragma once
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "ecc/hamming.h"
@@ -64,11 +65,27 @@ class MemoryController
     /** Register the interrupt wire into the kernel. */
     void setInterruptHandler(EccInterruptHandler handler);
 
-    /** @name Memory-bus lock (held around scrambles, paper §2.2.2). */
+    /**
+     * @name Memory-bus lock (held around scrambles, paper §2.2.2).
+     *
+     * A simulated lock, but a real capability: lockBus()/unlockBus()
+     * acquire and release busCapability(), so Clang's thread-safety
+     * analysis rejects double-locking and lock-leaking call paths at
+     * compile time. Prefer the BusLockGuard RAII below — a panic()
+     * between a bare lockBus()/unlockBus() pair would otherwise unwind
+     * with the bus stuck locked.
+     */
     /// @{
-    void lockBus();
-    void unlockBus();
+    void lockBus() ACQUIRE(busCapability_);
+    void unlockBus() RELEASE(busCapability_);
     bool busLocked() const { return busLocked_; }
+
+    /** The bus-lock capability, for ACQUIRE/RELEASE/REQUIRES clauses. */
+    const Capability &
+    busCapability() const RETURN_CAPABILITY(busCapability_)
+    {
+        return busCapability_;
+    }
     /// @}
 
     /**
@@ -132,10 +149,36 @@ class MemoryController
     CycleClock &clock_;
     const HsiaoCode &code_;
     EccMode mode_ = EccMode::CorrectError;
-    bool busLocked_ = false;
+    Capability busCapability_; ///< compile-time face of the bus lock
+    bool busLocked_ = false;   ///< runtime face, audited by SimCheck
     EccInterruptHandler interruptHandler_;
     Trace *trace_;
     StatSet stats_{kControllerStatNames};
+};
+
+/**
+ * RAII holder of the memory-bus lock. The kernel's scramble and
+ * unscramble paths panic on malformed requests *while the bus is
+ * locked*; unwinding through this guard releases the bus instead of
+ * wedging every later lockBus() (see test_lock_discipline.cc).
+ */
+class SCOPED_CAPABILITY BusLockGuard
+{
+  public:
+    explicit BusLockGuard(MemoryController &controller)
+        ACQUIRE(controller.busCapability())
+        : controller_(controller)
+    {
+        controller_.lockBus();
+    }
+
+    ~BusLockGuard() RELEASE() { controller_.unlockBus(); }
+
+    BusLockGuard(const BusLockGuard &) = delete;
+    BusLockGuard &operator=(const BusLockGuard &) = delete;
+
+  private:
+    MemoryController &controller_;
 };
 
 } // namespace safemem

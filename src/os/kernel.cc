@@ -294,20 +294,21 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
     // bits of every ECC group (check bytes stay stale), restore ECC,
     // unlock.
     clock_.advance(2 * kBusLockCycles + 2 * kEccModeSwitchCycles);
-    controller_.lockBus();
-    EccMode saved = controller_.mode();
-    controller_.setMode(EccMode::Disabled);
-    for (PhysAddr pline : plines) {
-        clock_.advance(kScrambleLineCycles);
-        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
-            PhysAddr word_addr = pline + i * kEccGroupSize;
-            std::uint64_t original = controller_.peekWord(word_addr);
-            controller_.writeWordDeviceOp(word_addr,
-                                          scramble_.apply(original));
+    {
+        BusLockGuard bus(controller_);
+        EccMode saved = controller_.mode();
+        controller_.setMode(EccMode::Disabled);
+        for (PhysAddr pline : plines) {
+            clock_.advance(kScrambleLineCycles);
+            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+                PhysAddr word_addr = pline + i * kEccGroupSize;
+                std::uint64_t original = controller_.peekWord(word_addr);
+                controller_.writeWordDeviceOp(word_addr,
+                                              scramble_.apply(original));
+            }
         }
+        controller_.setMode(saved);
     }
-    controller_.setMode(saved);
-    controller_.unlockBus();
 
     if (simCheckActive()) {
         // The scramble's whole purpose is to leave every group of the line
@@ -362,28 +363,32 @@ Kernel::disableWatchMemory(VirtAddr addr, std::size_t size)
 
     // The scramble mask is its own inverse, and rewriting with ECC
     // enabled regenerates matching check bytes, clearing the watch.
+    // The not-watched panic below unwinds *while the bus is locked*, so
+    // the lock must be RAII-held or it stays wedged for the next caller
+    // (regression: test_lock_discipline.cc).
     clock_.advance(2 * kBusLockCycles);
-    controller_.lockBus();
-    for (std::size_t off = 0; off < size; off += kCacheLineSize) {
-        VirtAddr vline = addr + off;
-        VirtAddr vpage = alignDown(vline, kPageSize);
-        PhysAddr pline =
-            space.pageTable.find(vpage)->frame + (vline - vpage);
-        auto it = proc.watched_.find(pline);
-        if (it == proc.watched_.end())
-            panic("DisableWatchMemory: line ", vline, " not watched");
+    {
+        BusLockGuard bus(controller_);
+        for (std::size_t off = 0; off < size; off += kCacheLineSize) {
+            VirtAddr vline = addr + off;
+            VirtAddr vpage = alignDown(vline, kPageSize);
+            PhysAddr pline =
+                space.pageTable.find(vpage)->frame + (vline - vpage);
+            auto it = proc.watched_.find(pline);
+            if (it == proc.watched_.end())
+                panic("DisableWatchMemory: line ", vline, " not watched");
 
-        clock_.advance(kUnscrambleLineCycles);
-        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
-            PhysAddr word_addr = pline + i * kEccGroupSize;
-            std::uint64_t scrambled = controller_.peekWord(word_addr);
-            controller_.writeWordDeviceOp(word_addr,
-                                          scramble_.apply(scrambled));
+            clock_.advance(kUnscrambleLineCycles);
+            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+                PhysAddr word_addr = pline + i * kEccGroupSize;
+                std::uint64_t scrambled = controller_.peekWord(word_addr);
+                controller_.writeWordDeviceOp(word_addr,
+                                              scramble_.apply(scrambled));
+            }
+            proc.watched_.erase(it);
+            bump(KernelStat::LinesUnwatched);
         }
-        proc.watched_.erase(it);
-        bump(KernelStat::LinesUnwatched);
     }
-    controller_.unlockBus();
 
     clock_.advance(kWatchRemoveCycles);
     if (proc.swapPolicy_ == SwapWatchPolicy::PinPages) {

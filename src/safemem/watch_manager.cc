@@ -21,8 +21,8 @@ EccWatchManager::installFaultHandler()
 void
 EccWatchManager::installScrubHooks()
 {
-    machine_.kernel().setScrubHooks([this] { parkAllForScrub(); },
-                                    [this] { restoreAfterScrub(); });
+    machine_.kernel().setScrubHooks([this] { scrubHookPark(); },
+                                    [this] { scrubHookRestore(); });
 }
 
 void

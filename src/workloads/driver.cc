@@ -1,13 +1,12 @@
 #include "workloads/driver.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "trace/trace.h"
 #include "pageprot/page_watch.h"
@@ -290,20 +289,21 @@ class TokenGate
 
     /** Block until @p pid holds the token (or the run aborts). */
     void
-    waitFor(Pid pid)
+    waitFor(Pid pid) EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return abort_ || running_ == pid; });
+        MutexLock lock(mutex_);
+        while (!abort_ && running_ != pid)
+            cv_.wait(mutex_);
         if (abort_)
             throw Aborted{};
     }
 
     /** Pass the token to @p pid and wake its thread. */
     void
-    handOff(Pid pid)
+    handOff(Pid pid) EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             running_ = pid;
         }
         cv_.notify_all();
@@ -311,20 +311,50 @@ class TokenGate
 
     /** Fail the run: every thread blocked in waitFor() throws. */
     void
-    abortAll()
+    abortAll() EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             abort_ = true;
         }
         cv_.notify_all();
     }
 
   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    Pid running_ = 0;
-    bool abort_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    Pid running_ GUARDED_BY(mutex_) = 0;
+    bool abort_ GUARDED_BY(mutex_) = false;
+};
+
+/**
+ * First-error-wins slot shared by the consolidated run's process
+ * threads. take() is also safe after the threads are joined, which is
+ * how runConsolidated reads the verdict.
+ */
+class ErrorSlot
+{
+  public:
+    /** Record @p message unless an earlier error already claimed the run. */
+    void
+    setFirst(const std::string &message) EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        if (message_.empty())
+            message_ = message;
+    }
+
+    /** @return the first recorded error, empty when the run succeeded. */
+    std::string
+    get() const EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return message_;
+    }
+
+  private:
+    mutable Mutex mutex_;
+    std::string message_ GUARDED_BY(mutex_);
 };
 
 } // namespace
@@ -388,8 +418,7 @@ runConsolidated(const RunSpec &spec)
     // from here on only the token holder touches the machine.
     kernel.setCurrentProcess(runs.front().pid);
 
-    std::mutex error_mutex;
-    std::string error;
+    ErrorSlot error;
     std::vector<std::thread> threads;
     threads.reserve(nprocs);
     for (ProcRun &run : runs) {
@@ -422,11 +451,7 @@ runConsolidated(const RunSpec &spec)
             } catch (const TokenGate::Aborted &) {
                 // Another process's failure ended the run.
             } catch (const std::exception &err) {
-                {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (error.empty())
-                        error = err.what();
-                }
+                error.setFirst(err.what());
                 gate.abortAll();
             }
         });
@@ -437,8 +462,8 @@ runConsolidated(const RunSpec &spec)
         thread.join();
     machine.setYieldHook(nullptr);
 
-    if (!error.empty())
-        fatal("consolidated run failed: ", error);
+    if (std::string message = error.get(); !message.empty())
+        fatal("consolidated run failed: ", message);
 
     result.totalCycles = machine.clock().now();
     result.appCycles = machine.clock().charged(CostCenter::Application);

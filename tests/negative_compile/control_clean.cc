@@ -1,0 +1,51 @@
+// Control case: disciplined use of every annotated primitive MUST
+// compile under -Wthread-safety -Wthread-safety-beta -Werror. If this
+// file fails, the harness (or the annotations themselves) is broken,
+// and the violation cases prove nothing.
+#include "common/mutex.h"
+
+namespace {
+
+class Disciplined
+{
+  public:
+    void
+    bump() EXCLUDES(mutex_)
+    {
+        safemem::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    void
+    bothInOrder()
+    {
+        outer_.lock();
+        inner_.lock();
+        inner_.unlock();
+        outer_.unlock();
+    }
+
+    int
+    read() EXCLUDES(mutex_)
+    {
+        safemem::MutexLock lock(mutex_);
+        return value_;
+    }
+
+  private:
+    safemem::Mutex mutex_;
+    safemem::Mutex outer_;
+    safemem::Mutex inner_ ACQUIRED_AFTER(outer_);
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Disciplined counter;
+    counter.bump();
+    counter.bothInOrder();
+    return counter.read();
+}

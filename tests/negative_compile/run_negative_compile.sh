@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the thread-safety annotations: every
+# violation_*.cc must FAIL to compile under Clang's -Wthread-safety
+# -Wthread-safety-beta -Werror, and control_clean.cc must compile.
+#
+# Usage: run_negative_compile.sh [clang++ binary]
+#
+# Without a Clang compiler (argument or on PATH) the harness cannot
+# prove anything — it exits 77, which ctest maps to SKIPPED via
+# SKIP_RETURN_CODE, and ci.sh surfaces as a visible warning.
+set -u
+
+here="$(cd "$(dirname "$0")" && pwd)"
+repo="$(cd "$here/../.." && pwd)"
+
+CXX="${1:-}"
+if [ -n "$CXX" ] && ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+    CXX="" # a non-Clang compiler can't run the analysis
+fi
+if [ -z "$CXX" ]; then
+    for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                     clang++-17 clang++-16 clang++-15 clang++-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            CXX="$candidate"
+            break
+        fi
+    done
+fi
+if [ -z "$CXX" ]; then
+    echo "negative-compile: WARNING: no clang++ available — the" \
+         "annotation-rejection proof is SKIPPED on this host"
+    exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -I "$repo/src"
+       -Wthread-safety -Wthread-safety-beta -Werror)
+status=0
+
+if "$CXX" "${FLAGS[@]}" "$here/control_clean.cc" 2>/dev/null; then
+    echo "negative-compile: control_clean.cc compiles (harness is live)"
+else
+    echo "negative-compile: FAIL: control_clean.cc does not compile —"
+    "$CXX" "${FLAGS[@]}" "$here/control_clean.cc" 2>&1 | head -20
+    status=1
+fi
+
+for violation in "$here"/violation_*.cc; do
+    name="$(basename "$violation")"
+    if "$CXX" "${FLAGS[@]}" "$violation" 2>/dev/null; then
+        echo "negative-compile: FAIL: $name compiled — the annotations" \
+             "no longer reject this violation class"
+        status=1
+    else
+        echo "negative-compile: $name rejected, as it must be"
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "negative-compile: all violation classes rejected under $CXX"
+fi
+exit "$status"

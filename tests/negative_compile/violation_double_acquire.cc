@@ -1,0 +1,26 @@
+// Negative-compile case: re-acquiring a capability that is already held
+// must be rejected (the compile-time version of the controller's
+// "bus already locked" panic and the watch manager's double-park bug).
+#include "common/mutex.h"
+
+namespace {
+
+safemem::Mutex g_mutex; // NOLINT: test scaffolding
+
+void
+doubleAcquire()
+{
+    g_mutex.lock();
+    g_mutex.lock(); // BAD: already held
+    g_mutex.unlock();
+    g_mutex.unlock();
+}
+
+} // namespace
+
+int
+main()
+{
+    doubleAcquire();
+    return 0;
+}

@@ -1,0 +1,30 @@
+// Negative-compile case: writing a GUARDED_BY field without holding its
+// mutex must be rejected by -Wthread-safety (-Werror). Compiles cleanly
+// on compilers without the analysis — the harness only runs under Clang.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bumpUnlocked()
+    {
+        ++value_; // BAD: mutex_ not held
+    }
+
+  private:
+    safemem::Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bumpUnlocked();
+    return 0;
+}

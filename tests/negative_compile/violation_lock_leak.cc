@@ -1,0 +1,27 @@
+// Negative-compile case: returning with a capability still held (and
+// without an ACQUIRE annotation saying so) must be rejected — the
+// compile-time version of the bus-lock leak fixed in kernel.cc
+// (test_lock_discipline.cc tells that story at runtime).
+#include "common/mutex.h"
+
+namespace {
+
+safemem::Mutex g_mutex; // NOLINT: test scaffolding
+int g_value GUARDED_BY(g_mutex) = 0;
+
+void
+leakLock()
+{
+    g_mutex.lock();
+    ++g_value;
+    // BAD: no unlock on this path
+}
+
+} // namespace
+
+int
+main()
+{
+    leakLock();
+    return 0;
+}

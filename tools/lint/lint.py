@@ -30,6 +30,28 @@ Rules (scoped to ``src/`` unless noted):
                    ``src/``: flight-recorder payloads are enum IDs and
                    integer words only, so the emit path never formats and
                    the binary record stays fixed-size.
+  unguarded-shared-state  A class that owns a host mutex (``Mutex`` /
+                   ``std::mutex``) must name the guarding capability of
+                   every other mutable data member (``GUARDED_BY(...)`` /
+                   ``PT_GUARDED_BY(...)``) or carry an explicit
+                   ``// lint: unguarded`` waiver on the member's line.
+                   const/constexpr/static members and self-synchronising
+                   types (atomics, condition variables, Mutex/Capability
+                   themselves) are exempt.  Textual approximation: members
+                   whose declaration spells parentheses (e.g.
+                   ``std::function`` fields without an annotation) look
+                   like method declarations and are not inspected.
+  lock-order       Lock acquisitions inside one function must follow the
+                   declared hierarchy (outermost first): watch-manager
+                   park -> bank lock -> memory-bus lock.  Acquiring a
+                   lock at the same or an outer level while an inner one
+                   is held (including double acquisition) is flagged;
+                   ``// lint: lock-order`` on the acquisition line waives
+                   a deliberate exception.  Checked textually per
+                   function: explicit pairs (``lockBus``/``unlockBus``,
+                   ``parkAllForScrub``/``restoreAfterScrub``) and scoped
+                   guards (``BusLockGuard``/``BankLockGuard``), with
+                   scope-exit treated as release.
   single-space-kernel  No legacy single-address-space kernel accessors
                    (``kernel().pageTable()`` / ``kernel().tlb()``) outside
                    ``src/os/``: the kernel is multi-process now, and those
@@ -338,6 +360,176 @@ def check_single_space_kernel(rel, stripped, violations):
                 "(kernel().currentProcess()/process(pid)) instead"))
 
 
+# --- lock-discipline rules -------------------------------------------------
+
+# Owning one of these makes a class "mutex-owning": every other mutable
+# member must say which capability guards it (or carry a waiver).
+MUTEX_OWNER_MEMBER = re.compile(
+    r"\b(?:safemem::)?(?:Mutex|std::mutex)\s+[A-Za-z_]\w*\s*;")
+
+GUARD_ANNOTATION = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\(")
+
+# Members that synchronise themselves (atomics, condition variables, the
+# lock objects) or cannot be written (const/static) need no guard.
+UNGUARDED_EXEMPT = re.compile(
+    r"^\s*(?:static|const|constexpr|using|typedef|friend|public|private|"
+    r"protected)\b|"
+    r"\b(?:Mutex|CondVar|Capability|std::mutex|std::condition_variable|"
+    r"std::atomic)\b")
+
+UNGUARDED_WAIVER = "lint: unguarded"
+LOCK_ORDER_WAIVER = "lint: lock-order"
+
+# The declared lock hierarchy, outermost level first. Acquiring a level
+# while holding the same or a deeper (more senior) one is a violation.
+# Explicit pairs release by name; RAII guards release at scope exit.
+LOCK_HIERARCHY = [
+    ("watch-park", "parkAllForScrub", "restoreAfterScrub", None),
+    ("bank-lock", "lockBank", "unlockBank", "BankLockGuard"),
+    ("bus-lock", "lockBus", "unlockBus", "BusLockGuard"),
+]
+
+
+def class_member_line_groups(stripped):
+    """1-based line numbers at member scope, one list per class body.
+
+    Walks the brace structure of the stripped text. A ``{`` whose
+    preceding statement fragment contains ``class``/``struct``/``union``
+    (but not ``enum``) opens a member scope; braces nested inside it
+    (method bodies, initializers) leave it. A line belongs to the scope
+    that is open where the line starts.
+    """
+    groups = []
+    stack = []  # per open brace: index into groups, or None
+    fragment = []
+    lineno = 1
+    for c in stripped:
+        if c == "\n":
+            lineno += 1
+            if stack and stack[-1] is not None:
+                groups[stack[-1]].append(lineno)
+            fragment.append(" ")
+        elif c == "{":
+            text = "".join(fragment)
+            if (re.search(r"\b(?:class|struct|union)\b", text)
+                    and not re.search(r"\benum\b", text)):
+                groups.append([])
+                stack.append(len(groups) - 1)
+            else:
+                stack.append(None)
+            fragment = []
+        elif c == "}":
+            if stack:
+                stack.pop()
+            fragment = []
+        elif c == ";":
+            fragment = []
+        else:
+            fragment.append(c)
+    return groups
+
+
+def check_unguarded_shared_state(rel, stripped, raw, violations):
+    if not rel.startswith("src/"):
+        return
+    stripped_lines = stripped.splitlines()
+    raw_lines = raw.splitlines()
+    for member_lines in class_member_line_groups(stripped):
+        lines = [(n, stripped_lines[n - 1]) for n in member_lines
+                 if n - 1 < len(stripped_lines)]
+        if not any(MUTEX_OWNER_MEMBER.search(text) for _, text in lines):
+            continue
+        for lineno, text in lines:
+            if GUARD_ANNOTATION.search(text):
+                continue
+            if UNGUARDED_EXEMPT.search(text):
+                continue
+            if "(" in text:
+                continue  # method declaration / annotated signature
+            match = MUTABLE_GLOBAL_DECL.match(text)
+            if not match:
+                continue
+            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if UNGUARDED_WAIVER in raw_line:
+                continue
+            violations.append(Violation(
+                rel, lineno, "unguarded-shared-state",
+                f"member '{match.group('name')}' of a mutex-owning class "
+                "names no guard: add GUARDED_BY(...) or an explicit "
+                "'// lint: unguarded' waiver with a reason"))
+
+
+def _is_lock_call_site(line, pos):
+    """True when the match at ``pos`` is a call, not a declaration.
+
+    Declarations carry a return type (``void lockBus()``) or a
+    ``Class::`` qualifier immediately before the name; call sites are
+    reached through ``.``/``->`` or stand alone at statement start.
+    """
+    i = pos - 1
+    while i >= 0 and line[i] in " \t":
+        i -= 1
+    if i < 0:
+        return True
+    return not (line[i].isalnum() or line[i] in "_:~")
+
+
+def _lock_order_events(line):
+    """(pos, kind, level) lock/brace events on a line, in textual order."""
+    events = []
+    for level, (_, acquire, release, guard) in enumerate(LOCK_HIERARCHY):
+        for m in re.finditer(r"\b" + acquire + r"\s*\(", line):
+            if _is_lock_call_site(line, m.start()):
+                events.append((m.start(), "acquire", level))
+        for m in re.finditer(r"\b" + release + r"\s*\(", line):
+            if _is_lock_call_site(line, m.start()):
+                events.append((m.start(), "release", level))
+        if guard:
+            for m in re.finditer(r"\b" + guard + r"\s+\w+\s*[({]", line):
+                events.append((m.start(), "acquire", level))
+    for pos, ch in enumerate(line):
+        if ch in "{}":
+            events.append((pos, ch, None))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+def check_lock_order(rel, stripped, raw, violations):
+    if not rel.startswith("src/"):
+        return
+    raw_lines = raw.splitlines()
+    held = []  # (level, depth at acquisition)
+    depth = 0
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        for _, kind, level in _lock_order_events(line):
+            if kind == "{":
+                depth += 1
+            elif kind == "}":
+                depth = max(0, depth - 1)
+                while held and held[-1][1] > depth:
+                    held.pop()  # scope exit releases what it acquired
+                if depth == 0:
+                    held.clear()
+            elif kind == "acquire":
+                offending = [h for h in held if h[0] >= level]
+                raw_line = (raw_lines[lineno - 1]
+                            if lineno <= len(raw_lines) else "")
+                if offending and LOCK_ORDER_WAIVER not in raw_line:
+                    held_name = LOCK_HIERARCHY[offending[-1][0]][0]
+                    violations.append(Violation(
+                        rel, lineno, "lock-order",
+                        f"acquires {LOCK_HIERARCHY[level][0]} while holding "
+                        f"{held_name}: the hierarchy is watch-park > "
+                        "bank-lock > bus-lock (outermost first), and a held "
+                        "level may never be re-acquired"))
+                held.append((level, depth))
+            else:  # release: drop the most recent hold of that level
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i][0] == level:
+                        del held[i]
+                        break
+
+
 def check_header_docs(rel, raw, violations):
     if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
         return
@@ -365,6 +557,8 @@ def lint_file(root, rel, violations):
     check_mutable_globals(rel, stripped, violations)
     check_string_trace_payload(rel, stripped, violations)
     check_single_space_kernel(rel, stripped, violations)
+    check_unguarded_shared_state(rel, stripped, raw, violations)
+    check_lock_order(rel, stripped, raw, violations)
 
 
 def lint_tree(root):
@@ -443,6 +637,32 @@ SEEDED_SOURCES = {
         '#include "os/machine.h"\n'
         "bool mapped(safemem::Kernel *kernel_, safemem::VirtAddr va)\n{\n"
         "    return kernel_->pageTable().find(va) != nullptr;\n}\n"),
+    "src/os/bad_unguarded.cc": (
+        "unguarded-shared-state",
+        '#include "common/mutex.h"\n'
+        "class Racy\n{\n"
+        "  public:\n"
+        "    void bump();\n"
+        "  private:\n"
+        "    safemem::Mutex mutex_;\n"
+        "    int count_ = 0;\n};\n"),
+    "src/mem/bad_lock_order.cc": (
+        "lock-order",
+        '#include "mem/memory_controller.h"\n'
+        '#include "safemem/watch_manager.h"\n'
+        "void backwards(safemem::MemoryController &c,\n"
+        "               safemem::EccWatchManager &w)\n{\n"
+        "    c.lockBus();\n"
+        "    w.parkAllForScrub();\n"
+        "    w.restoreAfterScrub();\n"
+        "    c.unlockBus();\n}\n"),
+    "src/mem/bad_double_bus.cc": (
+        "lock-order",
+        '#include "mem/memory_controller.h"\n'
+        "void wedge(safemem::MemoryController &c)\n{\n"
+        "    c.lockBus();\n"
+        "    c.lockBus();\n"
+        "    c.unlockBus();\n}\n"),
 }
 
 CLEAN_SOURCES = [
@@ -494,6 +714,44 @@ CLEAN_SOURCES = [
      "bool selfCheck(safemem::Machine &machine)\n{\n"
      "    return machine.kernel().tlb().size() <=\n"
      "           machine.kernel().pageTable().size();\n}\n"),
+    # Disciplined locking the lock-order rule must accept: hierarchy
+    # order with a scoped guard, release-then-reacquire of one level,
+    # and a deliberate (waived) inversion.
+    ("src/os/clean_lock_discipline.cc",
+     '#include "mem/memory_controller.h"\n'
+     '#include "safemem/watch_manager.h"\n'
+     "void scrubPass(safemem::MemoryController &c,\n"
+     "               safemem::EccWatchManager &w)\n{\n"
+     "    w.parkAllForScrub();\n"
+     "    {\n"
+     "        safemem::BusLockGuard bus(c);\n"
+     "    }\n"
+     "    w.restoreAfterScrub();\n}\n"
+     "void relock(safemem::MemoryController &c)\n{\n"
+     "    c.lockBus();\n"
+     "    c.unlockBus();\n"
+     "    c.lockBus();\n"
+     "    c.unlockBus();\n}\n"
+     "void waived(safemem::MemoryController &c,\n"
+     "            safemem::EccWatchManager &w)\n{\n"
+     "    c.lockBus();\n"
+     "    w.parkAllForScrub(); // lint: lock-order\n"
+     "    w.restoreAfterScrub();\n"
+     "    c.unlockBus();\n}\n"),
+    # A mutex-owning class the unguarded-shared-state rule must accept:
+    # every member is annotated, self-synchronising, or waived.
+    ("src/check/clean_guarded_class.cc",
+     '#include "common/mutex.h"\n'
+     "#include <vector>\n"
+     "class Disciplined\n{\n"
+     "  public:\n"
+     "    void set(int v);\n"
+     "  private:\n"
+     "    mutable safemem::Mutex mutex_;\n"
+     "    safemem::CondVar ready_;\n"
+     "    int value_ GUARDED_BY(mutex_) = 0;\n"
+     "    /** Written once before any worker thread starts. */\n"
+     "    int epoch_ = 0; // lint: unguarded\n};\n"),
 ]
 
 
