@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fault-injection campaign over the ECC codec zoo: sweeps
+ * {none, random, random-burst} x {1..8 errors} x {codec}, classifies
+ * every decode as corrected / detected / miscorrected against ground
+ * truth, and reports whether each codec can host SafeMem's scramble
+ * signature. Classic Hamming 64/8 silently miscorrects double-bit
+ * upsets and has no uncorrectable state — the headline negative result
+ * explaining why the paper needs a SEC-DED code.
+ *
+ *   build/bench/bench_ecc_campaign                    # human-readable
+ *   build/bench/bench_ecc_campaign --json             # JSON to stdout
+ *   build/bench/bench_ecc_campaign --out FILE         # JSON to FILE
+ *   build/bench/bench_ecc_campaign --samples 2000     # reduced load
+ *   build/bench/bench_ecc_campaign --workers 4        # fixed fan-out
+ *
+ * Every invocation first re-runs the sweep at workers=1 and verifies
+ * the fan-out produced bit-identical results (exit 1 otherwise) — the
+ * same determinism contract bench_matrix enforces for run cells.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "workloads/campaign.h"
+
+using namespace safemem;
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string out_path;
+    CampaignConfig config;
+    config.workers = 0; // all cores
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--samples" && i + 1 < argc) {
+            config.samples = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            config.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--workers" && i + 1 < argc) {
+            config.workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_ecc_campaign [--json] [--out <file>] "
+                         "[--samples <n>] [--seed <n>] [--workers <n>]\n");
+            return 1;
+        }
+    }
+
+    const CampaignResult result = runCampaign(config);
+
+    // Determinism check: the same campaign serially must be identical.
+    CampaignConfig serial = config;
+    serial.workers = 1;
+    const bool identical = runCampaign(serial) == result;
+    if (!identical)
+        std::fprintf(stderr,
+                     "FAIL: parallel campaign differs from serial run\n");
+
+    if (!out_path.empty()) {
+        std::FILE *file = std::fopen(out_path.c_str(), "w");
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return 1;
+        }
+        const std::string doc = campaignJson(result);
+        std::fwrite(doc.data(), 1, doc.size(), file);
+        std::fclose(file);
+        std::printf("wrote %s\n", out_path.c_str());
+    } else if (json) {
+        std::fputs(campaignJson(result).c_str(), stdout);
+    } else {
+        const unsigned resolved = ThreadPool::clampWorkers(
+            config.workers,
+            result.codecs.size() *
+                (1 + 2 * static_cast<std::size_t>(config.maxErrors)));
+        std::printf("ECC fault-injection campaign (seed %llu, "
+                    "%llu samples/cell, %u workers)\n\n",
+                    static_cast<unsigned long long>(config.seed),
+                    static_cast<unsigned long long>(config.samples),
+                    resolved);
+        std::fputs(formatCampaignReport(result).c_str(), stdout);
+        std::printf("parallel == serial: %s\n", identical ? "yes" : "NO");
+    }
+    return identical ? 0 : 1;
+}

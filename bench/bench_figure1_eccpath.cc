@@ -51,7 +51,7 @@ main()
     controller.evictLine(0, line);
     std::uint8_t stored_check = memory.readCheck(0);
     std::uint8_t expected_check =
-        HsiaoCode::instance().encode(0x1122334455667788ULL);
+        defaultCodec().encode(0x1122334455667788ULL);
     expect(stored_check == expected_check,
            "stored check byte equals encoder output");
 

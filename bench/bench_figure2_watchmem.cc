@@ -58,11 +58,11 @@ main()
                 cyclesToMicros(watch_cost));
     expect(in_memory == pattern.apply(original),
            "memory holds the scrambled data (3 bits flipped)");
-    expect(stored_check == HsiaoCode::instance().encode(original),
+    expect(stored_check == defaultCodec().encode(original),
            "stored ECC code still matches the *original* data");
     expect(!machine.cache().contains(frame),
            "line flushed from the cache");
-    expect(HsiaoCode::instance()
+    expect(defaultCodec()
                    .decode(in_memory, stored_check)
                    .status == EccDecodeStatus::Uncorrectable,
            "mismatch decodes as an uncorrectable multi-bit fault");

@@ -20,7 +20,7 @@ using namespace safemem;
 int
 main()
 {
-    const HsiaoCode &code = HsiaoCode::instance();
+    const EccCodec &code = defaultCodec();
 
     std::printf("== the (72,64) Hsiao SEC-DED code ==\n");
     std::uint64_t word = 0x123456789abcdef0ULL;

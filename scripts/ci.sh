@@ -9,6 +9,9 @@
 #                           the data-race gate for the parallel harness
 #   5. bench smoke        — bench_hotpath --json and bench_matrix --json;
 #                           fail on malformed JSON or missing keys
+#   5b. campaign smoke    — bench_ecc_campaign over the codec zoo: JSON
+#                           shape, scramble verdicts, and worker-count
+#                           independence (byte-identical files)
 #   6. trace smoke        — a traced safemem_run workload decoded with
 #                           trace_dump (records + --summary); fail on
 #                           malformed JSON-lines
@@ -100,6 +103,61 @@ assert doc["cells"] == 42, f"expected the 42-cell Table 3 sweep: {doc}"
 assert doc["identical"] is True, "parallel sweep diverged from serial"
 print(f"matrix smoke: {doc['cells']} cells, "
       f"speedup {doc['speedup']}x on {doc['workers']} workers")
+PYEOF
+}
+
+campaign_smoke() {
+    # A reduced fault-injection campaign over the full codec zoo: the
+    # JSON document must carry the expected shape and verdicts (the
+    # Hsiao codes host a scramble signature, pure-SEC Hamming must
+    # not), and the sweep must be byte-identical for any worker count.
+    local one=build/bench/BENCH_campaign_smoke_w1.json
+    local four=build/bench/BENCH_campaign_smoke_w4.json
+    build/bench/bench_ecc_campaign --samples 400 --seed 11 --workers 1 \
+        --out "$one" >/dev/null &&
+        build/bench/bench_ecc_campaign --samples 400 --seed 11 \
+            --workers 4 --out "$four" >/dev/null &&
+        if ! cmp -s "$one" "$four"; then
+            echo "campaign smoke: worker count changed the results:"
+            diff "$one" "$four" | head -20
+            return 1
+        fi &&
+        python3 - "$one" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+for key in ("bench", "seed", "samples", "max_errors", "codecs"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["bench"] == "ecc_campaign"
+assert len(doc["codecs"]) == 3, f"expected the 3-codec zoo: {doc}"
+
+by_spec = {codec["spec"]: codec for codec in doc["codecs"]}
+assert set(by_spec) == {"hsiao", "hamming64/8", "hsiao:64/8"}, \
+    sorted(by_spec)
+for spec, codec in by_spec.items():
+    for key in ("name", "data_bits", "check_bits", "scramble_viable",
+                "scramble_bits", "cells", "cdf"):
+        assert key in codec, f"{spec}: missing key {key}"
+    assert len(codec["cells"]) == 1 + 2 * doc["max_errors"], codec
+    for cell in codec["cells"]:
+        assert cell["corrected"] + cell["detected"] + \
+            cell["miscorrected"] == cell["trials"], cell
+    for outcome in ("corrected", "detected", "miscorrected"):
+        cdf = codec["cdf"][outcome]
+        assert cdf == sorted(cdf), f"{spec}: {outcome} CDF not sorted"
+
+assert by_spec["hsiao"]["scramble_viable"] is True
+assert by_spec["hsiao:64/8"]["scramble_viable"] is True
+assert by_spec["hamming64/8"]["scramble_viable"] is False, \
+    "pure-SEC Hamming must not host a scramble signature"
+doubles = next(c for c in by_spec["hamming64/8"]["cells"]
+               if c["mode"] == "random" and c["errors"] == 2)
+assert doubles["miscorrected"] > 0 and doubles["detected"] == 0, doubles
+print(f"campaign smoke: 3 codecs x {len(by_spec['hsiao']['cells'])} "
+      f"cells, verdicts and CDFs well-formed")
 PYEOF
 }
 
@@ -231,6 +289,7 @@ stage "ubsan ctest" build_and_test build-ubsan -DSAFEMEM_UBSAN=ON
 stage "tsan ctest" build_and_test build-tsan -DSAFEMEM_TSAN=ON
 stage "bench smoke (hotpath --json)" bench_smoke
 stage "bench smoke (matrix --json)" matrix_smoke
+stage "campaign smoke (ecc codec zoo)" campaign_smoke
 stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
 stage "multiproc smoke (--procs 2, serial vs parallel)" multiproc_smoke
 stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build

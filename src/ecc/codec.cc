@@ -1,0 +1,87 @@
+#include "ecc/codec.h"
+
+#include "common/logging.h"
+#include "ecc/hamming.h"
+#include "ecc/hamming_sec.h"
+#include "ecc/hsiao_param.h"
+
+namespace safemem {
+
+std::unique_ptr<EccCodec>
+makeCodec(const EccCodecSpec &spec)
+{
+    switch (spec.kind) {
+      case EccCodecKind::Hsiao72_64:
+        return std::make_unique<HsiaoCode>();
+      case EccCodecKind::Hamming64_8:
+        return std::make_unique<HammingSecCode>();
+      case EccCodecKind::HsiaoParam:
+        return std::make_unique<HsiaoParamCode>(spec.dataBits,
+                                                spec.checkBits);
+    }
+    panic("makeCodec: unknown codec kind ",
+          static_cast<int>(spec.kind));
+}
+
+const EccCodec &
+defaultCodec()
+{
+    static const HsiaoCode codec;
+    return codec;
+}
+
+std::optional<EccCodecSpec>
+parseCodecSpec(const std::string &name)
+{
+    EccCodecSpec spec;
+    if (name == "hsiao" || name == "hsiao-72-64") {
+        return spec;
+    }
+    if (name == "hamming64/8" || name == "hamming-64-8" ||
+        name == "hamming") {
+        spec.kind = EccCodecKind::Hamming64_8;
+        return spec;
+    }
+    if (name.rfind("hsiao:", 0) != 0)
+        return std::nullopt;
+
+    // "hsiao:<d>" or "hsiao:<d>/<k>" — dimensions validated here only
+    // for shape; the construction itself rejects impossible geometries.
+    std::string dims = name.substr(6);
+    std::size_t slash = dims.find('/');
+    try {
+        spec.kind = EccCodecKind::HsiaoParam;
+        if (slash == std::string::npos) {
+            spec.dataBits = std::stoi(dims);
+            spec.checkBits = 0; // auto-size
+        } else {
+            spec.dataBits = std::stoi(dims.substr(0, slash));
+            spec.checkBits = std::stoi(dims.substr(slash + 1));
+        }
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+    if (spec.dataBits < 1 || spec.dataBits > 64 || spec.checkBits < 0 ||
+        spec.checkBits > 64)
+        return std::nullopt;
+    return spec;
+}
+
+std::string
+codecSpecName(const EccCodecSpec &spec)
+{
+    switch (spec.kind) {
+      case EccCodecKind::Hsiao72_64:
+        return "hsiao";
+      case EccCodecKind::Hamming64_8:
+        return "hamming64/8";
+      case EccCodecKind::HsiaoParam:
+        if (spec.checkBits == 0)
+            return "hsiao:" + std::to_string(spec.dataBits);
+        return "hsiao:" + std::to_string(spec.dataBits) + "/" +
+               std::to_string(spec.checkBits);
+    }
+    return "?";
+}
+
+} // namespace safemem

@@ -52,7 +52,7 @@ HsiaoCode::HsiaoCode()
     }
 }
 
-std::uint8_t
+std::uint64_t
 HsiaoCode::encode(std::uint64_t data) const
 {
     std::uint8_t check = 0;
@@ -63,7 +63,7 @@ HsiaoCode::encode(std::uint64_t data) const
 }
 
 EccDecodeResult
-HsiaoCode::decode(std::uint64_t data, std::uint8_t check) const
+HsiaoCode::decode(std::uint64_t data, std::uint64_t check) const
 {
     EccDecodeResult result;
     std::uint8_t syndrome = static_cast<std::uint8_t>(encode(data) ^ check);
@@ -95,13 +95,6 @@ HsiaoCode::decode(std::uint64_t data, std::uint8_t check) const
     result.status = EccDecodeStatus::Uncorrectable;
     result.data = data;
     return result;
-}
-
-const HsiaoCode &
-HsiaoCode::instance()
-{
-    static const HsiaoCode codec;
-    return codec;
 }
 
 } // namespace safemem

@@ -15,50 +15,35 @@
 #include <array>
 #include <cstdint>
 
+#include "ecc/codec.h"
+
 namespace safemem {
-
-/** Outcome categories of decoding one ECC group. */
-enum class EccDecodeStatus : std::uint8_t
-{
-    Ok,              ///< syndrome zero: data clean
-    CorrectedSingle, ///< single-bit error found and corrected
-    Uncorrectable    ///< multi-bit error: detected, cannot be corrected
-};
-
-/** Result of decoding one ECC group. */
-struct EccDecodeResult
-{
-    EccDecodeStatus status = EccDecodeStatus::Ok;
-    /** Corrected data word (valid for Ok / CorrectedSingle). */
-    std::uint64_t data = 0;
-    /** Bit position fixed when status == CorrectedSingle: 0-63 for data
-     *  bits, 64-71 for check bits. */
-    int correctedBit = -1;
-};
 
 /**
  * The (72,64) Hsiao codec. Stateless aside from its generator tables, which
  * are built once; all methods are const and thread-compatible.
  */
-class HsiaoCode
+class HsiaoCode : public EccCodec
 {
   public:
     HsiaoCode();
 
+    const char *name() const override { return "hsiao-72-64"; }
+    int dataBits() const override { return 64; }
+    int checkBits() const override { return 8; }
+
     /** @return the 8 check bits protecting @p data. */
-    std::uint8_t encode(std::uint64_t data) const;
+    std::uint64_t encode(std::uint64_t data) const override;
 
     /**
      * Check @p data against the stored @p check byte, correcting a
      * single-bit error when possible.
      */
-    EccDecodeResult decode(std::uint64_t data, std::uint8_t check) const;
+    EccDecodeResult decode(std::uint64_t data,
+                           std::uint64_t check) const override;
 
     /** @return the H-matrix column (8-bit syndrome) of data bit @p bit. */
-    std::uint8_t column(int bit) const { return columns_[bit]; }
-
-    /** @return the process-wide codec instance. */
-    static const HsiaoCode &instance();
+    std::uint64_t column(int bit) const override { return columns_[bit]; }
 
   private:
     /** Syndrome column for each of the 64 data bits. */

@@ -1,0 +1,78 @@
+#include "ecc/hamming_sec.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+HammingSecCode::HammingSecCode()
+{
+    // Data columns: the first 64 values that are neither zero nor a
+    // unit vector (3, 5, 6, 7, 9, ...). Unlike Hsiao's odd-weight-only
+    // assignment, even-weight columns are admitted — which is precisely
+    // what destroys double-error detection: the XOR of two columns can
+    // equal a third column (or a unit vector) and miscorrect.
+    int next = 0;
+    for (int v = 3; v < 256 && next < 64; ++v) {
+        if (std::popcount(static_cast<unsigned>(v)) >= 2)
+            columns_[next++] = static_cast<std::uint8_t>(v);
+    }
+    if (next != 64)
+        panic("HammingSecCode: failed to build 64 data columns");
+
+    syndromeToBit_.fill(-1);
+    for (int bit = 0; bit < 64; ++bit)
+        syndromeToBit_[columns_[bit]] = static_cast<std::int8_t>(bit);
+}
+
+std::uint64_t
+HammingSecCode::encode(std::uint64_t data) const
+{
+    std::uint8_t check = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        if (data & (1ULL << bit))
+            check ^= columns_[bit];
+    }
+    return check;
+}
+
+EccDecodeResult
+HammingSecCode::decode(std::uint64_t data, std::uint64_t check) const
+{
+    EccDecodeResult result;
+    std::uint8_t syndrome = static_cast<std::uint8_t>(encode(data) ^ check);
+
+    if (syndrome == 0) {
+        result.status = EccDecodeStatus::Ok;
+        result.data = data;
+        return result;
+    }
+
+    // The classic SEC decoder: the syndrome *is* the position of the
+    // (assumed single) error. There is no uncorrectable branch.
+    result.status = EccDecodeStatus::CorrectedSingle;
+
+    int data_bit = syndromeToBit_[syndrome];
+    if (data_bit >= 0) {
+        result.data = data ^ (1ULL << data_bit);
+        result.correctedBit = data_bit;
+        return result;
+    }
+
+    if (std::popcount(static_cast<unsigned>(syndrome)) == 1) {
+        // Unit vector: a check-bit position; the data is untouched.
+        result.data = data;
+        result.correctedBit = 64 + std::countr_zero(
+            static_cast<unsigned>(syndrome));
+        return result;
+    }
+
+    // A shortened-away position: the decoder "fixes" a bit that is not
+    // stored anywhere. Data passes through unchanged; correctedBit -1
+    // marks the phantom (see EccDecodeResult::correctedBit).
+    result.data = data;
+    return result;
+}
+
+} // namespace safemem

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Classic Hamming (72,64) single-error-correcting code — correction
+ * only, no double-error detection.
+ *
+ * The original Hamming construction assigns every codeword position a
+ * distinct non-zero syndrome and treats *any* non-zero syndrome as a
+ * single-bit error to fix. With no overall parity bit there is no
+ * "detected but uncorrectable" outcome at all: a double-bit error's
+ * syndrome is just another non-zero value, so the decoder confidently
+ * flips one bit — usually the wrong one — and reports success. That
+ * silent miscorrection is exactly what the campaign engine measures,
+ * and it is why this code cannot host SafeMem's scramble signature:
+ * findScramblePositions() needs a bit triple guaranteed to decode
+ * Uncorrectable, and this decoder never returns Uncorrectable.
+ *
+ * The code here is the 64-data-bit shortening of Hamming(127,120) to 8
+ * check bits: data columns are the first 64 non-unit non-zero 8-bit
+ * values, unit vectors belong to the check bits. A syndrome naming one
+ * of the 183 shortened-away positions still decodes as a "correction"
+ * (the classic decoder has no notion of absent positions); the data
+ * word is returned unchanged and correctedBit is -1.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/codec.h"
+
+namespace safemem {
+
+/**
+ * The classic Hamming 64/8 SEC codec. Stateless after construction;
+ * all methods are const and thread-compatible.
+ */
+class HammingSecCode : public EccCodec
+{
+  public:
+    HammingSecCode();
+
+    const char *name() const override { return "hamming-64-8"; }
+    int dataBits() const override { return 64; }
+    int checkBits() const override { return 8; }
+
+    /** @return the 8 check bits protecting @p data. */
+    std::uint64_t encode(std::uint64_t data) const override;
+
+    /**
+     * Decode @p data against @p check. Every non-zero syndrome is
+     * treated as a correctable single-bit error — double-bit errors
+     * silently miscorrect; nothing ever decodes Uncorrectable.
+     */
+    EccDecodeResult decode(std::uint64_t data,
+                           std::uint64_t check) const override;
+
+    /** @return the H-matrix column (8-bit syndrome) of data bit @p bit. */
+    std::uint64_t column(int bit) const override { return columns_[bit]; }
+
+  private:
+    /** Syndrome column for each of the 64 data bits. */
+    std::array<std::uint8_t, 64> columns_{};
+    /** Map from syndrome value to data-bit index, or -1. */
+    std::array<std::int8_t, 256> syndromeToBit_{};
+};
+
+} // namespace safemem

@@ -1,0 +1,133 @@
+#include "ecc/hsiao_param.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace safemem {
+
+namespace {
+
+/** C(n, r) without overflow for the small n this file needs. */
+std::uint64_t
+binomial(int n, int r)
+{
+    if (r < 0 || r > n)
+        return 0;
+    std::uint64_t result = 1;
+    for (int i = 0; i < r; ++i)
+        result = result * static_cast<std::uint64_t>(n - i) /
+                 static_cast<std::uint64_t>(i + 1);
+    return result;
+}
+
+/** @return the next k-bit value with the same popcount (Gosper's hack),
+ *  or 0 when @p v was the largest such value that fits. */
+std::uint64_t
+nextSameWeight(std::uint64_t v, int k)
+{
+    std::uint64_t lowest = v & (~v + 1);
+    std::uint64_t ripple = v + lowest;
+    if (ripple == 0)
+        return 0;
+    std::uint64_t ones = ((v ^ ripple) >> 2) / lowest;
+    std::uint64_t next = ripple | ones;
+    if (k < 64 && next >= (1ULL << k))
+        return 0;
+    return next;
+}
+
+} // namespace
+
+int
+HsiaoParamCode::autoCheckBits(int data_bits)
+{
+    for (int k = 3; k <= 64; ++k) {
+        std::uint64_t pool = 0;
+        for (int w = 3; w <= k; w += 2)
+            pool += binomial(k, w);
+        if (pool >= static_cast<std::uint64_t>(data_bits))
+            return k;
+    }
+    return 0;
+}
+
+HsiaoParamCode::HsiaoParamCode(int data_bits, int check_bits)
+    : dataBits_(data_bits), checkBits_(check_bits)
+{
+    if (dataBits_ < 1 || dataBits_ > 64)
+        panic("HsiaoParamCode: data bits ", dataBits_, " out of [1, 64]");
+    if (checkBits_ == 0)
+        checkBits_ = autoCheckBits(dataBits_);
+    if (checkBits_ < 1 || checkBits_ > 64)
+        panic("HsiaoParamCode: check bits ", checkBits_, " out of [1, 64]");
+
+    // Fill the data columns with distinct odd-weight (>= 3) values,
+    // ascending weight then ascending value — the Hsiao recipe that
+    // balances the H-matrix rows and (for d = 64, k = 8) reproduces the
+    // fixed HsiaoCode assignment exactly.
+    columns_.reserve(static_cast<std::size_t>(dataBits_));
+    for (int w = 3; w <= checkBits_ &&
+                    columns_.size() < static_cast<std::size_t>(dataBits_);
+         w += 2) {
+        for (std::uint64_t v = (1ULL << w) - 1;
+             v != 0 && columns_.size() < static_cast<std::size_t>(dataBits_);
+             v = nextSameWeight(v, checkBits_))
+            columns_.push_back(v);
+    }
+    if (columns_.size() != static_cast<std::size_t>(dataBits_))
+        panic("HsiaoParamCode: only ", columns_.size(),
+              " odd-weight columns exist for ", dataBits_, "/", checkBits_,
+              "; increase the check bits");
+
+    name_ = "hsiao-" + std::to_string(dataBits_ + checkBits_) + "-" +
+            std::to_string(dataBits_);
+}
+
+std::uint64_t
+HsiaoParamCode::encode(std::uint64_t data) const
+{
+    std::uint64_t check = 0;
+    for (int bit = 0; bit < dataBits_; ++bit) {
+        if (data & (1ULL << bit))
+            check ^= columns_[static_cast<std::size_t>(bit)];
+    }
+    return check;
+}
+
+EccDecodeResult
+HsiaoParamCode::decode(std::uint64_t data, std::uint64_t check) const
+{
+    EccDecodeResult result;
+    std::uint64_t mask =
+        checkBits_ == 64 ? ~0ULL : (1ULL << checkBits_) - 1;
+    std::uint64_t syndrome = (encode(data) ^ check) & mask;
+
+    if (syndrome == 0) {
+        result.status = EccDecodeStatus::Ok;
+        result.data = data;
+        return result;
+    }
+
+    for (int bit = 0; bit < dataBits_; ++bit) {
+        if (columns_[static_cast<std::size_t>(bit)] == syndrome) {
+            result.status = EccDecodeStatus::CorrectedSingle;
+            result.data = data ^ (1ULL << bit);
+            result.correctedBit = bit;
+            return result;
+        }
+    }
+
+    if (std::popcount(syndrome) == 1) {
+        result.status = EccDecodeStatus::CorrectedSingle;
+        result.data = data;
+        result.correctedBit = dataBits_ + std::countr_zero(syndrome);
+        return result;
+    }
+
+    result.status = EccDecodeStatus::Uncorrectable;
+    result.data = data;
+    return result;
+}
+
+} // namespace safemem

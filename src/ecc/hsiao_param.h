@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parameterized Hsiao SEC-DED construction for d data bits and k check
+ * bits, with k auto-sized when not given.
+ *
+ * The generalization of the fixed (72,64) code in ecc/hamming.h: data
+ * columns are distinct odd-weight (>= 3) k-bit values assigned in
+ * ascending weight then ascending value, unit vectors belong to the
+ * check bits. Any k with enough odd-weight columns works; auto-sizing
+ * picks the smallest. With d = 64, k = 0 the construction reproduces
+ * the paper's code column for column (pinned by test_codec_zoo.cc).
+ *
+ * Built for the campaign engine's codec sweeps, so encode/decode favour
+ * clarity over byte-sliced table tricks; the machine datapath keeps the
+ * tuned HsiaoCode as its default.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/codec.h"
+
+namespace safemem {
+
+/**
+ * A (d + k, d) Hsiao SEC-DED codec. Stateless after construction; all
+ * methods are const and thread-compatible.
+ */
+class HsiaoParamCode : public EccCodec
+{
+  public:
+    /**
+     * @param data_bits  d, in [1, 64].
+     * @param check_bits k, in [1, 64], or 0 to auto-size (the smallest
+     *                   k whose odd-weight >= 3 column pool covers d).
+     * Panics when the requested geometry admits no Hsiao code.
+     */
+    explicit HsiaoParamCode(int data_bits, int check_bits = 0);
+
+    const char *name() const override { return name_.c_str(); }
+    int dataBits() const override { return dataBits_; }
+    int checkBits() const override { return checkBits_; }
+
+    std::uint64_t encode(std::uint64_t data) const override;
+    EccDecodeResult decode(std::uint64_t data,
+                           std::uint64_t check) const override;
+    std::uint64_t column(int bit) const override { return columns_[bit]; }
+
+    /** @return the smallest k whose odd-weight (>= 3) column pool
+     *  covers @p data_bits data columns, or 0 when none <= 64 does. */
+    static int autoCheckBits(int data_bits);
+
+  private:
+    int dataBits_;
+    int checkBits_;
+    std::string name_; ///< "hsiao-<d+k>-<d>", built once
+    /** Syndrome column for each data bit, ascending weight then value. */
+    std::vector<std::uint64_t> columns_;
+};
+
+} // namespace safemem

@@ -1,51 +1,51 @@
 #include "ecc/scramble.h"
 
-#include <bit>
-
-#include "common/logging.h"
-
 namespace safemem {
 
 namespace {
 
-/** True when @p syndrome would be treated as correctable by the decoder. */
+/**
+ * True when @p syndrome would be treated as correctable by @p code's
+ * decoder. Probed through decode() itself — a zero data word with
+ * check bits encode(0) ^ syndrome presents exactly @p syndrome to the
+ * decoder — so this classification can never drift from the decoder
+ * the controller actually runs (the bug the old hand-rolled
+ * unit-vector/column scan invited).
+ */
 bool
-looksCorrectable(const HsiaoCode &code, std::uint8_t syndrome)
+looksCorrectable(const EccCodec &code, std::uint64_t syndrome)
 {
-    if (syndrome == 0)
-        return true;
-    if (std::popcount(static_cast<unsigned>(syndrome)) == 1)
-        return true; // unit vector: "check bit error", silently absorbed
-    for (int bit = 0; bit < 64; ++bit) {
-        if (code.column(bit) == syndrome)
-            return true; // would miscorrect to this data bit
-    }
-    return false;
+    EccDecodeResult probe = code.decode(0, code.encode(0) ^ syndrome);
+    return probe.status != EccDecodeStatus::Uncorrectable;
 }
 
 } // namespace
 
-ScramblePattern
-findScramblePositions(const HsiaoCode &code)
+std::optional<ScramblePattern>
+findScramblePositions(const EccCodec &code)
 {
-    for (int a = 0; a < 64; ++a) {
-        for (int b = a + 1; b < 64; ++b) {
-            for (int c = b + 1; c < 64; ++c) {
-                std::uint8_t syndrome = static_cast<std::uint8_t>(
-                    code.column(a) ^ code.column(b) ^ code.column(c));
+    int data_bits = code.dataBits();
+    for (int a = 0; a < data_bits; ++a) {
+        for (int b = a + 1; b < data_bits; ++b) {
+            for (int c = b + 1; c < data_bits; ++c) {
+                std::uint64_t syndrome =
+                    code.column(a) ^ code.column(b) ^ code.column(c);
                 if (!looksCorrectable(code, syndrome))
                     return ScramblePattern{{a, b, c}};
             }
         }
     }
-    panic("findScramblePositions: no uncorrectable bit triple exists");
+    return std::nullopt;
 }
 
 const ScramblePattern &
 defaultScramblePattern()
 {
+    // The default codec is SEC-DED, so a triple always exists (its
+    // odd-weight columns XOR to an odd-weight non-column value for some
+    // triple); the kernel re-validates at boot for configured codecs.
     static const ScramblePattern pattern =
-        findScramblePositions(HsiaoCode::instance());
+        *findScramblePositions(defaultCodec());
     return pattern;
 }
 

@@ -6,24 +6,27 @@
  * flips 3 *fixed* data bits in every ECC group of the watched line, and
  * re-enables ECC. The three positions must satisfy two properties:
  *
- *  1. the stale check byte must decode as an *uncorrectable* (multi-bit)
+ *  1. the stale check bits must decode as an *uncorrectable* (multi-bit)
  *     fault — never as a silently "corrected" single-bit error, and never
  *     as a miscorrection to some other bit; and
  *  2. the flipped pattern is a recognisable signature, letting the fault
  *     handler distinguish an access fault from a genuine hardware error.
  *
- * Property 1 holds exactly when the XOR of the three H-matrix columns is a
- * non-zero syndrome that matches neither a data column nor a unit vector.
- * findScramblePositions() searches the code for such a triple once; unit
- * tests re-verify the guarantee against the real decoder.
+ * Whether such a triple exists at all depends on the codec. For linear
+ * codes property 1 holds exactly when the XOR of the three H-matrix
+ * columns is a syndrome the decoder refuses to correct; a pure-SEC code
+ * (ecc/hamming_sec.h) corrects *every* syndrome, so no triple works and
+ * findScramblePositions() reports failure instead of a pattern. Unit
+ * tests re-verify the guarantee against the real decoders.
  */
 
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 
-#include "ecc/hamming.h"
+#include "ecc/codec.h"
 
 namespace safemem {
 
@@ -48,15 +51,19 @@ struct ScramblePattern
 };
 
 /**
- * Search @p code for the lowest-indexed bit triple whose combined syndrome
- * is guaranteed uncorrectable.
+ * Search @p code for the lowest-indexed bit triple whose combined
+ * syndrome is guaranteed uncorrectable, probing each candidate through
+ * the codec's own decode() so search and decoder can never drift.
  *
- * @throws PanicError when no such triple exists (cannot happen for the
- *         Hsiao construction, but checked anyway).
+ * @return the triple, or nullopt when @p code cannot host a scramble
+ *         signature (e.g. a correction-only code with no Uncorrectable
+ *         outcome). Callers that *require* a signature — the kernel at
+ *         machine boot — turn nullopt into a panic; the campaign engine
+ *         reports it as the codec's scramble-viability verdict instead.
  */
-ScramblePattern findScramblePositions(const HsiaoCode &code);
+std::optional<ScramblePattern> findScramblePositions(const EccCodec &code);
 
-/** @return the process-wide scramble pattern for HsiaoCode::instance(). */
+/** @return the process-wide scramble pattern for defaultCodec(). */
 const ScramblePattern &defaultScramblePattern();
 
 } // namespace safemem

@@ -8,10 +8,18 @@
 namespace safemem {
 
 MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock,
-                                   Trace *trace)
-    : memory_(memory), clock_(clock), code_(HsiaoCode::instance()),
-      trace_(trace)
+                                   Trace *trace, const EccCodec &code)
+    : memory_(memory), clock_(clock), code_(code), trace_(trace)
 {
+    // The datapath is one 64-bit ECC group per check byte; a codec with
+    // another geometry belongs to the campaign engine, not a machine.
+    if (code_.dataBits() != 64)
+        panic("MemoryController: codec '", code_.name(), "' protects ",
+              code_.dataBits(), " data bits; the ECC group is 64");
+    if (code_.checkBits() > memory_.checkBits())
+        panic("MemoryController: codec '", code_.name(), "' needs ",
+              code_.checkBits(), " check bits; the DIMM stores ",
+              memory_.checkBits());
 }
 
 void
@@ -92,7 +100,8 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
         SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerSingleBitCorrected,
                            clock_.now(), word_addr);
         memory_.writeWord(word_addr, result.data);
-        memory_.writeCheck(word_addr, code_.encode(result.data));
+        memory_.writeCheck(word_addr, static_cast<std::uint8_t>(
+                                          code_.encode(result.data)));
         data_out = result.data;
         // The corrected word just written back must form a clean codeword;
         // anything else means the correct/heal datapath is broken.
@@ -167,7 +176,8 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
         std::uint64_t word = lineWord(data, i);
         memory_.writeWord(word_addr, word);
         if (mode_ != EccMode::Disabled)
-            memory_.writeCheck(word_addr, code_.encode(word));
+            memory_.writeCheck(word_addr, static_cast<std::uint8_t>(
+                                              code_.encode(word)));
     }
 
     if (simCheckActive())
@@ -205,7 +215,8 @@ MemoryController::writeWordDeviceOp(PhysAddr word_addr, std::uint64_t value)
 {
     memory_.writeWord(word_addr, value);
     if (mode_ != EccMode::Disabled)
-        memory_.writeCheck(word_addr, code_.encode(value));
+        memory_.writeCheck(word_addr, static_cast<std::uint8_t>(
+                                          code_.encode(value)));
 }
 
 std::uint64_t

@@ -21,7 +21,7 @@
 #include "common/mutex.h"
 #include "common/stats.h"
 #include "common/types.h"
-#include "ecc/hamming.h"
+#include "ecc/codec.h"
 #include "mem/fault.h"
 #include "mem/line.h"
 #include "mem/physical_memory.h"
@@ -53,8 +53,18 @@ inline constexpr const char *kControllerStatNames[] = {
 class MemoryController
 {
   public:
+    /**
+     * @param code the ECC codec wired into the datapath (must outlive
+     *        the controller). The machine geometry requires 64 data
+     *        bits and a check word that fits the DIMM's check lane;
+     *        anything else panics at construction.
+     */
     MemoryController(PhysicalMemory &memory, CycleClock &clock,
-                     Trace *trace = nullptr);
+                     Trace *trace = nullptr,
+                     const EccCodec &code = defaultCodec());
+
+    /** @return the codec wired into the datapath. */
+    const EccCodec &code() const { return code_; }
 
     /** Switch the controller operating mode (device register write). */
     void setMode(EccMode mode) { mode_ = mode; }
@@ -147,7 +157,7 @@ class MemoryController
 
     PhysicalMemory &memory_;
     CycleClock &clock_;
-    const HsiaoCode &code_;
+    const EccCodec &code_;
     EccMode mode_ = EccMode::CorrectError;
     Capability busCapability_; ///< compile-time face of the bus lock
     bool busLocked_ = false;   ///< runtime face, audited by SimCheck

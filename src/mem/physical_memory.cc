@@ -1,19 +1,21 @@
 #include "mem/physical_memory.h"
 
 #include "common/logging.h"
-#include "ecc/hamming.h"
 
 namespace safemem {
 
-PhysicalMemory::PhysicalMemory(std::size_t bytes)
-    : bytes_(bytes)
+PhysicalMemory::PhysicalMemory(std::size_t bytes, int check_bits)
+    : bytes_(bytes), checkBits_(check_bits)
 {
     if (bytes == 0 || !isAligned(bytes, kCacheLineSize))
         fatal("PhysicalMemory: capacity ", bytes,
               " is not a multiple of the line size");
+    if (check_bits < 1 || check_bits > 8)
+        fatal("PhysicalMemory: check lane of ", check_bits,
+              " bits does not fit the DIMM's check byte");
     words_.assign(bytes / kEccGroupSize, 0);
-    // All-zero data has an all-zero Hsiao check byte, so fresh memory
-    // decodes cleanly without an explicit init pass.
+    // All-zero data has all-zero check bits under any linear code, so
+    // fresh memory decodes cleanly without an explicit init pass.
     checks_.assign(bytes / kEccGroupSize, 0);
 }
 
@@ -62,7 +64,7 @@ PhysicalMemory::flipDataBit(PhysAddr addr, int bit)
 void
 PhysicalMemory::flipCheckBit(PhysAddr addr, int bit)
 {
-    if (bit < 0 || bit > 7)
+    if (bit < 0 || bit >= checkBits_)
         panic("PhysicalMemory: bad check bit ", bit);
     checks_[wordIndex(addr)] ^= static_cast<std::uint8_t>(1u << bit);
 }

@@ -4,9 +4,11 @@
  *
  * PhysicalMemory is deliberately dumb — it models the DIMMs, not the
  * controller. All ECC policy (encode on write, check on read, scrubbing,
- * fault raising) lives in MemoryController. Raw accessors here neither
- * charge cycles nor validate codes; they are what the controller's datapath
- * and the test fault-injection hooks are built from.
+ * fault raising) lives in MemoryController, including which codec fills
+ * the check bits; the DIMM only knows how many check bits per group it
+ * physically has. Raw accessors here neither charge cycles nor validate
+ * codes; they are what the controller's datapath and the test
+ * fault-injection hooks are built from.
  */
 
 #pragma once
@@ -22,13 +24,20 @@ class PhysicalMemory
 {
   public:
     /**
-     * @param bytes capacity; must be a non-zero multiple of the cache-line
-     *              size.
+     * @param bytes      capacity; must be a non-zero multiple of the
+     *                   cache-line size.
+     * @param check_bits stored check bits per 64-bit ECC group, in
+     *                   [1, 8] — the width of the DIMM's check lane
+     *                   (8 for the paper's x72 modules). Fault
+     *                   injection validates bit indices against it.
      */
-    explicit PhysicalMemory(std::size_t bytes);
+    explicit PhysicalMemory(std::size_t bytes, int check_bits = 8);
 
     /** @return capacity in bytes. */
     std::size_t size() const { return bytes_; }
+
+    /** @return stored check bits per ECC group. */
+    int checkBits() const { return checkBits_; }
 
     /** @return the data word at 8-byte-aligned physical address @p addr. */
     std::uint64_t readWord(PhysAddr addr) const;
@@ -45,13 +54,15 @@ class PhysicalMemory
     /** Flip one stored data bit — models a hardware memory error. */
     void flipDataBit(PhysAddr addr, int bit);
 
-    /** Flip one stored check bit — models a hardware memory error. */
+    /** Flip one stored check bit (< checkBits()) — models a hardware
+     *  memory error. */
     void flipCheckBit(PhysAddr addr, int bit);
 
   private:
     std::size_t wordIndex(PhysAddr addr) const;
 
     std::size_t bytes_;
+    int checkBits_;
     std::vector<std::uint64_t> words_;
     std::vector<std::uint8_t> checks_;
 };

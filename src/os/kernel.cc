@@ -11,9 +11,20 @@ namespace safemem {
 
 Kernel::Kernel(MemoryController &controller, Cache &cache, CycleClock &clock,
                Trace *trace)
-    : controller_(controller), cache_(cache), clock_(clock), trace_(trace),
-      scramble_(defaultScramblePattern())
+    : controller_(controller), cache_(cache), clock_(clock), trace_(trace)
 {
+    // WatchMemory is only sound when a guaranteed-uncorrectable bit
+    // triple exists for the machine's codec. This is the one place the
+    // no-signature case still panics: a machine that cannot watch
+    // memory must not boot (campaign sweeps probe codecs without a
+    // machine and report the verdict instead — see runCampaign).
+    std::optional<ScramblePattern> pattern =
+        findScramblePositions(controller_.code());
+    if (!pattern)
+        panic("Kernel: ECC codec '", controller_.code().name(),
+              "' cannot host a scramble signature; WatchMemory would "
+              "never fault");
+    scramble_ = *pattern;
     // Build the frame free list over all of physical memory.
     std::size_t frames = controller_.memory().size() / kPageSize;
     freeFrames_.reserve(frames);
@@ -315,7 +326,7 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
         // uncorrectable under the stale check bytes; a clean or merely
         // "corrected" group means the watch would never fire (or worse,
         // silently corrupt data on the next fill).
-        const HsiaoCode &code = HsiaoCode::instance();
+        const EccCodec &code = controller_.code();
         for (PhysAddr pline : plines) {
             for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
                 PhysAddr word_addr = pline + i * kEccGroupSize;

@@ -142,6 +142,10 @@ class Kernel
 
     /** Register the user-level ECC fault handler. */
     void registerEccFaultHandler(UserEccHandler handler);
+
+    /** @return the 3-bit scramble signature WatchMemory applies —
+     *  derived at boot from the controller's codec. */
+    const ScramblePattern &scramblePattern() const { return scramble_; }
     /// @}
 
     /**
@@ -282,7 +286,9 @@ class Kernel
     Cache &cache_;
     CycleClock &clock_;
     Trace *trace_;
-    const ScramblePattern &scramble_;
+    /** The scramble signature for the controller's codec, found at
+     *  boot; boot panics when the codec cannot host one. */
+    ScramblePattern scramble_;
 
     /** Process table, indexed by pid. Never shrinks; exited processes
      *  become zombies. */

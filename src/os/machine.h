@@ -45,6 +45,14 @@ struct MachineConfig
     std::uint32_t tickInterval = 1024;
     /** Turn on the SimCheck invariant auditor for this process. */
     bool simCheck = false;
+    /**
+     * ECC codec wired into the memory controller (must outlive the
+     * machine). Null: the shared (72,64) Hsiao defaultCodec(). The
+     * kernel re-derives its scramble signature from this code at boot
+     * and panics if the code cannot host one (see
+     * findScramblePositions).
+     */
+    const EccCodec *codec = nullptr;
     /** Run the deep SimCheck audits every this many kernel ticks. */
     std::uint32_t auditTickInterval = 64;
     /**

@@ -6,7 +6,7 @@
 namespace safemem {
 
 EccWatchManager::EccWatchManager(Machine &machine)
-    : machine_(machine), scramble_(defaultScramblePattern()),
+    : machine_(machine), scramble_(machine.kernel().scramblePattern()),
       trace_(machine.trace())
 {
 }

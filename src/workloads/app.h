@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "ecc/codec.h"
 #include "workloads/env.h"
 
 namespace safemem {
@@ -32,6 +33,13 @@ struct RunParams
      * doing — the contract runMatrix() builds on.
      */
     std::uint64_t seed = 1;
+    /**
+     * ECC codec the run's machine is built with. Part of the RunSpec
+     * identity like seed/requests: same spec, same RunResult. The
+     * default names the shared (72,64) Hsiao code and takes the exact
+     * pre-pluggable datapath (no per-run codec is constructed).
+     */
+    EccCodecSpec codec;
     /**
      * Per-run log sink (must outlive the run); the driver routes every
      * message the run emits — kernel warnings, SimCheck reports — to

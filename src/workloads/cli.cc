@@ -27,12 +27,14 @@ cliUsage()
 {
     std::ostringstream os;
     os << "usage: safemem_run <app|all> [options]\n"
+       << "       safemem_run campaign [campaign options]\n"
        << "\n"
        << "apps:";
     for (const std::string &name : appNames())
         os << " " << name;
     os << "\n"
-       << "('all' sweeps every app under the selected tool)\n"
+       << "('all' sweeps every app under the selected tool;\n"
+       << " 'campaign' runs the ECC fault-injection campaign instead)\n"
        << "\noptions:\n"
        << "  --tool <name>     none | safemem-ml | safemem-mc | safemem |"
           " pageprot | purify\n"
@@ -50,7 +52,18 @@ cliUsage()
        << "  --stats[=prefix]  dump run counters (optionally filtered)\n"
        << "  --simcheck        enable the SimCheck invariant auditor\n"
        << "  --trace <file>    record a flight-recorder trace per run;\n"
-       << "                    decode with tools/trace_dump\n";
+       << "                    decode with tools/trace_dump\n"
+       << "  --codec <spec>    ECC codec the machine runs: hsiao (default)"
+          " |\n"
+       << "                    hamming64/8 | hsiao:<d>[/<k>]\n"
+       << "\ncampaign options:\n"
+       << "  --codec <spec>    codec to sweep (repeatable; default: the\n"
+       << "                    full zoo: hsiao, hamming64/8, hsiao:64/8)\n"
+       << "  --samples <n>     trials per sampled cell (default: 20000)\n"
+       << "  --seed <n>        campaign seed (default: 42)\n"
+       << "  --workers <n>     worker threads, results independent of n\n"
+       << "                    (default: 1, 0 = all cores)\n"
+       << "  --out <file>      also write the campaign JSON document\n";
     return os.str();
 }
 
@@ -70,7 +83,8 @@ parseCliArguments(const std::vector<std::string> &args)
     std::size_t i = 0;
     options.app = args[i++];
     options.allApps = options.app == "all";
-    if (!options.allApps && !makeApp(options.app)) {
+    options.campaign = options.app == "campaign";
+    if (!options.allApps && !options.campaign && !makeApp(options.app)) {
         result.message = "unknown application '" + options.app + "'\n\n" +
                          cliUsage();
         return result;
@@ -83,6 +97,42 @@ parseCliArguments(const std::vector<std::string> &args)
         }
         return &args[i++];
     };
+
+    if (options.campaign) {
+        while (i < args.size()) {
+            const std::string &arg = args[i++];
+            if (arg != "--codec" && arg != "--samples" &&
+                arg != "--seed" && arg != "--workers" && arg != "--out") {
+                result.message =
+                    "unknown campaign option '" + arg + "'\n\n" +
+                    cliUsage();
+                return result;
+            }
+            const std::string *value = need_value(arg);
+            if (!value)
+                return result;
+            if (arg == "--codec") {
+                auto spec = parseCodecSpec(*value);
+                if (!spec) {
+                    result.message = "unknown codec '" + *value + "'\n\n" +
+                                     cliUsage();
+                    return result;
+                }
+                options.campaignConfig.codecs.push_back(*spec);
+            } else if (arg == "--samples") {
+                options.campaignConfig.samples = std::stoull(*value);
+            } else if (arg == "--seed") {
+                options.campaignConfig.seed = std::stoull(*value);
+            } else if (arg == "--workers") {
+                options.campaignConfig.workers =
+                    static_cast<unsigned>(std::stoul(*value));
+            } else if (arg == "--out") {
+                options.campaignOut = *value;
+            }
+        }
+        result.options = options;
+        return result;
+    }
 
     while (i < args.size()) {
         const std::string &arg = args[i++];
@@ -123,6 +173,17 @@ parseCliArguments(const std::vector<std::string> &args)
             if (!value)
                 return result;
             options.traceFile = *value;
+        } else if (arg == "--codec") {
+            const std::string *value = need_value("--codec");
+            if (!value)
+                return result;
+            auto spec = parseCodecSpec(*value);
+            if (!spec) {
+                result.message =
+                    "unknown codec '" + *value + "'\n\n" + cliUsage();
+                return result;
+            }
+            options.params.codec = *spec;
         } else if (arg == "--workers") {
             const std::string *value = need_value("--workers");
             if (!value)
@@ -201,6 +262,22 @@ traceLabel(const RunSpec &spec)
 std::string
 runCli(const CliOptions &options)
 {
+    if (options.campaign) {
+        CampaignResult campaign = runCampaign(options.campaignConfig);
+        std::string report = formatCampaignReport(campaign);
+        if (!options.campaignOut.empty()) {
+            std::ofstream file(options.campaignOut);
+            if (!file) {
+                report += "cannot write campaign file '" +
+                          options.campaignOut + "'\n";
+            } else {
+                file << campaignJson(campaign);
+                report += "campaign json -> " + options.campaignOut + "\n";
+            }
+        }
+        return report;
+    }
+
     if (options.simCheck)
         SimCheck::instance().setEnabled(true);
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "workloads/campaign.h"
 #include "workloads/driver.h"
 
 namespace safemem {
@@ -28,6 +29,9 @@ struct CliOptions
     bool simCheck = false;        ///< --simcheck: enable invariant audits
     std::string statsPrefix;      ///< --stats=<prefix>
     std::string traceFile;        ///< --trace: flight-recorder output file
+    bool campaign = false;        ///< app was "campaign": codec sweep
+    CampaignConfig campaignConfig; ///< campaign-mode parameters
+    std::string campaignOut;      ///< --out: campaign JSON file ("" = none)
 };
 
 /** Outcome of parsing: options, or an error/usage message. */

@@ -241,6 +241,14 @@ runWorkload(const std::string &app_name, ToolKind tool,
     machine_config.memoryBytes = 192u << 20;
     machine_config.log = params.log;
     machine_config.trace = params.trace;
+    // Only a non-default codec allocates anything: the default spec
+    // keeps the shared defaultCodec() instance and with it the exact
+    // pre-pluggable behaviour, bit for bit.
+    std::unique_ptr<EccCodec> codec;
+    if (!(params.codec == EccCodecSpec{})) {
+        codec = makeCodec(params.codec);
+        machine_config.codec = codec.get();
+    }
     Machine machine(machine_config);
 
     RunResult result;
@@ -376,6 +384,11 @@ runConsolidated(const RunSpec &spec)
         (192u << 20) + static_cast<std::size_t>(96u << 20) * (nprocs - 1);
     machine_config.log = spec.params.log;
     machine_config.trace = spec.params.trace;
+    std::unique_ptr<EccCodec> codec;
+    if (!(spec.params.codec == EccCodecSpec{})) {
+        codec = makeCodec(spec.params.codec);
+        machine_config.codec = codec.get();
+    }
     Machine machine(machine_config);
     Kernel &kernel = machine.kernel();
 

@@ -11,7 +11,7 @@
 namespace safemem {
 namespace {
 
-const HsiaoCode &code = HsiaoCode::instance();
+const HsiaoCode code;
 
 TEST(Hamming, ZeroDataHasZeroCheck)
 {

@@ -9,6 +9,7 @@
 #include "common/costs.h"
 #include "common/logging.h"
 #include "ecc/hamming.h"
+#include "ecc/hsiao_param.h"
 #include "ecc/scramble.h"
 #include "mem/memory_controller.h"
 #include "mem/physical_memory.h"
@@ -41,7 +42,7 @@ TEST_F(ControllerTest, EvictionEncodesEveryGroup)
         setLineWord(line, i, 0x1111111111111111ULL * (i + 1));
     controller.evictLine(128, line);
 
-    const HsiaoCode &code = HsiaoCode::instance();
+    const EccCodec &code = defaultCodec();
     for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
         PhysAddr addr = 128 + i * kEccGroupSize;
         EXPECT_EQ(memory.readCheck(addr),
@@ -83,6 +84,60 @@ TEST_F(ControllerTest, SingleBitErrorCorrectedAndHealed)
     EXPECT_EQ(controller.stats().get("single_bit_corrected"), 1u);
     // Healed in place: a second fill sees clean memory.
     EXPECT_EQ(memory.readWord(0), 0x123456789abcdef0ULL);
+}
+
+TEST_F(ControllerTest, CheckBitOnlyErrorCorrectsTransparently)
+{
+    // Satellite of the correctedBit contract audit: a flipped *check*
+    // bit decodes as CorrectedSingle with correctedBit in [64, 72) and
+    // must ride the exact same transparent-correction path as a data
+    // bit — correct fill data, no interrupt, stat bumped, storage
+    // healed — without anything downstream treating 64+ as a data
+    // index.
+    LineData line{};
+    setLineWord(line, 2, 0x0f0f0f0f0f0f0f0fULL);
+    controller.evictLine(0, line);
+    const PhysAddr addr = 2 * kEccGroupSize;
+    const std::uint8_t good_check = memory.readCheck(addr);
+    memory.flipCheckBit(addr, 6);
+
+    LineData out{};
+    EXPECT_TRUE(controller.fillLine(0, out));
+    EXPECT_EQ(lineWord(out, 2), 0x0f0f0f0f0f0f0f0fULL);
+    EXPECT_EQ(interrupts, 0);
+    EXPECT_EQ(controller.stats().get("single_bit_corrected"), 1u);
+    // Healed in place: the stored check byte is rewritten, so a second
+    // fill decodes clean.
+    EXPECT_EQ(memory.readCheck(addr), good_check);
+    EXPECT_EQ(memory.readWord(addr), 0x0f0f0f0f0f0f0f0fULL);
+}
+
+TEST_F(ControllerTest, CustomCodecDrivesTheDatapath)
+{
+    // A controller built over a non-default codec encodes and decodes
+    // with it: the check bytes in storage follow the configured code.
+    HsiaoParamCode code(64, 8);
+    MemoryController custom(memory, clock, nullptr, code);
+    LineData line{};
+    setLineWord(line, 0, 0xfeedULL);
+    custom.evictLine(128, line);
+    EXPECT_EQ(memory.readCheck(128),
+              static_cast<std::uint8_t>(code.encode(0xfeedULL)));
+    EXPECT_EQ(&custom.code(), &code);
+}
+
+TEST_F(ControllerTest, CodecGeometryIsValidatedAtConstruction)
+{
+    // The machine datapath stores one check byte per ECC group: a codec
+    // needing more check bits than the DIMM provides (or a non-64-bit
+    // data word) must be rejected up front, not corrupt silently.
+    HsiaoParamCode narrow(16);
+    EXPECT_THROW(MemoryController(memory, clock, nullptr, narrow),
+                 PanicError);
+    PhysicalMemory small_checks(4096, 4);
+    HsiaoParamCode full(64, 8);
+    EXPECT_THROW(MemoryController(small_checks, clock, nullptr, full),
+                 PanicError);
 }
 
 TEST_F(ControllerTest, MultiBitErrorRaisesInterruptAndFailsFill)
@@ -143,7 +198,7 @@ TEST_F(ControllerTest, DeviceWriteWithEccOnRegeneratesCheck)
 {
     controller.writeWordDeviceOp(8, 0x7777ULL);
     EXPECT_EQ(memory.readCheck(8),
-              HsiaoCode::instance().encode(0x7777ULL));
+              defaultCodec().encode(0x7777ULL));
 }
 
 TEST_F(ControllerTest, ScrubCorrectsSinglesAndReportsMulti)
@@ -232,7 +287,7 @@ TEST(PhysicalMemory, FreshMemoryDecodesClean)
 {
     // All-zero data carries an all-zero check byte by construction.
     PhysicalMemory memory(4096);
-    const HsiaoCode &code = HsiaoCode::instance();
+    const EccCodec &code = defaultCodec();
     EccDecodeResult result =
         code.decode(memory.readWord(0), memory.readCheck(0));
     EXPECT_EQ(result.status, EccDecodeStatus::Ok);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "ecc/hamming_sec.h"
+#include "ecc/hsiao_param.h"
 #include "ecc/scramble.h"
 
 namespace safemem {
@@ -35,7 +37,7 @@ TEST(Scramble, ScrambledWordIsUncorrectable)
     // The core guarantee: scrambled data against a stale check byte
     // must decode as an uncorrectable multi-bit fault, never as a
     // silently "corrected" single-bit error (paper §2.2.2, property 1).
-    const HsiaoCode &code = HsiaoCode::instance();
+    const EccCodec &code = defaultCodec();
     const ScramblePattern &p = defaultScramblePattern();
     Rng rng(17);
     for (int i = 0; i < 1000; ++i) {
@@ -50,13 +52,59 @@ TEST(Scramble, SearchAgreesWithDecoder)
 {
     // Re-run the search and verify the returned triple against the
     // actual decoder for a spread of data values.
-    const HsiaoCode &code = HsiaoCode::instance();
-    ScramblePattern p = findScramblePositions(code);
+    const EccCodec &code = defaultCodec();
+    std::optional<ScramblePattern> p = findScramblePositions(code);
+    ASSERT_TRUE(p.has_value());
     for (std::uint64_t data : {0ULL, ~0ULL, 0x8000000000000001ULL}) {
         EccDecodeResult result =
-            code.decode(p.apply(data), code.encode(data));
+            code.decode(p->apply(data), code.encode(data));
         EXPECT_EQ(result.status, EccDecodeStatus::Uncorrectable);
     }
+}
+
+TEST(Scramble, ViableTripleDecodesUncorrectableForEveryWord)
+{
+    // The search probes candidates through decode() itself (not a
+    // syndrome-table shortcut), so the returned triple must hold for
+    // *any* data content — the decode-probe rewrite of
+    // looksCorrectable() is load-bearing here.
+    const EccCodec &code = defaultCodec();
+    std::optional<ScramblePattern> p = findScramblePositions(code);
+    ASSERT_TRUE(p.has_value());
+    Rng rng(0x5c2a3b1e);
+    for (int i = 0; i < 256; ++i) {
+        std::uint64_t data = rng.next();
+        EccDecodeResult result =
+            code.decode(p->apply(data), code.encode(data));
+        ASSERT_EQ(result.status, EccDecodeStatus::Uncorrectable);
+    }
+}
+
+TEST(Scramble, ParamHsiaoCodesHostSignaturesToo)
+{
+    // Any odd-weight-column Hsiao geometry keeps property 1: three odd
+    // columns XOR to an odd-weight syndrome no column matches.
+    for (int data_bits : {16, 32, 64}) {
+        HsiaoParamCode code(data_bits);
+        std::optional<ScramblePattern> p = findScramblePositions(code);
+        ASSERT_TRUE(p.has_value()) << "d=" << data_bits;
+        std::uint64_t data =
+            0x1234567890abcdefULL &
+            (data_bits == 64 ? ~0ULL : (1ULL << data_bits) - 1);
+        EccDecodeResult result =
+            code.decode(p->apply(data), code.encode(data));
+        EXPECT_EQ(result.status, EccDecodeStatus::Uncorrectable);
+    }
+}
+
+TEST(Scramble, PureSecHammingCannotHostASignature)
+{
+    // The campaign's headline negative result: classic Hamming 64/8
+    // corrects every non-zero syndrome, so no bit triple is guaranteed
+    // uncorrectable and the search must report failure rather than a
+    // pattern that would silently corrupt watched data.
+    HammingSecCode code;
+    EXPECT_FALSE(findScramblePositions(code).has_value());
 }
 
 TEST(Scramble, NotEveryTripleWouldWork)
@@ -64,7 +112,7 @@ TEST(Scramble, NotEveryTripleWouldWork)
     // Sanity of the search itself: some bit triples alias to a single
     // correctable error (their column XOR matches another column), so
     // the search is load-bearing, not decorative.
-    const HsiaoCode &code = HsiaoCode::instance();
+    const EccCodec &code = defaultCodec();
     bool found_bad_triple = false;
     for (int a = 0; a < 64 && !found_bad_triple; ++a) {
         for (int b = a + 1; b < 64 && !found_bad_triple; ++b) {

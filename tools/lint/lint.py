@@ -207,6 +207,18 @@ def check_include_hygiene(rel, raw, violations):
                     rel, lineno, "include-hygiene",
                     f"common/ is the base layer; it may not include "
                     f"'{match.group(1)}'"))
+    if rel.startswith("src/ecc/"):
+        # The codec layer must stay machine-agnostic so one codec
+        # instance can serve many machines and campaign workers: only
+        # common/ (logging, rng) and sibling ecc/ headers are allowed.
+        for lineno, line in enumerate(raw.splitlines(), 1):
+            match = re.match(r'\s*#\s*include\s+"([^"]+)"', line)
+            if match and not match.group(1).startswith(("common/",
+                                                        "ecc/")):
+                violations.append(Violation(
+                    rel, lineno, "include-hygiene",
+                    f"ecc/ may only include common/ and ecc/ headers, "
+                    f"not '{match.group(1)}'"))
 
 
 STRING_STAT_DIRS = ("src/cache/", "src/mem/")
@@ -601,6 +613,10 @@ SEEDED_SOURCES = {
     "src/ecc/bad_docs.h": (
         "header-docs",
         "#pragma once\nint undocumented;\n"),
+    "src/ecc/bad_layering_ecc.h": (
+        "include-hygiene",
+        "/**\n * @file\n * Codec layer reaching into the machine.\n */\n"
+        "#pragma once\n#include \"mem/physical_memory.h\"\n"),
     "src/cache/bad_string_stats.cc": (
         "string-keyed-stats",
         '#include "common/stats.h"\n'
@@ -666,6 +682,11 @@ SEEDED_SOURCES = {
 }
 
 CLEAN_SOURCES = [
+    # The ecc/ allowlist accepts both of its permitted layers.
+    ("src/ecc/clean_codec_deps.h",
+     "/**\n * @file\n * A codec header on the permitted layers only.\n */\n"
+     "#pragma once\n#include \"common/types.h\"\n"
+     "#include \"ecc/codec.h\"\n"),
     ("src/common/clean.h",
      "/**\n * @file\n * A well-behaved header: documented, guarded, and\n"
      " * allocation-free (new_size below is an identifier, 'delete' only\n"
