@@ -17,6 +17,10 @@
 #                           malformed JSON-lines
 #   7. multiproc smoke    — the full app sweep at --procs 2 must produce
 #                           byte-identical reports for any worker count
+#   7b. bank smoke        — the full app sweep at --banks 4 must be
+#                           byte-identical for any worker count, and
+#                           bench_banked --json must report bit-identical
+#                           serial-vs-matrix cells across the bank sweep
 #   8. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
 #   9. static analysis    — -Wthread-safety build (clang++), clang-tidy
 #                           gauntlet, negative-compile proof, repo lint;
@@ -182,9 +186,13 @@ assert lines, "trace_dump --summary produced no sections"
 for line in lines:
     doc = json.loads(line)
     assert set(doc) == {"run", "emitted", "retained", "cycle_first",
-                        "cycle_last", "events"}, f"bad key set: {sorted(doc)}"
+                        "cycle_last", "events", "bank_events"}, \
+        f"bad key set: {sorted(doc)}"
     assert doc["retained"] == sum(doc["events"].values()), doc
     assert doc["cycle_first"] <= doc["cycle_last"], doc
+    # Per-bank counts cover only bank-carrying events, so they are
+    # bounded by (not equal to) the retained total.
+    assert sum(doc["bank_events"].values()) <= doc["retained"], doc
 print(f"trace summary: {len(lines)} section(s)")
 PYEOF
         python3 - "$out" <<'PYEOF'
@@ -196,11 +204,16 @@ assert lines, "trace_dump produced no records"
 
 last_cycle = {}
 last_seq = {}
+bank_records = 0
 for line in lines:
     rec = json.loads(line)
-    assert set(rec) == {"run", "seq", "cycle", "pid", "event",
-                        "a", "b", "c"}, \
+    base = {"run", "seq", "cycle", "pid", "event", "a", "b", "c"}
+    # Bank-carrying events get the decoded "bank" key appended.
+    assert set(rec) in (base, base | {"bank"}), \
         f"bad key set: {sorted(rec)}"
+    if "bank" in rec:
+        bank_records += 1
+        assert rec["bank"] in (rec["a"], rec["b"], rec["c"]), rec
     assert isinstance(rec["event"], str) and rec["event"] != "?", rec
     run = rec["run"]
     assert rec["cycle"] >= last_cycle.get(run, 0), f"cycle ran backwards: {rec}"
@@ -208,7 +221,58 @@ for line in lines:
     last_cycle[run] = rec["cycle"]
     last_seq[run] = rec["seq"]
 assert "gzip/safemem" in last_seq, f"runs seen: {sorted(last_seq)}"
-print(f"trace smoke: {len(lines)} records across {len(last_seq)} run(s)")
+assert bank_records > 0, "no bank-carrying records decoded"
+print(f"trace smoke: {len(lines)} records across {len(last_seq)} run(s), "
+      f"{bank_records} bank-carrying")
+PYEOF
+}
+
+bank_smoke() {
+    # The banked memory system's run-identity contract: the whole-app
+    # sweep at --banks 4 (with consolidated processes sharing the
+    # banked controller) must produce byte-identical reports for any
+    # worker count, and the reduced bench_banked sweep must report
+    # every (banks x procs) cell bit-identical between the serial and
+    # matrix drivers.
+    local serial=build/bank_serial.txt
+    local parallel=build/bank_parallel.txt
+    local bench=build/bench/BENCH_banked_smoke.json
+    build/tools/safemem_run all --banks 4 --procs 2 --buggy \
+        --requests 60 --stats --simcheck --workers 1 >"$serial" &&
+        build/tools/safemem_run all --banks 4 --procs 2 --buggy \
+            --requests 60 --stats --simcheck --workers 4 >"$parallel" &&
+        grep -q "sched.bank_disjoint_handoffs" "$serial" &&
+        if cmp -s "$serial" "$parallel"; then
+            echo "bank smoke: serial and 4-worker --banks 4 sweeps identical"
+        else
+            echo "bank smoke: worker count changed the results:"
+            diff "$serial" "$parallel" | head -20
+            return 1
+        fi &&
+        build/bench/bench_banked --json --requests 250 >"$bench" &&
+        python3 - "$bench" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+for key in ("bench", "app", "requests", "cells", "identical"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["bench"] == "banked"
+assert len(doc["cells"]) == 12, f"expected the 4x3 bank sweep: {doc}"
+for cell in doc["cells"]:
+    for key in ("banks", "procs", "seconds", "total_cycles",
+                "disjoint_handoffs", "gated_handoffs", "bug_detected",
+                "identical"):
+        assert key in cell, f"missing cell key: {key}"
+    assert cell["identical"] is True, f"cell diverged: {cell}"
+    assert cell["bug_detected"] is True, f"bug missed: {cell}"
+    if cell["banks"] == 1:
+        assert cell["disjoint_handoffs"] == 0, \
+            f"banks=1 must not classify hand-offs: {cell}"
+assert doc["identical"] is True, "a banked cell diverged"
+print(f"bank smoke: {len(doc['cells'])} cells bit-identical")
 PYEOF
 }
 
@@ -292,6 +356,7 @@ stage "bench smoke (matrix --json)" matrix_smoke
 stage "campaign smoke (ecc codec zoo)" campaign_smoke
 stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
 stage "multiproc smoke (--procs 2, serial vs parallel)" multiproc_smoke
+stage "bank smoke (--banks 4 sweep + bench_banked)" bank_smoke
 stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build
 stage "static-analysis gauntlet" static_analysis
 stage "repo lint" python3 tools/lint/lint.py --root .

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One interleaved memory bank: the unit of independent locking.
+ *
+ * Physical memory is page-interleaved across N banks: page p lives in
+ * bank p % N, so every cache line and every frame is wholly owned by
+ * exactly one bank. Each bank carries its own annotated lock capability
+ * (the per-bank face of the old global bus lock), its own scrubber
+ * cursor, and its own ControllerStat slots; the machine-wide StatSet on
+ * the controller stays the bit-compatible roll-up of the per-bank
+ * slots. With one bank the machine degenerates to the original
+ * single-bus chipset.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace safemem {
+
+/** Banks are interleaved at page granularity; the cap keeps a bank
+ *  footprint representable as one uint64 bit mask everywhere. */
+inline constexpr unsigned kMaxMemoryBanks = 64;
+
+/** Slot indices into the controller StatSet; order matches the names. */
+enum class ControllerStat : std::size_t
+{
+    BusLocks,
+    InterruptsRaised,
+    SingleBitReported,
+    SingleBitCorrected,
+    MultiBitDetected,
+    LineFills,
+    LineEvictions,
+    ScrubPasses,
+};
+
+/** Report/snapshot names for ControllerStat, in enumerator order. */
+inline constexpr const char *kControllerStatNames[] = {
+    "bus_locks",          "interrupts_raised", "single_bit_reported",
+    "single_bit_corrected", "multi_bit_detected", "line_fills",
+    "line_evictions",     "scrub_passes",
+};
+
+/**
+ * Per-bank state owned by the MemoryController. The controller is the
+ * only mutator (lockBank/unlockBank/scrubBank); everyone else reads
+ * through the const accessors.
+ */
+class MemoryBank
+{
+  public:
+    explicit MemoryBank(unsigned id)
+        : id_(id), scrubCursor_(static_cast<PhysAddr>(id) * kPageSize)
+    {
+    }
+
+    /** @return this bank's index in [0, numBanks). */
+    unsigned id() const { return id_; }
+
+    /** @return whether this bank's bus lock is currently held. */
+    bool locked() const { return locked_; }
+
+    /** @return the next page this bank's scrubber will visit. */
+    PhysAddr scrubCursor() const { return scrubCursor_; }
+
+    /** @return this bank's slice of the controller statistics. */
+    const StatSet &stats() const { return stats_; }
+
+    /** The bank-lock capability, for ACQUIRE/RELEASE/REQUIRES clauses. */
+    const Capability &capability() const RETURN_CAPABILITY(capability_)
+    {
+        return capability_;
+    }
+
+  private:
+    friend class MemoryController;
+
+    unsigned id_;
+    Capability capability_; ///< compile-time face of the bank lock
+    bool locked_ = false;   ///< runtime face, audited by SimCheck
+    PhysAddr scrubCursor_;  ///< patrol position within this bank's slice
+    StatSet stats_{kControllerStatNames};
+};
+
+} // namespace safemem

@@ -43,6 +43,8 @@ struct EccFaultInfo
     int wordIndex = 0;
     /** Raw (possibly scrambled/corrupt) data of the faulting word. */
     std::uint64_t rawData = 0;
+    /** Bank owning the affected line (page-interleaved). */
+    unsigned bank = 0;
 };
 
 /** Interrupt line from the controller into the kernel. */

@@ -8,7 +8,8 @@
 namespace safemem {
 
 MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock,
-                                   Trace *trace, const EccCodec &code)
+                                   Trace *trace, const EccCodec &code,
+                                   unsigned banks)
     : memory_(memory), clock_(clock), code_(code), trace_(trace)
 {
     // The datapath is one 64-bit ECC group per check byte; a codec with
@@ -20,6 +21,14 @@ MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock,
         panic("MemoryController: codec '", code_.name(), "' needs ",
               code_.checkBits(), " check bits; the DIMM stores ",
               memory_.checkBits());
+    if (banks < 1 || banks > kMaxMemoryBanks)
+        panic("MemoryController: ", banks, " banks outside [1, ",
+              kMaxMemoryBanks, "]");
+    if (memory_.size() / kPageSize < banks)
+        panic("MemoryController: ", banks, " banks but only ",
+              memory_.size() / kPageSize, " pages of DRAM");
+    for (unsigned b = 0; b < banks; ++b)
+        banks_.emplace_back(b);
 }
 
 void
@@ -28,33 +37,100 @@ MemoryController::setInterruptHandler(EccInterruptHandler handler)
     interruptHandler_ = std::move(handler);
 }
 
+const MemoryBank &
+MemoryController::bank(unsigned id) const
+{
+    if (id >= banks_.size())
+        panic("MemoryController: bank ", id, " of ", banks_.size());
+    return banks_[id];
+}
+
+std::uint64_t
+MemoryController::bankMaskForSpan(PhysAddr addr, std::size_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    std::uint64_t mask = 0;
+    PhysAddr first = alignDown(addr, kPageSize);
+    PhysAddr last = alignDown(addr + bytes - 1, kPageSize);
+    for (PhysAddr page = first; page <= last; page += kPageSize)
+        mask |= std::uint64_t{1} << bankOf(page);
+    return mask;
+}
+
+void
+MemoryController::lockBank(unsigned id)
+{
+    MemoryBank &bank = banks_.at(id);
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "bus_lock_pairing",
+                   !bank.locked_, "lockBank while bank ", id,
+                   " is already locked");
+    if (bank.locked_)
+        panic("MemoryController: bus already locked");
+    bank.locked_ = true;
+    stats_.add(ControllerStat::BusLocks);
+    bank.stats_.add(ControllerStat::BusLocks);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerBusLock, clock_.now(),
+                       id);
+}
+
+void
+MemoryController::unlockBank(unsigned id)
+{
+    MemoryBank &bank = banks_.at(id);
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "bus_lock_pairing",
+                   bank.locked_, "unlockBank while bank ", id,
+                   " is not locked");
+    if (!bank.locked_)
+        panic("MemoryController: bus not locked");
+    bank.locked_ = false;
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerBusUnlock, clock_.now(),
+                       id);
+}
+
+bool
+MemoryController::bankLocked(unsigned id) const
+{
+    return banks_.at(id).locked_;
+}
+
 void
 MemoryController::lockBus()
 {
-    SIMCHECK_AUDIT(AuditDomain::MemoryController, "bus_lock_pairing",
-                   !busLocked_, "lockBus while the bus is already locked");
-    if (busLocked_)
-        panic("MemoryController: bus already locked");
-    busLocked_ = true;
-    stats_.add(ControllerStat::BusLocks);
-    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerBusLock, clock_.now());
+    for (unsigned b = 0; b < banks_.size(); ++b)
+        lockBank(b);
 }
 
 void
 MemoryController::unlockBus()
 {
-    SIMCHECK_AUDIT(AuditDomain::MemoryController, "bus_lock_pairing",
-                   busLocked_, "unlockBus while the bus is not locked");
-    if (!busLocked_)
-        panic("MemoryController: bus not locked");
-    busLocked_ = false;
-    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerBusUnlock, clock_.now());
+    for (unsigned b = static_cast<unsigned>(banks_.size()); b-- > 0;)
+        unlockBank(b);
+}
+
+bool
+MemoryController::busLocked() const
+{
+    for (const MemoryBank &bank : banks_)
+        if (!bank.locked_)
+            return false;
+    return true;
+}
+
+bool
+MemoryController::anyBankLocked() const
+{
+    for (const MemoryBank &bank : banks_)
+        if (bank.locked_)
+            return true;
+    return false;
 }
 
 void
 MemoryController::raise(const EccFaultInfo &info)
 {
     stats_.add(ControllerStat::InterruptsRaised);
+    banks_[info.bank].stats_.add(ControllerStat::InterruptsRaised);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerInterrupt, clock_.now(),
                        info.lineAddr,
                        static_cast<std::uint64_t>(info.wordIndex),
@@ -77,6 +153,7 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
 
     std::uint8_t check = memory_.readCheck(word_addr);
     EccDecodeResult result = code_.decode(data, check);
+    unsigned bank_id = bankOf(word_addr);
 
     switch (result.status) {
       case EccDecodeStatus::Ok:
@@ -86,17 +163,20 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
         if (mode_ == EccMode::CheckOnly) {
             // Check-Only mode detects and reports but never corrects.
             stats_.add(ControllerStat::SingleBitReported);
+            banks_[bank_id].stats_.add(ControllerStat::SingleBitReported);
             EccFaultInfo info;
             info.kind = EccFaultKind::UnreportedSingle;
             info.lineAddr = alignDown(word_addr, kCacheLineSize);
             info.wordIndex = static_cast<int>(
                 (word_addr % kCacheLineSize) / kEccGroupSize);
             info.rawData = data;
+            info.bank = bank_id;
             raise(info);
             return true;
         }
         // Correct transparently and heal the stored copy.
         stats_.add(ControllerStat::SingleBitCorrected);
+        banks_[bank_id].stats_.add(ControllerStat::SingleBitCorrected);
         SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerSingleBitCorrected,
                            clock_.now(), word_addr);
         memory_.writeWord(word_addr, result.data);
@@ -115,6 +195,7 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
 
       case EccDecodeStatus::Uncorrectable: {
         stats_.add(ControllerStat::MultiBitDetected);
+        banks_[bank_id].stats_.add(ControllerStat::MultiBitDetected);
         EccFaultInfo info;
         info.kind = scrubbing ? EccFaultKind::ScrubMultiBit
                               : EccFaultKind::MultiBit;
@@ -122,6 +203,7 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
         info.wordIndex = static_cast<int>(
             (word_addr % kCacheLineSize) / kEccGroupSize);
         info.rawData = data;
+        info.bank = bank_id;
         raise(info);
         return false;
       }
@@ -134,14 +216,16 @@ MemoryController::fillLine(PhysAddr line_addr, LineData &out)
 {
     if (!isAligned(line_addr, kCacheLineSize))
         panic("MemoryController: unaligned fill address ", line_addr);
+    unsigned bank_id = bankOf(line_addr);
     SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
-                   !busLocked_, "cache fill of line ", line_addr,
-                   " while the memory bus is locked");
-    if (busLocked_)
+                   !banks_[bank_id].locked_, "cache fill of line ", line_addr,
+                   " while bank ", bank_id, "'s bus is locked");
+    if (banks_[bank_id].locked_)
         panic("MemoryController: fill while memory bus is locked");
 
     clock_.advance(kDramLineCycles);
     stats_.add(ControllerStat::LineFills);
+    banks_[bank_id].stats_.add(ControllerStat::LineFills);
 
     bool ok = true;
     for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
@@ -151,7 +235,7 @@ MemoryController::fillLine(PhysAddr line_addr, LineData &out)
         setLineWord(out, i, word);
     }
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerFill, clock_.now(),
-                       line_addr, ok ? 1 : 0);
+                       line_addr, ok ? 1 : 0, bank_id);
     return ok;
 }
 
@@ -160,16 +244,18 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
 {
     if (!isAligned(line_addr, kCacheLineSize))
         panic("MemoryController: unaligned eviction address ", line_addr);
+    unsigned bank_id = bankOf(line_addr);
     SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
-                   !busLocked_, "cache writeback of line ", line_addr,
-                   " while the memory bus is locked");
-    if (busLocked_)
+                   !banks_[bank_id].locked_, "cache writeback of line ",
+                   line_addr, " while bank ", bank_id, "'s bus is locked");
+    if (banks_[bank_id].locked_)
         panic("MemoryController: writeback while memory bus is locked");
 
     clock_.advance(kDramLineCycles);
     stats_.add(ControllerStat::LineEvictions);
+    banks_[bank_id].stats_.add(ControllerStat::LineEvictions);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerEvict, clock_.now(),
-                       line_addr);
+                       line_addr, bank_id);
 
     for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
         PhysAddr word_addr = line_addr + i * kEccGroupSize;
@@ -211,6 +297,24 @@ MemoryController::auditWritebackCoherence(PhysAddr line_addr,
 }
 
 void
+MemoryController::auditBankRollup() const
+{
+    constexpr std::size_t slots =
+        sizeof(kControllerStatNames) / sizeof(kControllerStatNames[0]);
+    for (std::size_t s = 0; s < slots; ++s) {
+        auto stat = static_cast<ControllerStat>(s);
+        std::uint64_t sum = 0;
+        for (const MemoryBank &bank : banks_)
+            sum += bank.stats().get(stat);
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "bank_stat_rollup",
+                       sum == stats_.get(stat),
+                       "per-bank '", kControllerStatNames[s],
+                       "' slots sum to ", sum, " but the machine-wide "
+                       "counter reads ", stats_.get(stat));
+    }
+}
+
+void
 MemoryController::writeWordDeviceOp(PhysAddr word_addr, std::uint64_t value)
 {
     memory_.writeWord(word_addr, value);
@@ -236,17 +340,25 @@ void
 MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
 {
     // The scrub engine is a bus agent like the cache: while the kernel
-    // holds the bus for a scramble, scrub reads of half-written groups
-    // would race the scramble exactly like a fill would.
-    SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
-                   !busLocked_, "scrub of ", lines, " lines at ", start_line,
-                   " while the memory bus is locked");
-    if (busLocked_)
-        panic("MemoryController: scrub while memory bus is locked");
+    // holds a bank's bus for a scramble, scrub reads of half-written
+    // groups would race the scramble exactly like a fill would.
+    std::uint64_t span = bankMaskForSpan(start_line, lines * kCacheLineSize);
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        if (!(span >> b & 1))
+            continue;
+        SIMCHECK_AUDIT(AuditDomain::MemoryController,
+                       "no_traffic_while_locked", !banks_[b].locked_,
+                       "scrub of ", lines, " lines at ", start_line,
+                       " while bank ", b, "'s bus is locked");
+        if (banks_[b].locked_)
+            panic("MemoryController: scrub while memory bus is locked");
+    }
 
+    unsigned bank_id = bankOf(start_line);
     stats_.add(ControllerStat::ScrubPasses);
+    banks_[bank_id].stats_.add(ControllerStat::ScrubPasses);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubBegin, clock_.now(),
-                       start_line, lines);
+                       start_line, lines, bank_id);
     for (std::size_t l = 0; l < lines; ++l) {
         PhysAddr line_addr = start_line + l * kCacheLineSize;
         for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
@@ -256,13 +368,51 @@ MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
         }
     }
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubEnd, clock_.now(),
-                       start_line, lines);
+                       start_line, lines, bank_id);
+}
+
+void
+MemoryController::scrubBank(unsigned id)
+{
+    MemoryBank &bank = banks_.at(id);
+    SIMCHECK_AUDIT(AuditDomain::MemoryController, "no_traffic_while_locked",
+                   !bank.locked_, "scrub pass over bank ", id,
+                   " while its bus is locked");
+    if (bank.locked_)
+        panic("MemoryController: scrub while memory bus is locked");
+
+    const std::size_t stride =
+        static_cast<std::size_t>(banks_.size()) * kPageSize;
+    const PhysAddr first = static_cast<PhysAddr>(id) * kPageSize;
+    std::size_t line_count = 0;
+    for (PhysAddr page = first; page < memory_.size(); page += stride)
+        line_count += kPageSize / kCacheLineSize;
+
+    stats_.add(ControllerStat::ScrubPasses);
+    bank.stats_.add(ControllerStat::ScrubPasses);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubBegin, clock_.now(),
+                       first, line_count, id);
+    for (PhysAddr page = first; page < memory_.size(); page += stride) {
+        bank.scrubCursor_ = page;
+        for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l) {
+            PhysAddr line_addr = page + l * kCacheLineSize;
+            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+                clock_.advance(kScrubWordCycles, CostCenter::Kernel);
+                std::uint64_t word;
+                decodeWord(line_addr + i * kEccGroupSize, true, word);
+            }
+        }
+    }
+    bank.scrubCursor_ = first;
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubEnd, clock_.now(),
+                       first, line_count, id);
 }
 
 void
 MemoryController::scrubAll()
 {
-    scrubRange(0, memory_.size() / kCacheLineSize);
+    for (unsigned b = 0; b < banks_.size(); ++b)
+        scrubBank(b);
 }
 
 } // namespace safemem

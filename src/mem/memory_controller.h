@@ -1,6 +1,6 @@
 /**
  * @file
- * The ECC memory controller (paper §2.1, Figure 1).
+ * The ECC memory controller (paper §2.1, Figure 1), sharded into banks.
  *
  * Sits between the cache and PhysicalMemory. On a line writeback it encodes
  * a check byte per 64-bit ECC group (unless ECC is Disabled, in which case
@@ -8,6 +8,12 @@
  * on). On a line fill it decodes every group: single-bit errors are
  * corrected in CorrectError modes, and uncorrectable mismatches raise an
  * interrupt on the wire registered with setInterruptHandler().
+ *
+ * Physical memory is page-interleaved across numBanks() MemoryBank
+ * objects (bank.h). Each bank has its own lock capability and stat
+ * slots; lockBus() is now the compatibility shim that locks every bank
+ * in ascending order. Traffic is gated per bank: a fill of bank 2
+ * proceeds while bank 0 is locked for a scramble.
  *
  * Device-initiated accesses used by the kernel (word writes during a
  * scramble, raw line peeks) charge no cycles; the kernel bills calibrated
@@ -17,11 +23,15 @@
 
 #pragma once
 
+#include <cstdint>
+#include <deque>
+
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "ecc/codec.h"
+#include "mem/bank.h"
 #include "mem/fault.h"
 #include "mem/line.h"
 #include "mem/physical_memory.h"
@@ -29,26 +39,6 @@
 namespace safemem {
 
 class Trace;
-
-/** Slot indices into the controller StatSet; order matches the names. */
-enum class ControllerStat : std::size_t
-{
-    BusLocks,
-    InterruptsRaised,
-    SingleBitReported,
-    SingleBitCorrected,
-    MultiBitDetected,
-    LineFills,
-    LineEvictions,
-    ScrubPasses,
-};
-
-/** Report/snapshot names for ControllerStat, in enumerator order. */
-inline constexpr const char *kControllerStatNames[] = {
-    "bus_locks",          "interrupts_raised", "single_bit_reported",
-    "single_bit_corrected", "multi_bit_detected", "line_fills",
-    "line_evictions",     "scrub_passes",
-};
 
 class MemoryController
 {
@@ -58,10 +48,13 @@ class MemoryController
      *        the controller). The machine geometry requires 64 data
      *        bits and a check word that fits the DIMM's check lane;
      *        anything else panics at construction.
+     * @param banks number of interleaved banks in [1, kMaxMemoryBanks];
+     *        the DIMM must hold at least one page per bank.
      */
     MemoryController(PhysicalMemory &memory, CycleClock &clock,
                      Trace *trace = nullptr,
-                     const EccCodec &code = defaultCodec());
+                     const EccCodec &code = defaultCodec(),
+                     unsigned banks = 1);
 
     /** @return the codec wired into the datapath. */
     const EccCodec &code() const { return code_; }
@@ -76,19 +69,50 @@ class MemoryController
     void setInterruptHandler(EccInterruptHandler handler);
 
     /**
-     * @name Memory-bus lock (held around scrambles, paper §2.2.2).
-     *
-     * A simulated lock, but a real capability: lockBus()/unlockBus()
-     * acquire and release busCapability(), so Clang's thread-safety
-     * analysis rejects double-locking and lock-leaking call paths at
-     * compile time. Prefer the BusLockGuard RAII below — a panic()
-     * between a bare lockBus()/unlockBus() pair would otherwise unwind
-     * with the bus stuck locked.
+     * @name Bank geometry.
      */
     /// @{
+    /** @return the number of interleaved banks. */
+    unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+
+    /** @return the bank owning @p addr (page-granular interleave). */
+    unsigned bankOf(PhysAddr addr) const
+    {
+        return static_cast<unsigned>((addr / kPageSize) % banks_.size());
+    }
+
+    /** @return bank @p id for inspection (stats, lock state, cursor). */
+    const MemoryBank &bank(unsigned id) const;
+
+    /** @return bit mask of the banks spanned by [addr, addr+bytes). */
+    std::uint64_t bankMaskForSpan(PhysAddr addr, std::size_t bytes) const;
+    /// @}
+
+    /**
+     * @name Memory-bus lock (held around scrambles, paper §2.2.2).
+     *
+     * Each bank is an independently lockable bus segment: lockBank(b)
+     * stalls only traffic to bank b. lockBus()/unlockBus() remain as the
+     * whole-machine operation — they lock every bank in ascending order
+     * (and release in descending order) and still acquire/release
+     * busCapability(), so Clang's thread-safety analysis rejects
+     * double-locking and lock-leaking call paths at compile time. Prefer
+     * the RAII guards below — a panic() between a bare lock/unlock pair
+     * would otherwise unwind with a bank stuck locked.
+     */
+    /// @{
+    void lockBank(unsigned id);
+    void unlockBank(unsigned id);
+    bool bankLocked(unsigned id) const;
+
     void lockBus() ACQUIRE(busCapability_);
     void unlockBus() RELEASE(busCapability_);
-    bool busLocked() const { return busLocked_; }
+
+    /** @return whether every bank is locked (the whole-bus view). */
+    bool busLocked() const;
+
+    /** @return whether any bank is locked. */
+    bool anyBankLocked() const;
 
     /** The bus-lock capability, for ACQUIRE/RELEASE/REQUIRES clauses. */
     const Capability &
@@ -127,15 +151,29 @@ class MemoryController
     /**
      * Scrub @p lines cache lines starting at @p start_line: decode every
      * group, rewrite corrected singles, raise ScrubMultiBit interrupts on
-     * uncorrectable groups.
+     * uncorrectable groups. Spanned banks must be unlocked.
      */
     void scrubRange(PhysAddr start_line, std::size_t lines);
 
-    /** Scrub all of physical memory. */
+    /**
+     * One full scrub pass over bank @p id's slice of memory: its pages
+     * in ascending address order, advancing the bank's scrub cursor.
+     * With one bank this is exactly the old whole-memory scrub pass.
+     */
+    void scrubBank(unsigned id);
+
+    /** Scrub all of physical memory, bank by bank in ascending order. */
     void scrubAll();
 
-    /** @return controller statistics (fills, corrections, faults...). */
+    /** @return machine-wide controller statistics (roll-up of banks). */
     const StatSet &stats() const { return stats_; }
+
+    /**
+     * SimCheck: every machine-wide counter must equal the sum of the
+     * per-bank slots — each stat site bumps exactly one bank alongside
+     * the roll-up (run only while auditing is enabled).
+     */
+    void auditBankRollup() const;
 
     /** @return underlying DRAM (fault injection in tests). */
     PhysicalMemory &memory() { return memory_; }
@@ -159,18 +197,20 @@ class MemoryController
     CycleClock &clock_;
     const EccCodec &code_;
     EccMode mode_ = EccMode::CorrectError;
-    Capability busCapability_; ///< compile-time face of the bus lock
-    bool busLocked_ = false;   ///< runtime face, audited by SimCheck
+    Capability busCapability_; ///< compile-time face of the all-banks lock
+    /** Banks hold a Capability each, so they never move; a deque
+     *  constructs them in place and leaves them put. */
+    std::deque<MemoryBank> banks_;
     EccInterruptHandler interruptHandler_;
     Trace *trace_;
     StatSet stats_{kControllerStatNames};
 };
 
 /**
- * RAII holder of the memory-bus lock. The kernel's scramble and
- * unscramble paths panic on malformed requests *while the bus is
- * locked*; unwinding through this guard releases the bus instead of
- * wedging every later lockBus() (see test_lock_discipline.cc).
+ * RAII holder of the whole memory bus (every bank). The kernel's
+ * scramble and unscramble paths panic on malformed requests *while the
+ * bus is locked*; unwinding through this guard releases the bus instead
+ * of wedging every later lockBus() (see test_lock_discipline.cc).
  */
 class SCOPED_CAPABILITY BusLockGuard
 {
@@ -189,6 +229,61 @@ class SCOPED_CAPABILITY BusLockGuard
 
   private:
     MemoryController &controller_;
+};
+
+/**
+ * RAII holder of a single bank's lock. Bank indices are runtime values,
+ * so the static analysis cannot name the capability; the SimCheck
+ * pairing audit and the lock-order lint carry the discipline instead.
+ */
+class BankLockGuard
+{
+  public:
+    BankLockGuard(MemoryController &controller, unsigned bank)
+        : controller_(controller), bank_(bank)
+    {
+        controller_.lockBank(bank_);
+    }
+
+    ~BankLockGuard() { controller_.unlockBank(bank_); }
+
+    BankLockGuard(const BankLockGuard &) = delete;
+    BankLockGuard &operator=(const BankLockGuard &) = delete;
+
+  private:
+    MemoryController &controller_;
+    unsigned bank_;
+};
+
+/**
+ * RAII holder of a set of bank locks, given as a bit mask. Locks
+ * ascending and releases descending, matching lockBus()'s whole-machine
+ * order so mixed users can never deadlock in a future preemptive world.
+ */
+class BankSetLockGuard
+{
+  public:
+    BankSetLockGuard(MemoryController &controller, std::uint64_t mask)
+        : controller_(controller), mask_(mask)
+    {
+        for (unsigned b = 0; b < controller_.numBanks(); ++b)
+            if (mask_ >> b & 1)
+                controller_.lockBank(b);
+    }
+
+    ~BankSetLockGuard()
+    {
+        for (unsigned b = controller_.numBanks(); b-- > 0;)
+            if (mask_ >> b & 1)
+                controller_.unlockBank(b);
+    }
+
+    BankSetLockGuard(const BankSetLockGuard &) = delete;
+    BankSetLockGuard &operator=(const BankSetLockGuard &) = delete;
+
+  private:
+    MemoryController &controller_;
+    std::uint64_t mask_;
 };
 
 } // namespace safemem

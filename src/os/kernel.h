@@ -118,6 +118,14 @@ class Kernel
      */
     PhysAddr translate(VirtAddr vaddr);
 
+    /**
+     * Pure page-table lookup for the current process: no cycle charge,
+     * no TLB traffic, no page-in, no SIGSEGV. The watch manager uses
+     * this to compute which banks a watched region's frames span.
+     * @return nothing when the page is unmapped or swapped out.
+     */
+    std::optional<PhysAddr> peekTranslate(VirtAddr vaddr) const;
+
     /** @return true when the page containing @p vaddr is mapped. */
     bool pageMapped(VirtAddr vaddr) const;
 
@@ -193,11 +201,15 @@ class Kernel
     /** Disable periodic scrubbing. */
     void disableScrubbing();
 
-    /** Hooks run immediately before/after each scrub pass, registered by
-     *  (and dispatched in the context of) the current process. */
-    void setScrubHooks(std::function<void()> pre, std::function<void()> post);
+    /** Hooks run immediately before/after each per-bank scrub pass,
+     *  registered by (and dispatched in the context of) the current
+     *  process; the argument is the bank being scrubbed. */
+    void setScrubHooks(std::function<void(unsigned)> pre,
+                       std::function<void(unsigned)> post);
 
-    /** Run a scrub pass now if one is due; called from the machine loop. */
+    /** Run the due banks' scrub passes now; called from the machine
+     *  loop. Each bank keeps its own deadline, parked and restored
+     *  independently (park(b) → scrubBank(b) → restore(b)). */
     void tick();
     /// @}
 
@@ -250,6 +262,10 @@ class Kernel
      *  machine-global events like scrub passes). */
     const StatSet &stats() const { return stats_; }
 
+    /** @return bit mask of the banks in which process @p pid currently
+     *  holds resident frames (O(banks), from incremental counts). */
+    std::uint64_t bankFootprint(Pid pid) const;
+
     /** @return the current process's page table (inspection in tests;
      *  code outside src/os/ goes through the Process seam instead). */
     const PageTable &pageTable() const
@@ -295,14 +311,19 @@ class Kernel
     std::vector<std::unique_ptr<Process>> processes_;
     Process *current_ = nullptr;
 
-    /** Frame free list — frames are a shared machine resource. */
-    std::vector<PhysAddr> freeFrames_;
+    /** Frame free lists, one per memory bank — frames are a shared
+     *  machine resource, handed out with home-bank affinity (pid % N)
+     *  and ascending work-stealing when the home bank runs dry. */
+    std::vector<std::vector<PhysAddr>> freeFramesByBank_;
 
     bool scrubEnabled_ = false;
     bool inScrub_ = false;
     bool inInterrupt_ = false;
     Cycles scrubPeriod_ = 0;
-    Cycles nextScrub_ = 0;
+    /** Per-bank scrub deadlines plus their cached minimum (the tick()
+     *  fast-path check). */
+    std::vector<Cycles> nextScrubByBank_;
+    Cycles nextScrubDue_ = 0;
 
     bool panicOnHardwareError_ = true;
 

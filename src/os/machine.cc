@@ -19,7 +19,7 @@ Machine::Machine(MachineConfig config)
     memory_ = std::make_unique<PhysicalMemory>(config_.memoryBytes);
     controller_ = std::make_unique<MemoryController>(
         *memory_, clock_, config_.trace,
-        config_.codec ? *config_.codec : defaultCodec());
+        config_.codec ? *config_.codec : defaultCodec(), config_.banks);
     cache_ = std::make_unique<Cache>(*controller_, clock_, config_.cache,
                                      config_.trace);
     kernel_ = std::make_unique<Kernel>(*controller_, *cache_, clock_,

@@ -70,6 +70,14 @@ struct MachineConfig
      * driving thread via TraceScope by the run harness.
      */
     Trace *trace = nullptr;
+    /**
+     * Number of independently lockable memory banks, page-interleaved
+     * over the DRAM (in [1, kMaxMemoryBanks]; the pool must hold at
+     * least one page per bank). One bank is the original single-bus
+     * chipset, bit-identical to the pre-bank machine. (Last on purpose:
+     * the positional {bytes, cache, tick} initializers predate it.)
+     */
+    std::uint32_t banks = 1;
 };
 
 /**

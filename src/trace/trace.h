@@ -37,16 +37,18 @@ namespace safemem {
 /** Every recorded event kind; payload word meaning is per-event. */
 enum class TraceEvent : std::uint16_t
 {
-    /** @name Memory controller (a = line/word address unless noted) */
+    /** @name Memory controller (a = line/word address unless noted;
+     *  bank-carrying payload words are 0 on a one-bank machine, so
+     *  single-bank traces are byte-identical to pre-bank ones) */
     /// @{
-    ControllerBusLock,            ///< bus locked for a scramble
-    ControllerBusUnlock,          ///< bus released
+    ControllerBusLock,            ///< a=bank locked for a scramble
+    ControllerBusUnlock,          ///< a=bank released
     ControllerInterrupt,          ///< a=line, b=word index, c=fault kind
     ControllerSingleBitCorrected, ///< a=word address healed in place
-    ControllerFill,               ///< a=line, b=1 clean / 0 faulted
-    ControllerEvict,              ///< a=line written back
-    ControllerScrubBegin,         ///< a=first line, b=line count
-    ControllerScrubEnd,           ///< a=first line, b=line count
+    ControllerFill,               ///< a=line, b=1 clean / 0 faulted, c=bank
+    ControllerEvict,              ///< a=line written back, b=bank
+    ControllerScrubBegin,         ///< a=first line, b=line count, c=bank
+    ControllerScrubEnd,           ///< a=first line, b=line count, c=bank
     /// @}
 
     /** @name Cache (sampled; every Cache::kTraceSampleInterval-th) */
@@ -65,8 +67,8 @@ enum class TraceEvent : std::uint16_t
     KernelPanicHardwareError, ///< a=phys line; panic follows
     KernelSwapOut,            ///< a=vpage
     KernelSwapIn,             ///< a=vpage, b=fresh frame
-    KernelScrubTickBegin,     ///< periodic scrub pass entered
-    KernelScrubTickEnd,       ///< periodic scrub pass left
+    KernelScrubTickBegin,     ///< a=bank whose scrub pass is entered
+    KernelScrubTickEnd,       ///< a=bank whose scrub pass is left
     /// @}
 
     /** @name ECC watch manager (a = region base unless noted) */
@@ -153,6 +155,14 @@ static_assert(sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]) ==
 
 /** @return the export name of @p event ("?" out of range). */
 const char *traceEventName(TraceEvent event);
+
+/**
+ * @return which payload word (0 = a, 1 = b, 2 = c) of @p event carries
+ * a memory-bank id, or -1 when the event carries none. Backs the
+ * trace_dump decoding of the bank payload word and the per-bank counts
+ * in --summary output.
+ */
+int traceEventBankPayload(TraceEvent event);
 
 /** One recorded event: ID + timestamp + raw payload words. */
 struct TraceRecord

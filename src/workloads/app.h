@@ -41,6 +41,13 @@ struct RunParams
      */
     EccCodecSpec codec;
     /**
+     * Memory banks the run's machine is built with (MachineConfig::banks).
+     * Part of the run identity like seed/codec: same spec, same
+     * RunResult. 1 (the default) is the original single-bus chipset and
+     * reproduces the pre-bank results bit for bit.
+     */
+    std::uint32_t banks = 1;
+    /**
      * Per-run log sink (must outlive the run); the driver routes every
      * message the run emits — kernel warnings, SimCheck reports — to
      * it, so concurrent runs cannot interleave or share quiet state.

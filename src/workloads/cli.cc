@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "check/simcheck.h"
+#include "mem/bank.h"
 #include "trace/trace.h"
 #include "workloads/report_writer.h"
 
@@ -47,6 +48,9 @@ cliUsage()
        << "  --procs <n>       consolidate n instances of the workload as\n"
        << "                    separate processes on one machine "
           "(default: 1)\n"
+       << "  --banks <n>       page-interleaved memory banks, each\n"
+       << "                    independently lockable (1-"
+       << kMaxMemoryBanks << ", default: 1)\n"
        << "  --overhead        also run uninstrumented and report the "
           "overhead\n"
        << "  --stats[=prefix]  dump run counters (optionally filtered)\n"
@@ -201,6 +205,19 @@ parseCliArguments(const std::vector<std::string> &args)
                     "--procs needs at least 1\n\n" + cliUsage();
                 return result;
             }
+        } else if (arg == "--banks") {
+            const std::string *value = need_value("--banks");
+            if (!value)
+                return result;
+            options.params.banks =
+                static_cast<std::uint32_t>(std::stoul(*value));
+            if (options.params.banks < 1 ||
+                options.params.banks > kMaxMemoryBanks) {
+                result.message = "--banks needs 1-" +
+                                 std::to_string(kMaxMemoryBanks) + "\n\n" +
+                                 cliUsage();
+                return result;
+            }
         } else {
             result.message =
                 "unknown option '" + arg + "'\n\n" + cliUsage();
@@ -254,6 +271,8 @@ traceLabel(const RunSpec &spec)
         label += "+buggy";
     if (spec.procs > 1)
         label += "+procs" + std::to_string(spec.procs);
+    if (spec.params.banks > 1)
+        label += "+banks" + std::to_string(spec.params.banks);
     return label;
 }
 

@@ -247,7 +247,8 @@ TEST_F(KernelTest, ScrubHooksBracketScrubPasses)
 {
     Kernel &kernel = machine.kernel();
     int pre = 0, post = 0;
-    kernel.setScrubHooks([&] { ++pre; }, [&] { ++post; });
+    kernel.setScrubHooks([&](unsigned) { ++pre; },
+                         [&](unsigned) { ++post; });
     kernel.enableScrubbing(10'000);
     machine.compute(20'000);
     kernel.tick();
@@ -262,7 +263,7 @@ TEST_F(KernelTest, ScrubDoesNotFireBeforePeriod)
 {
     Kernel &kernel = machine.kernel();
     int pre = 0;
-    kernel.setScrubHooks([&] { ++pre; }, nullptr);
+    kernel.setScrubHooks([&](unsigned) { ++pre; }, nullptr);
     kernel.enableScrubbing(1'000'000);
     machine.compute(10);
     kernel.tick();

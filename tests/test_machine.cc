@@ -150,7 +150,7 @@ TEST_F(MachineTest, TickIntervalDrivesScrubber)
 {
     machine.kernel().enableScrubbing(1);
     int pre = 0;
-    machine.kernel().setScrubHooks([&] { ++pre; }, nullptr);
+    machine.kernel().setScrubHooks([&](unsigned) { ++pre; }, nullptr);
     machine.compute(10);
     // tickInterval is 8 accesses in this fixture.
     std::uint64_t value = 0;

@@ -52,6 +52,14 @@ Rules (scoped to ``src/`` unless noted):
                    ``parkAllForScrub``/``restoreAfterScrub``) and scoped
                    guards (``BusLockGuard``/``BankLockGuard``), with
                    scope-exit treated as release.
+  bank-encapsulation  No direct whole-bus locking outside ``src/mem/``:
+                   ``lockBus()``/``unlockBus()`` call sites, the
+                   ``BusLockGuard``, and the controller's private
+                   ``busLocked_`` flag are the banks' own roll-up
+                   machinery.  Code elsewhere locks the banks it spans
+                   (``BankLockGuard`` / ``BankSetLockGuard`` over
+                   ``bankMaskForSpan``); the read-only ``busLocked()``
+                   query stays fine.
   single-space-kernel  No legacy single-address-space kernel accessors
                    (``kernel().pageTable()`` / ``kernel().tlb()``) outside
                    ``src/os/``: the kernel is multi-process now, and those
@@ -396,9 +404,10 @@ LOCK_ORDER_WAIVER = "lint: lock-order"
 # while holding the same or a deeper (more senior) one is a violation.
 # Explicit pairs release by name; RAII guards release at scope exit.
 LOCK_HIERARCHY = [
-    ("watch-park", "parkAllForScrub", "restoreAfterScrub", None),
-    ("bank-lock", "lockBank", "unlockBank", "BankLockGuard"),
-    ("bus-lock", "lockBus", "unlockBus", "BusLockGuard"),
+    ("watch-park", "parkAllForScrub", "restoreAfterScrub", ()),
+    ("bank-lock", "lockBank", "unlockBank",
+     ("BankLockGuard", "BankSetLockGuard")),
+    ("bus-lock", "lockBus", "unlockBus", ("BusLockGuard",)),
 ]
 
 
@@ -489,14 +498,14 @@ def _is_lock_call_site(line, pos):
 def _lock_order_events(line):
     """(pos, kind, level) lock/brace events on a line, in textual order."""
     events = []
-    for level, (_, acquire, release, guard) in enumerate(LOCK_HIERARCHY):
+    for level, (_, acquire, release, guards) in enumerate(LOCK_HIERARCHY):
         for m in re.finditer(r"\b" + acquire + r"\s*\(", line):
             if _is_lock_call_site(line, m.start()):
                 events.append((m.start(), "acquire", level))
         for m in re.finditer(r"\b" + release + r"\s*\(", line):
             if _is_lock_call_site(line, m.start()):
                 events.append((m.start(), "release", level))
-        if guard:
+        for guard in guards:
             for m in re.finditer(r"\b" + guard + r"\s+\w+\s*[({]", line):
                 events.append((m.start(), "acquire", level))
     for pos, ch in enumerate(line):
@@ -542,6 +551,32 @@ def check_lock_order(rel, stripped, raw, violations):
                         break
 
 
+# The whole-bus lock is the banks' own roll-up machinery: lockBus()
+# iterates lockBank() over every bank, and busLocked_ no longer exists
+# outside MemoryBank. Code outside src/mem/ that wants traffic stopped
+# locks exactly the banks it spans.
+BANK_ENCAPSULATION = re.compile(
+    r"\b(?P<name>lockBus|unlockBus)\s*\(|"
+    r"\b(?P<member>busLocked_)\b|"
+    r"\b(?P<guard>BusLockGuard)\s+\w+\s*[({]")
+
+
+def check_bank_encapsulation(rel, stripped, violations):
+    if not rel.startswith("src/") or rel.startswith("src/mem/"):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        for m in BANK_ENCAPSULATION.finditer(line):
+            if m.group("name") and not _is_lock_call_site(line, m.start()):
+                continue  # a declaration, not a call
+            what = m.group("name") or m.group("member") or m.group("guard")
+            violations.append(Violation(
+                rel, lineno, "bank-encapsulation",
+                f"direct whole-bus locking ('{what}') outside src/mem/: "
+                "lock the banks the access spans instead (BankLockGuard "
+                "/ BankSetLockGuard over bankMaskForSpan)"))
+            break
+
+
 def check_header_docs(rel, raw, violations):
     if not rel.startswith("src/") or not rel.endswith((".h", ".hpp")):
         return
@@ -569,6 +604,7 @@ def lint_file(root, rel, violations):
     check_mutable_globals(rel, stripped, violations)
     check_string_trace_payload(rel, stripped, violations)
     check_single_space_kernel(rel, stripped, violations)
+    check_bank_encapsulation(rel, stripped, violations)
     check_unguarded_shared_state(rel, stripped, raw, violations)
     check_lock_order(rel, stripped, raw, violations)
 
@@ -662,6 +698,12 @@ SEEDED_SOURCES = {
         "  private:\n"
         "    safemem::Mutex mutex_;\n"
         "    int count_ = 0;\n};\n"),
+    "src/os/bad_bus_poke.cc": (
+        "bank-encapsulation",
+        '#include "mem/memory_controller.h"\n'
+        "void stall(safemem::MemoryController &c)\n{\n"
+        "    c.lockBus();\n"
+        "    c.unlockBus();\n}\n"),
     "src/mem/bad_lock_order.cc": (
         "lock-order",
         '#include "mem/memory_controller.h"\n'
@@ -737,8 +779,9 @@ CLEAN_SOURCES = [
      "           machine.kernel().pageTable().size();\n}\n"),
     # Disciplined locking the lock-order rule must accept: hierarchy
     # order with a scoped guard, release-then-reacquire of one level,
-    # and a deliberate (waived) inversion.
-    ("src/os/clean_lock_discipline.cc",
+    # and a deliberate (waived) inversion. Lives in src/mem/ because
+    # whole-bus locking is banned everywhere else (bank-encapsulation).
+    ("src/mem/clean_lock_discipline.cc",
      '#include "mem/memory_controller.h"\n'
      '#include "safemem/watch_manager.h"\n'
      "void scrubPass(safemem::MemoryController &c,\n"
@@ -759,6 +802,14 @@ CLEAN_SOURCES = [
      "    w.parkAllForScrub(); // lint: lock-order\n"
      "    w.restoreAfterScrub();\n"
      "    c.unlockBus();\n}\n"),
+    # The sanctioned banked path outside src/mem/: lock the spanned
+    # banks, query (but never flip) the whole-bus view.
+    ("src/os/clean_bank_span.cc",
+     '#include "mem/memory_controller.h"\n'
+     "bool spanStalled(safemem::MemoryController &c, safemem::PhysAddr a)\n"
+     "{\n"
+     "    safemem::BankSetLockGuard banks(c, c.bankMaskForSpan(a, 4096));\n"
+     "    return c.busLocked() || c.anyBankLocked();\n}\n"),
     # A mutex-owning class the unguarded-shared-state rule must accept:
     # every member is annotated, self-synchronising, or waived.
     ("src/check/clean_guarded_class.cc",
