@@ -21,6 +21,9 @@
 #                           byte-identical for any worker count, and
 #                           bench_banked --json must report bit-identical
 #                           serial-vs-matrix cells across the bank sweep
+#   7c. fleet smoke       — a reduced bench_fleet sampled-monitoring
+#                           sweep: byte-identical JSON for any worker
+#                           count, pinned cell shape, overhead ordering
 #   8. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
 #   9. static analysis    — -Wthread-safety build (clang++), clang-tidy
 #                           gauntlet, negative-compile proof, repo lint;
@@ -299,6 +302,67 @@ multiproc_smoke() {
         fi
 }
 
+fleet_smoke() {
+    # The sampled-monitoring fleet scenario: a reduced bench_fleet run
+    # must produce byte-identical JSON for any worker count (the JSON
+    # deliberately carries no wall-clock fields), report the expected
+    # cell set and shape, and survive its own in-process worker-count
+    # identity check (non-zero exit otherwise).
+    local one=build/bench/BENCH_fleet_smoke_w1.json
+    local four=build/bench/BENCH_fleet_smoke_w4.json
+    build/bench/bench_fleet --json --procs 4 --seeds 2 --requests 120 \
+        --workers 1 >"$one" &&
+        build/bench/bench_fleet --json --procs 4 --seeds 2 \
+            --requests 120 --workers 4 >"$four" &&
+        if cmp -s "$one" "$four"; then
+            echo "fleet smoke: 1-worker and 4-worker JSON identical"
+        else
+            echo "fleet smoke: worker count changed the results:"
+            diff "$one" "$four" | head -20
+            return 1
+        fi &&
+        python3 - "$one" <<'PYEOF'
+import json
+import math
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+for key in ("bench", "app", "procs", "requests", "seeds", "base_seed",
+            "banks", "identical", "cells"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["bench"] == "fleet"
+assert doc["identical"] is True, "worker pools diverged inside the bench"
+
+tools = [cell["tool"] for cell in doc["cells"]]
+assert tools[:3] == ["none", "safemem", "purify"], tools
+sampled = [cell for cell in doc["cells"]
+           if cell["kind"] == "safemem-sampled"]
+assert sampled, f"no sampled cells in the sweep: {tools}"
+for cell in doc["cells"]:
+    for key in ("tool", "kind", "rate", "seeds_run", "seeds_detected",
+                "detection_percent", "mean_overhead_percent",
+                "mean_catch_seconds", "mean_total_cycles",
+                "monitored_allocs", "total_allocs", "monitored_percent",
+                "zero_sample_tenants"):
+        assert key in cell, f"{cell.get('tool')}: missing key {key}"
+        value = cell[key]
+        if isinstance(value, float):
+            assert math.isfinite(value), f"{cell['tool']}.{key}: {value}"
+    assert cell["seeds_detected"] <= cell["seeds_run"], cell
+for cell in sampled:
+    assert 0 < cell["rate"] < 1, cell
+    assert cell["monitored_allocs"] <= cell["total_allocs"], cell
+full = next(c for c in doc["cells"] if c["tool"] == "safemem")
+for cell in sampled:
+    assert cell["mean_overhead_percent"] < full["mean_overhead_percent"], \
+        f"sampling did not shed overhead: {cell}"
+print(f"fleet smoke: {len(doc['cells'])} cells "
+      f"({len(sampled)} sampled rates), shape and guards OK")
+PYEOF
+}
+
 notrace_build() {
     # The compiled-out configuration must still build everything; the
     # suite itself runs in the default (traced) configurations above.
@@ -357,6 +421,7 @@ stage "campaign smoke (ecc codec zoo)" campaign_smoke
 stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
 stage "multiproc smoke (--procs 2, serial vs parallel)" multiproc_smoke
 stage "bank smoke (--banks 4 sweep + bench_banked)" bank_smoke
+stage "fleet smoke (bench_fleet sampled sweep)" fleet_smoke
 stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build
 stage "static-analysis gauntlet" static_analysis
 stage "repo lint" python3 tools/lint/lint.py --root .

@@ -115,17 +115,18 @@ HeapAllocator::deallocate(VirtAddr addr)
 }
 
 VirtAddr
-HeapAllocator::reallocate(VirtAddr addr, std::size_t new_size)
+HeapAllocator::reallocate(VirtAddr addr, std::size_t new_size,
+                          std::size_t alignment)
 {
     if (addr == 0)
-        return allocate(new_size);
+        return allocate(new_size, alignment);
     auto it = blocks_.find(addr);
     if (it == blocks_.end() || !it->second.live)
         panic("HeapAllocator: realloc of non-live address ", addr);
 
     stats_.add(AllocStat::Reallocs);
     std::size_t old_size = it->second.requested;
-    if (new_size <= it->second.capacity) {
+    if (new_size <= it->second.capacity && addr % alignment == 0) {
         // Fits in place; adjust the accounted size.
         liveBytes_ += new_size;
         liveBytes_ -= old_size;
@@ -136,7 +137,7 @@ HeapAllocator::reallocate(VirtAddr addr, std::size_t new_size)
         return addr;
     }
 
-    VirtAddr fresh = allocate(new_size);
+    VirtAddr fresh = allocate(new_size, alignment);
     std::vector<std::uint8_t> buffer(std::min(old_size, new_size));
     machine_.read(addr, buffer.data(), buffer.size());
     machine_.write(fresh, buffer.data(), buffer.size());

@@ -70,8 +70,12 @@ class HeapAllocator
     /**
      * Grow/shrink @p addr to @p new_size, copying the overlapping bytes
      * through the machine (so the copy is charged and observable).
+     * When the block must move, the fresh block honours @p alignment —
+     * callers keeping granule-aligned (watchable) buffers must pass the
+     * granule here, or a moved block silently loses its alignment.
      */
-    VirtAddr reallocate(VirtAddr addr, std::size_t new_size);
+    VirtAddr reallocate(VirtAddr addr, std::size_t new_size,
+                        std::size_t alignment = kDefaultAlignment);
 
     /** calloc analog: allocate and zero @p count * @p size bytes. */
     VirtAddr allocateZeroed(std::size_t count, std::size_t size);

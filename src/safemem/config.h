@@ -83,6 +83,21 @@ struct SafeMemConfig
     /** Guard padding on each side of a buffer, in watch granules
      *  (paper §4 uses one cache line per end). */
     std::uint32_t paddingGranules = 1;
+
+    /** @name Sampled monitoring (SampledSafeMemTool only)
+     * Every allocation's fate is a pure function of
+     * (sampleSeed, pid, allocation ordinal), so sampled runs stay
+     * bit-identical for any worker count. The full-interception
+     * SafeMemTool ignores both fields. */
+    /// @{
+
+    /** Fraction of allocations admitted into the detectors; 1.0 monitors
+     *  everything (detection-equivalent to full SafeMem). */
+    double sampleRate = 1.0;
+
+    /** Seed the per-allocation sampling decisions derive from. */
+    std::uint64_t sampleSeed = 0;
+    /// @}
 };
 
 } // namespace safemem

@@ -34,17 +34,7 @@ CorruptionDetector::allocate(std::size_t size, std::uint64_t site_tag)
     std::size_t total = guard_bytes + body_bytes + guard_bytes;
 
     VirtAddr base = allocator_.allocate(total, granule);
-
-    // If the allocator recycled a block whose freed body is still being
-    // watched, reallocation disables that monitoring (§4).
-    auto freed_it = freedByBase_.find(base);
-    if (freed_it != freedByBase_.end()) {
-        if (freed_it->second.bodyWatched &&
-            backend_.isWatched(freed_it->second.buffer.userAddr))
-            backend_.unwatch(freed_it->second.buffer.userAddr);
-        freedByBase_.erase(freed_it);
-        stats_.add(CorruptionStat::FreedWatchesRecycled);
-    }
+    onBlockRecycled(base);
 
     Buffer buffer;
     buffer.base = base;
@@ -78,11 +68,26 @@ CorruptionDetector::allocate(std::size_t size, std::uint64_t site_tag)
 }
 
 void
+CorruptionDetector::onBlockRecycled(VirtAddr base)
+{
+    // If the allocator recycled a block whose freed body is still being
+    // watched, reallocation disables that monitoring (§4).
+    auto freed_it = freedByBase_.find(base);
+    if (freed_it == freedByBase_.end())
+        return;
+    if (freed_it->second.bodyWatched &&
+        backend_.isWatched(freed_it->second.buffer.userAddr))
+        backend_.unwatch(freed_it->second.buffer.userAddr);
+    freedByBase_.erase(freed_it);
+    stats_.add(CorruptionStat::FreedWatchesRecycled);
+}
+
+bool
 CorruptionDetector::deallocate(VirtAddr user_addr)
 {
     auto it = live_.find(user_addr);
     if (it == live_.end())
-        panic("CorruptionDetector: free of unknown buffer ", user_addr);
+        return false;
     Buffer buffer = it->second;
     live_.erase(it);
 
@@ -116,6 +121,7 @@ CorruptionDetector::deallocate(VirtAddr user_addr)
 
     freedByBase_.emplace(buffer.base, freed);
     stats_.add(CorruptionStat::BuffersReleased);
+    return true;
 }
 
 VirtAddr

@@ -64,8 +64,21 @@ class CorruptionDetector
     /** Padded, guarded allocation. @return the user-visible address. */
     VirtAddr allocate(std::size_t size, std::uint64_t site_tag);
 
-    /** Release @p user_addr: drop guards, watch the freed body. */
-    void deallocate(VirtAddr user_addr);
+    /**
+     * Release @p user_addr: drop guards, watch the freed body. An
+     * address the detector never guarded (sampled tools admit only a
+     * fraction of allocations) is a cheap no-op.
+     * @return true when @p user_addr was a live guarded buffer.
+     */
+    bool deallocate(VirtAddr user_addr);
+
+    /**
+     * The allocator handed block @p base out again outside allocate()
+     * (a sampled tool's unmonitored allocation or realloc): if the
+     * block's freed body is still watched, disable that monitoring so
+     * the new owner's accesses are not reported as use-after-free (§4).
+     */
+    void onBlockRecycled(VirtAddr base);
 
     /** Guarded realloc: new guarded block, copy, free old. */
     VirtAddr reallocate(VirtAddr user_addr, std::size_t new_size,

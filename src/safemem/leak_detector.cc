@@ -83,12 +83,12 @@ LeakDetector::onAlloc(VirtAddr addr, std::size_t size,
     maybeRunDetection();
 }
 
-void
+bool
 LeakDetector::onFree(VirtAddr addr)
 {
     auto it = objects_.find(addr);
     if (it == objects_.end())
-        panic("LeakDetector: free of untracked object ", addr);
+        return false;
     LiveObject &object = *it->second;
     ObjectGroup &group = *object.group;
     Cycles now = cpuNow_();
@@ -123,6 +123,7 @@ LeakDetector::onFree(VirtAddr addr)
     stats_.add(LeakStat::FreesTracked);
 
     maybeRunDetection();
+    return true;
 }
 
 bool

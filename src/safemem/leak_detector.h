@@ -90,8 +90,13 @@ class LeakDetector
     void onAlloc(VirtAddr addr, std::size_t size, std::uint64_t signature,
                  std::uint64_t site_tag);
 
-    /** Record a deallocation. @p addr must be a tracked object. */
-    void onFree(VirtAddr addr);
+    /**
+     * Record a deallocation. An address the detector never saw (a
+     * sampled tool admits only a fraction of allocations) is a cheap
+     * no-op: no stat moves, no group changes.
+     * @return true when @p addr was a tracked object.
+     */
+    bool onFree(VirtAddr addr);
 
     /** @return true when @p addr is a tracked live object. */
     bool tracksObject(VirtAddr addr) const;

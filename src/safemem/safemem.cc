@@ -104,6 +104,11 @@ SafeMemTool::toolRealloc(VirtAddr addr, std::size_t new_size,
         CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
         machine_.clock().advance(kWrapperEventCycles);
         fresh = corruption_->reallocate(addr, new_size, site_tag);
+    } else if (leak_) {
+        // ML-only buffers must stay granule-aligned across a move, or a
+        // later suspect watch on the reallocated object would fault the
+        // backend's alignment check.
+        fresh = allocator_.reallocate(addr, new_size, backend_.granule());
     } else {
         fresh = allocator_.reallocate(addr, new_size);
     }
@@ -124,13 +129,16 @@ SafeMemTool::toolFree(VirtAddr addr)
         machine_.clock().advance(kWrapperEventCycles);
         leak_->onFree(addr);
     }
+    bool released = false;
     if (corruption_) {
         CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
         machine_.clock().advance(kWrapperEventCycles);
-        corruption_->deallocate(addr);
-    } else {
-        allocator_.deallocate(addr);
+        released = corruption_->deallocate(addr);
     }
+    // A buffer the corruption detector never guarded (sampled runs)
+    // goes straight back; a genuinely bogus free still panics there.
+    if (!released)
+        allocator_.deallocate(addr);
 }
 
 void

@@ -61,10 +61,13 @@ class SafeMemTool : public Tool
     /** @return the active configuration. */
     const SafeMemConfig &config() const { return config_; }
 
-  private:
+  protected:
     /** App CPU time: cycles charged to the application bucket. */
     Cycles cpuNow() const;
 
+    // Protected rather than private so SampledSafeMemTool can route
+    // unsampled traffic straight to the allocator while reusing the
+    // detectors, the backend wiring and the cost accounting.
     Machine &machine_;
     HeapAllocator &allocator_;
     WatchBackend &backend_;

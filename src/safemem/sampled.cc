@@ -1,0 +1,170 @@
+#include "safemem/sampled.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/costs.h"
+#include "safemem/callstack.h"
+
+namespace safemem {
+
+SampledSafeMemTool::SampledSafeMemTool(Machine &machine,
+                                       HeapAllocator &allocator,
+                                       WatchBackend &backend,
+                                       SafeMemConfig config, Pid pid)
+    : SafeMemTool(machine, allocator, backend, config), pid_(pid)
+{
+}
+
+bool
+SampledSafeMemTool::sampleDecision(std::uint64_t seed, Pid pid,
+                                   std::uint64_t ordinal, double rate)
+{
+    if (rate >= 1.0)
+        return true;
+    if (rate <= 0.0)
+        return false;
+    // splitmix64 finalizer over a linear mix of the identity triple:
+    // cheap, stateless, and uniform enough that the admitted fraction
+    // tracks the rate. Statelessness is the point — the verdict cannot
+    // depend on scheduling, worker count or any other allocation.
+    std::uint64_t z = seed +
+                      0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(pid) + 1) +
+                      0xbf58476d1ce4e5b9ULL * (ordinal + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    double unit = static_cast<double>(z >> 11) *
+                  (1.0 / 9007199254740992.0); // 2^-53
+    return unit < rate;
+}
+
+bool
+SampledSafeMemTool::nextSampled()
+{
+    return sampleDecision(config_.sampleSeed, pid_, ordinal_++,
+                          config_.sampleRate);
+}
+
+void
+SampledSafeMemTool::copyContents(VirtAddr from, VirtAddr to,
+                                 std::size_t old_size, std::size_t new_size)
+{
+    std::vector<std::uint8_t> copy(std::min(old_size, new_size));
+    if (copy.empty())
+        return;
+    machine_.read(from, copy.data(), copy.size());
+    machine_.write(to, copy.data(), copy.size());
+}
+
+VirtAddr
+SampledSafeMemTool::toolAlloc(std::size_t size, const ShadowStack &stack,
+                              std::uint64_t site_tag)
+{
+    if (nextSampled()) {
+        stats_.add(SampledStat::SampledAllocs);
+        // The full tool's path verbatim: guards, leak tracking, costs.
+        return SafeMemTool::toolAlloc(size, stack, site_tag);
+    }
+
+    stats_.add(SampledStat::UnsampledAllocs);
+    VirtAddr user = allocator_.allocate(size);
+    // The allocator may recycle a block whose freed body is still
+    // watched from a sampled lifetime; clear it before the new owner
+    // touches the memory, or its first access reads as use-after-free.
+    if (corruption_)
+        corruption_->onBlockRecycled(user);
+    return user;
+}
+
+VirtAddr
+SampledSafeMemTool::toolRealloc(VirtAddr addr, std::size_t new_size,
+                                const ShadowStack &stack,
+                                std::uint64_t site_tag)
+{
+    if (addr == 0)
+        return toolAlloc(new_size, stack, site_tag);
+
+    // Exactly one decision per realloc, for the *new* object, consumed
+    // up front so the ordinal stream is independent of which branch
+    // runs. The old object's fate was decided at its own allocation and
+    // is read back from the detectors' bookkeeping.
+    const bool new_sampled = nextSampled();
+    const bool old_guarded = corruption_ && corruption_->owns(addr);
+    const bool old_tracked = leak_ && leak_->tracksObject(addr);
+
+    if (old_guarded && new_sampled) {
+        stats_.add(SampledStat::ReallocStaySampled);
+        // Sampled -> sampled: the full tool's move, bit for bit.
+        return SafeMemTool::toolRealloc(addr, new_size, stack, site_tag);
+    }
+
+    if (old_tracked) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        machine_.clock().advance(kWrapperEventCycles);
+        leak_->onFree(addr);
+    }
+
+    VirtAddr fresh;
+    if (old_guarded) {
+        stats_.add(SampledStat::ReallocDropSample);
+        // Sampled -> unsampled: plain new block, copy, guarded free of
+        // the old object (its freed body gets the usual watch).
+        std::size_t old_size = corruption_->userSize(addr);
+        fresh = allocator_.allocate(new_size);
+        corruption_->onBlockRecycled(fresh);
+        copyContents(addr, fresh, old_size, new_size);
+        CostScope scope(machine_.clock(), CostCenter::ToolCorruption);
+        machine_.clock().advance(kWrapperEventCycles);
+        corruption_->deallocate(addr);
+    } else if (new_sampled) {
+        stats_.add(SampledStat::ReallocGainSample);
+        // Unsampled -> sampled: guarded (or, ML-only, granule-aligned)
+        // new block carrying the new site tag, copy, plain free.
+        std::size_t old_size = allocator_.blockSize(addr);
+        if (corruption_) {
+            CostScope scope(machine_.clock(),
+                            CostCenter::ToolCorruption);
+            machine_.clock().advance(kWrapperEventCycles);
+            fresh = corruption_->allocate(new_size, site_tag);
+        } else {
+            fresh = allocator_.allocate(new_size, backend_.granule());
+        }
+        copyContents(addr, fresh, old_size, new_size);
+        allocator_.deallocate(addr);
+    } else {
+        stats_.add(SampledStat::ReallocStayUnsampled);
+        // Unsampled -> unsampled: zero-cost plain realloc; a moved
+        // block may land on a recycled base with a stale body watch.
+        fresh = allocator_.reallocate(addr, new_size);
+        if (corruption_)
+            corruption_->onBlockRecycled(fresh);
+    }
+
+    if (leak_ && new_sampled) {
+        CostScope scope(machine_.clock(), CostCenter::ToolLeak);
+        machine_.clock().advance(kWrapperEventCycles);
+        leak_->onAlloc(fresh, new_size, callStackSignature(stack),
+                       site_tag);
+    }
+    return fresh;
+}
+
+void
+SampledSafeMemTool::toolFree(VirtAddr addr)
+{
+    const bool old_guarded = corruption_ && corruption_->owns(addr);
+    const bool old_tracked = leak_ && leak_->tracksObject(addr);
+    if (!old_guarded && !old_tracked) {
+        // The common case at low rates: an object the detectors never
+        // saw goes straight back, no wrapper cost charged.
+        stats_.add(SampledStat::UnsampledFrees);
+        allocator_.deallocate(addr);
+        return;
+    }
+    stats_.add(SampledStat::SampledFrees);
+    SafeMemTool::toolFree(addr);
+}
+
+} // namespace safemem

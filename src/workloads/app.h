@@ -48,6 +48,14 @@ struct RunParams
      */
     std::uint32_t banks = 1;
     /**
+     * SampledSafeMem (ToolKind::SafeMemSampled): probability an
+     * allocation is admitted into the detectors; other tools ignore it.
+     * Part of the run identity like seed/banks: same spec, same
+     * RunResult. 1.0 (the default) monitors every allocation and is
+     * detection-equivalent to full SafeMem.
+     */
+    double sampleRate = 1.0;
+    /**
      * Per-run log sink (must outlive the run); the driver routes every
      * message the run emits — kernel warnings, SimCheck reports — to
      * it, so concurrent runs cannot interleave or share quiet state.

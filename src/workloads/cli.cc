@@ -16,7 +16,8 @@ toolKindFromName(const std::string &name)
 {
     for (ToolKind kind : {ToolKind::None, ToolKind::SafeMemML,
                           ToolKind::SafeMemMC, ToolKind::SafeMemBoth,
-                          ToolKind::PageProtBoth, ToolKind::Purify}) {
+                          ToolKind::SafeMemSampled, ToolKind::PageProtBoth,
+                          ToolKind::Purify}) {
         if (name == toolKindName(kind))
             return kind;
     }
@@ -38,8 +39,10 @@ cliUsage()
        << " 'campaign' runs the ECC fault-injection campaign instead)\n"
        << "\noptions:\n"
        << "  --tool <name>     none | safemem-ml | safemem-mc | safemem |"
-          " pageprot | purify\n"
-       << "                    (default: safemem)\n"
+          " safemem-sampled |\n"
+       << "                    pageprot | purify (default: safemem)\n"
+       << "  --sample-rate <r> safemem-sampled: fraction of allocations\n"
+       << "                    monitored, in (0, 1] (default: 1.0)\n"
        << "  --buggy           use bug-triggering inputs\n"
        << "  --requests <n>    work items to process (default: per app)\n"
        << "  --seed <n>        request-stream seed (default: 42)\n"
@@ -172,6 +175,23 @@ parseCliArguments(const std::vector<std::string> &args)
             if (!value)
                 return result;
             options.params.seed = std::stoull(*value);
+        } else if (arg == "--sample-rate") {
+            const std::string *value = need_value("--sample-rate");
+            if (!value)
+                return result;
+            double rate = 0.0;
+            try {
+                rate = std::stod(*value);
+            } catch (const std::exception &) {
+                rate = 0.0;
+            }
+            if (!(rate > 0.0) || rate > 1.0) {
+                result.message =
+                    "--sample-rate needs a value in (0, 1]\n\n" +
+                    cliUsage();
+                return result;
+            }
+            options.params.sampleRate = rate;
         } else if (arg == "--trace") {
             const std::string *value = need_value("--trace");
             if (!value)

@@ -12,6 +12,7 @@
 #include "pageprot/page_watch.h"
 #include "purify/purify.h"
 #include "safemem/safemem.h"
+#include "safemem/sampled.h"
 #include "safemem/watch_manager.h"
 #include "workloads/null_tool.h"
 #include "workloads/sites.h"
@@ -26,6 +27,7 @@ toolKindName(ToolKind kind)
       case ToolKind::SafeMemML: return "safemem-ml";
       case ToolKind::SafeMemMC: return "safemem-mc";
       case ToolKind::SafeMemBoth: return "safemem";
+      case ToolKind::SafeMemSampled: return "safemem-sampled";
       case ToolKind::PageProtBoth: return "pageprot";
       case ToolKind::Purify: return "purify";
     }
@@ -68,11 +70,13 @@ struct ToolStack
     std::unique_ptr<NullTool> nullTool;
     std::unique_ptr<Env> env;
     Tool *active = nullptr;
+    /** Set when safememTool is the sampled variant (owned above). */
+    SampledSafeMemTool *sampled = nullptr;
 };
 
 /** Assemble the @p tool stack for the kernel's current process. */
 ToolStack
-makeToolStack(Machine &machine, ToolKind tool)
+makeToolStack(Machine &machine, ToolKind tool, const RunParams &params)
 {
     ToolStack stack;
     stack.allocator = std::make_unique<HeapAllocator>(machine);
@@ -102,6 +106,25 @@ makeToolStack(Machine &machine, ToolKind tool)
         make_safemem(*stack.eccBackend, tool != ToolKind::SafeMemMC,
                      tool != ToolKind::SafeMemML);
         break;
+
+      case ToolKind::SafeMemSampled: {
+        stack.eccBackend = std::make_unique<EccWatchManager>(machine);
+        stack.eccBackend->installFaultHandler();
+        stack.eccBackend->installScrubHooks();
+        SafeMemConfig config;
+        config.sampleRate = params.sampleRate;
+        // The run seed keys the sampling stream; together with the pid
+        // and the allocation ordinal it makes every decision a pure
+        // function of the RunSpec (the bit-identity contract).
+        config.sampleSeed = params.seed;
+        auto sampled = std::make_unique<SampledSafeMemTool>(
+            machine, *stack.allocator, *stack.eccBackend, config,
+            machine.kernel().currentPid());
+        stack.sampled = sampled.get();
+        stack.safememTool = std::move(sampled);
+        stack.active = stack.safememTool.get();
+        break;
+      }
 
       case ToolKind::PageProtBoth:
         stack.pageBackend = std::make_unique<PageWatchBackend>(machine);
@@ -135,12 +158,20 @@ template <typename Result>
 void
 scoreToolStack(const ToolStack &stack, Result &result)
 {
+    // Earliest true report = time-to-first-catch; 0 means never caught.
+    auto note_catch = [&result](Cycles when) {
+        if (result.firstCatchCycles == 0 ||
+            when < result.firstCatchCycles)
+            result.firstCatchCycles = when;
+    };
+
     if (stack.safememTool) {
         if (stack.safememTool->config().detectLeaks) {
             const LeakDetector &leak = stack.safememTool->leakDetector();
             for (const LeakReport &report : leak.reports()) {
                 if (isBuggySite(report.siteTag)) {
                     ++result.leakReportsTrue;
+                    note_catch(report.reportTime);
                 } else {
                     ++result.leakReportsFalse;
                     result.stats["leak.false_report_site." +
@@ -167,10 +198,12 @@ scoreToolStack(const ToolStack &stack, Result &result)
             const CorruptionDetector &corruption =
                 stack.safememTool->corruptionDetector();
             for (const CorruptionReport &report : corruption.reports()) {
-                if (isBuggySite(report.siteTag))
+                if (isBuggySite(report.siteTag)) {
                     ++result.corruptionTrue;
-                else
+                    note_catch(report.reportTime);
+                } else {
                     ++result.corruptionFalse;
+                }
             }
             result.wasteBytes = corruption.cumulativeWasteBytes();
             result.userBytes = corruption.cumulativeUserBytes();
@@ -183,6 +216,7 @@ scoreToolStack(const ToolStack &stack, Result &result)
              stack.purifyTool->corruptionReports()) {
             if (isBuggySite(report.siteTag)) {
                 ++result.corruptionTrue;
+                note_catch(report.reportTime);
             } else {
                 ++result.corruptionFalse;
                 result.stats[std::string("purify.false_report.") +
@@ -195,15 +229,20 @@ scoreToolStack(const ToolStack &stack, Result &result)
         }
         std::uint64_t leak_blocks_true = 0;
         for (const LeakReport &report : stack.purifyTool->leakReports()) {
-            if (isBuggySite(report.siteTag))
+            if (isBuggySite(report.siteTag)) {
                 ++leak_blocks_true;
-            else
+                note_catch(report.reportTime);
+            } else {
                 ++result.leakReportsFalse;
+            }
         }
         // Purify reports per block; collapse the bug site to one hit.
         result.leakReportsTrue = leak_blocks_true > 0 ? 1 : 0;
         mergeStats(result.stats, "purify", stack.purifyTool->stats());
     }
+
+    if (stack.sampled)
+        mergeStats(result.stats, "sampled", stack.sampled->samplingStats());
 
     if (stack.eccBackend)
         mergeStats(result.stats, "watch", stack.eccBackend->stats());
@@ -259,7 +298,7 @@ runWorkload(const std::string &app_name, ToolKind tool,
 
     // Assemble the tool stack for this configuration (on the machine's
     // init process — single-process runs never create another).
-    ToolStack stack = makeToolStack(machine, tool);
+    ToolStack stack = makeToolStack(machine, tool, params);
 
     app->run(*stack.env, params);
     stack.active->finish();
@@ -479,7 +518,7 @@ runConsolidated(const RunSpec &spec)
         run.params.seed = spec.params.seed + k;
         run.pid = kernel.createProcess();
         kernel.setCurrentProcess(run.pid);
-        run.stack = makeToolStack(machine, spec.tool);
+        run.stack = makeToolStack(machine, spec.tool, run.params);
         machine.scheduler().admit(run.pid);
     }
 
@@ -566,6 +605,10 @@ runConsolidated(const RunSpec &spec)
         result.corruptionFalse += proc.corruptionFalse;
         result.wasteBytes += proc.wasteBytes;
         result.userBytes += proc.userBytes;
+        if (proc.firstCatchCycles > 0 &&
+            (result.firstCatchCycles == 0 ||
+             proc.firstCatchCycles < result.firstCatchCycles))
+            result.firstCatchCycles = proc.firstCatchCycles;
         result.procs.push_back(std::move(proc));
     }
 

@@ -23,12 +23,14 @@ namespace safemem {
 /** Monitoring configurations compared in the paper. */
 enum class ToolKind
 {
-    None,         ///< uninstrumented baseline
-    SafeMemML,    ///< SafeMem, leak detection only (Table 3 "Only ML")
-    SafeMemMC,    ///< SafeMem, corruption only (Table 3 "Only MC")
-    SafeMemBoth,  ///< SafeMem, ML + MC (the headline configuration)
-    PageProtBoth, ///< same detectors over page protection (Tables 2, 4)
-    Purify        ///< the Purify model
+    None,           ///< uninstrumented baseline
+    SafeMemML,      ///< SafeMem, leak detection only (Table 3 "Only ML")
+    SafeMemMC,      ///< SafeMem, corruption only (Table 3 "Only MC")
+    SafeMemBoth,    ///< SafeMem, ML + MC (the headline configuration)
+    SafeMemSampled, ///< SafeMem, ML + MC over sampled interposition
+                    ///< (GWP-ASan style; RunParams::sampleRate)
+    PageProtBoth,   ///< same detectors over page protection (Tables 2, 4)
+    Purify          ///< the Purify model
 };
 
 /** @return a short printable name for @p kind. */
@@ -57,6 +59,9 @@ struct ProcResult
     bool bugDetected = false;
     std::uint64_t wasteBytes = 0;
     std::uint64_t userBytes = 0;
+    /** App-CPU time of the earliest bug-site report; 0 = never caught.
+     *  The fleet bench's time-to-first-catch metric. */
+    Cycles firstCatchCycles = 0;
     std::vector<Cycles> stabilityWarmups;
 
     /** Per-process counters (leak/corruption/watch/kernel/tlb/alloc). */
@@ -95,6 +100,10 @@ struct RunResult
 
     /** Any true report of the app's injected bug. */
     bool bugDetected = false;
+
+    /** App-CPU time of the earliest bug-site report across the run's
+     *  processes; 0 = never caught (time-to-first-catch). */
+    Cycles firstCatchCycles = 0;
 
     /** @name Space accounting (Table 4) */
     /// @{

@@ -19,7 +19,60 @@ seconds(Cycles cycles)
     return os.str();
 }
 
+/**
+ * Which tool kinds produce leak findings worth a summary line. Every
+ * ToolKind enumerator must appear here: the switch is exhaustive (a new
+ * kind fails the -Werror build until classified) and the repo lint's
+ * toolkind-plumbing rule checks this file names each enumerator.
+ */
+bool
+showsLeakFindings(ToolKind kind)
+{
+    switch (kind) {
+      case ToolKind::None: return false;
+      case ToolKind::SafeMemML: return true;
+      case ToolKind::SafeMemMC: return false;
+      case ToolKind::SafeMemBoth: return true;
+      case ToolKind::SafeMemSampled: return true;
+      case ToolKind::PageProtBoth: return true;
+      case ToolKind::Purify: return true;
+    }
+    return false;
+}
+
+/** Which tool kinds produce corruption findings worth a summary line. */
+bool
+showsCorruptionFindings(ToolKind kind)
+{
+    switch (kind) {
+      case ToolKind::None: return false;
+      case ToolKind::SafeMemML: return false;
+      case ToolKind::SafeMemMC: return true;
+      case ToolKind::SafeMemBoth: return true;
+      case ToolKind::SafeMemSampled: return true;
+      case ToolKind::PageProtBoth: return true;
+      case ToolKind::Purify: return true;
+    }
+    return false;
+}
+
 } // namespace
+
+double
+safeRatePercent(std::uint64_t num, std::uint64_t den)
+{
+    if (den == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(num) / static_cast<double>(den);
+}
+
+double
+safeMean(double sum, std::uint64_t count)
+{
+    if (count == 0)
+        return 0.0;
+    return sum / static_cast<double>(count);
+}
 
 std::string
 formatVerdict(const RunResult &result)
@@ -60,7 +113,20 @@ formatRunSummary(const RunResult &result)
         os << "  [pid " << proc.pid << "] leaks " << proc.leakReportsTrue
            << " at the bug site / " << proc.leakReportsFalse
            << " elsewhere, corruptions " << proc.corruptionTrue << " / "
-           << proc.corruptionFalse << " -> "
+           << proc.corruptionFalse;
+        if (proc.tool == ToolKind::SafeMemSampled) {
+            auto stat = [&](const char *name) -> std::uint64_t {
+                auto it = proc.stats.find(name);
+                return it == proc.stats.end() ? 0 : it->second;
+            };
+            std::uint64_t sampled = stat("sampled.sampled_allocs");
+            std::uint64_t total =
+                sampled + stat("sampled.unsampled_allocs");
+            os.precision(2);
+            os << std::fixed << ", sampled " << sampled << "/" << total
+               << " (" << safeRatePercent(sampled, total) << "%)";
+        }
+        os << " -> "
            << (proc.bugDetected ? "BUG DETECTED" : "no bug found") << "\n";
     }
     if (!result.procs.empty()) {
@@ -76,10 +142,34 @@ formatRunSummary(const RunResult &result)
            << " shared scrub passes\n";
     }
 
-    if (result.tool == ToolKind::SafeMemML ||
-        result.tool == ToolKind::SafeMemBoth ||
-        result.tool == ToolKind::PageProtBoth ||
-        result.tool == ToolKind::Purify) {
+    if (result.tool == ToolKind::SafeMemSampled) {
+        auto stat = [&](const char *name) -> std::uint64_t {
+            auto it = result.stats.find(name);
+            return it == result.stats.end() ? 0 : it->second;
+        };
+        // Consolidated runs carry the sampling counters per process;
+        // sum them so the machine-wide line is meaningful either way.
+        std::uint64_t sampled = stat("sampled.sampled_allocs");
+        std::uint64_t unsampled = stat("sampled.unsampled_allocs");
+        for (const ProcResult &proc : result.procs) {
+            auto find = [&](const char *name) -> std::uint64_t {
+                auto it = proc.stats.find(name);
+                return it == proc.stats.end() ? 0 : it->second;
+            };
+            sampled += find("sampled.sampled_allocs");
+            unsampled += find("sampled.unsampled_allocs");
+        }
+        std::uint64_t total = sampled + unsampled;
+        os.precision(2);
+        os << std::fixed << "  sampling           " << sampled << " of "
+           << total << " allocations monitored ("
+           << safeRatePercent(sampled, total) << "%)";
+        if (result.firstCatchCycles > 0)
+            os << ", first catch at " << seconds(result.firstCatchCycles)
+               << " app time";
+        os << "\n";
+    }
+    if (showsLeakFindings(result.tool)) {
         os << "  leak findings      " << result.leakReportsTrue
            << " at the bug site, " << result.leakReportsFalse
            << " elsewhere";
@@ -88,8 +178,7 @@ formatRunSummary(const RunResult &result)
                << " suspects pruned by access)";
         os << "\n";
     }
-    if (result.tool != ToolKind::None &&
-        result.tool != ToolKind::SafeMemML) {
+    if (showsCorruptionFindings(result.tool)) {
         os << "  corruption findings " << result.corruptionTrue
            << " at the bug site, " << result.corruptionFalse
            << " elsewhere\n";

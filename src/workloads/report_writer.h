@@ -30,4 +30,18 @@ std::string formatOverhead(const RunResult &run,
 std::string formatStats(const RunResult &result,
                         const std::string &prefix);
 
+/** @name Guarded rate arithmetic
+ * Report cells routinely divide by counts that can be zero — a tenant
+ * that sampled nothing, a rate with no detecting seeds. These helpers
+ * are the single place that guards those divisions so no table or JSON
+ * cell ever renders NaN/inf. */
+/// @{
+
+/** @return 100 * num / den, or 0.0 when @p den is zero. */
+double safeRatePercent(std::uint64_t num, std::uint64_t den);
+
+/** @return sum / count, or 0.0 when @p count is zero. */
+double safeMean(double sum, std::uint64_t count);
+/// @}
+
 } // namespace safemem

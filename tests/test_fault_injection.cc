@@ -15,6 +15,7 @@
 
 #include "alloc/heap_allocator.h"
 #include "safemem/safemem.h"
+#include "safemem/sampled.h"
 #include "safemem/watch_manager.h"
 #include "trace/trace.h"
 
@@ -449,6 +450,127 @@ TEST(FaultInjection, MultiBitOnPlainMemoryPanicsWithoutSafeMem)
     machine.physicalMemory().flipDataBit(frame, 3);
     machine.physicalMemory().flipDataBit(frame, 40);
     EXPECT_THROW(machine.load<std::uint64_t>(buffer), PanicError);
+}
+
+TEST(FaultInjection, SampledTenantChurnRacesPerBankScrubCleanly)
+{
+    // Sparse sampled watches on a banked machine race the per-bank
+    // scrubber while tenants come and go: three SampledSafeMem tenants
+    // allocate and free under scrub pressure, one finishes and exits
+    // mid-run, and the flight recorder must show every scrub park
+    // matched by a restore (or an explicit cancel), with no watch left
+    // anywhere once the last tenant is gone.
+    if (!kTraceCompiledIn)
+        GTEST_SKIP() << "needs compiled-in trace emit sites";
+
+    Trace trace(1u << 18);
+    MachineConfig machine_config{8u << 20, CacheConfig{32, 4}, 64};
+    machine_config.banks = 4;
+    machine_config.trace = &trace;
+    Machine machine(machine_config);
+    machine.kernel().setPanicOnHardwareError(false);
+    Kernel &kernel = machine.kernel();
+
+    struct Tenant
+    {
+        Pid pid = 0;
+        std::unique_ptr<HeapAllocator> allocator;
+        std::unique_ptr<EccWatchManager> backend;
+        std::unique_ptr<SampledSafeMemTool> tool;
+        std::vector<VirtAddr> live;
+    };
+
+    // Sparse sampling: most traffic bypasses the detectors, so the
+    // scrubber races a thin, shifting set of guard and freed-body
+    // watches instead of a dense stable one. The default leak config
+    // stays in warm-up for this run length — by design; the corruption
+    // watches are the racing population.
+    SafeMemConfig tool_config;
+    tool_config.sampleRate = 0.125;
+    tool_config.sampleSeed = 42;
+
+    std::vector<Tenant> tenants(3);
+    for (Tenant &tenant : tenants) {
+        tenant.pid = kernel.createProcess();
+        kernel.setCurrentProcess(tenant.pid);
+        tenant.allocator = std::make_unique<HeapAllocator>(machine);
+        tenant.backend = std::make_unique<EccWatchManager>(machine);
+        tenant.backend->installFaultHandler();
+        tenant.backend->installScrubHooks();
+        tenant.tool = std::make_unique<SampledSafeMemTool>(
+            machine, *tenant.allocator, *tenant.backend, tool_config,
+            tenant.pid);
+    }
+
+    auto retire = [&](Tenant &tenant) {
+        kernel.setCurrentProcess(tenant.pid);
+        for (VirtAddr addr : tenant.live)
+            tenant.tool->toolFree(addr);
+        tenant.live.clear();
+        tenant.tool->finish();
+        EXPECT_EQ(tenant.backend->regionCount(), 0u)
+            << "tenant " << tenant.pid << " leaked watches";
+        kernel.exitProcess(tenant.pid);
+    };
+
+    ShadowStack stack;
+    Rng rng(97);
+    kernel.enableScrubbing(15'000);
+    std::size_t active = tenants.size();
+    for (int round = 0; round < 900; ++round) {
+        // Tenant 2 leaves a third of the way in; its watches must not
+        // outlive it and the survivors must keep scrubbing cleanly.
+        if (round == 300)
+            retire(tenants[--active]);
+
+        Tenant &tenant = tenants[round % active];
+        kernel.setCurrentProcess(tenant.pid);
+        std::size_t size = rng.range(32, 512);
+        VirtAddr addr = tenant.tool->toolAlloc(size, stack, 11);
+        machine.store<std::uint64_t>(addr, rng.next());
+        tenant.live.push_back(addr);
+        if (tenant.live.size() > 12 || (rng.chance(0.4) &&
+                                        !tenant.live.empty())) {
+            std::size_t victim = rng.range(0, tenant.live.size() - 1);
+            machine.load<std::uint64_t>(tenant.live[victim]);
+            tenant.tool->toolFree(tenant.live[victim]);
+            tenant.live[victim] = tenant.live.back();
+            tenant.live.pop_back();
+        }
+        machine.compute(500);
+    }
+    while (active > 0)
+        retire(tenants[--active]);
+    kernel.disableScrubbing();
+
+    EXPECT_EQ(kernel.totalWatchedLineCount(), 0u)
+        << "watches survived their owners";
+    for (const Tenant &tenant : tenants) {
+        EXPECT_TRUE(tenant.tool->corruptionDetector().reports().empty())
+            << "spurious corruption report for tenant " << tenant.pid;
+        EXPECT_GT(tenant.tool->samplingStats().get("unsampled_allocs"),
+                  tenant.tool->samplingStats().get("sampled_allocs"))
+            << "rate 1/8 must leave most traffic unmonitored";
+    }
+
+    // Replay the recorder: every park window closes — a parked region
+    // is either restored by the post-scrub hook or explicitly cancelled
+    // by an unwatch — and the scrubber actually met the watches.
+    ASSERT_EQ(trace.dropped(), 0u)
+        << "ring too small to audit the whole run";
+    std::uint64_t parks = 0, restores = 0, cancels = 0, passes = 0;
+    for (const TraceRecord &record : trace.records()) {
+        switch (record.event) {
+          case TraceEvent::WatchScrubPark: ++parks; break;
+          case TraceEvent::WatchScrubRestore: ++restores; break;
+          case TraceEvent::WatchScrubCancel: ++cancels; break;
+          case TraceEvent::KernelScrubTickEnd: ++passes; break;
+          default: break;
+        }
+    }
+    EXPECT_GE(passes, 4u) << "scrubber never completed a bank pass";
+    EXPECT_GE(parks, 1u) << "no watch ever raced a scrub pass";
+    EXPECT_EQ(parks, restores + cancels);
 }
 
 } // namespace

@@ -256,9 +256,19 @@ TEST_F(LeakDetectorTest, FinishReportsOverdueSuspects)
     EXPECT_EQ(backend.regionCount(), 0u) << "finish drops all watches";
 }
 
-TEST_F(LeakDetectorTest, FreeOfUntrackedObjectPanics)
+TEST_F(LeakDetectorTest, FreeOfUntrackedObjectIsCheapNoOp)
 {
-    EXPECT_THROW(detector->onFree(0xdead000), PanicError);
+    // Sampled tools free objects the detector never saw; that must be
+    // a no-op that moves no stats and perturbs no group state.
+    auto before = detector->stats().all();
+    EXPECT_FALSE(detector->onFree(0xdead000));
+    EXPECT_EQ(detector->stats().all(), before);
+    EXPECT_TRUE(detector->reports().empty());
+
+    // A tracked object still unregisters normally afterwards.
+    VirtAddr addr = allocAt(0);
+    EXPECT_TRUE(detector->onFree(addr));
+    EXPECT_FALSE(detector->tracksObject(addr));
 }
 
 TEST_F(LeakDetectorTest, TracksObjectLifecycle)

@@ -60,6 +60,16 @@ Rules (scoped to ``src/`` unless noted):
                    (``BankLockGuard`` / ``BankSetLockGuard`` over
                    ``bankMaskForSpan``); the read-only ``busLocked()``
                    query stays fine.
+  toolkind-plumbing  Every ``ToolKind`` enumerator declared in
+                   ``src/workloads/driver.h`` must be named (as
+                   ``ToolKind::<Name>``) in the driver's name table and
+                   tool-stack factory (``driver.cc``), the CLI parser
+                   (``cli.cc``), and the report writer's findings
+                   predicates (``report_writer.cc``).  A tool kind that
+                   compiles but cannot be selected, named, or summarised
+                   is half-plumbed; this rule catches the forgotten
+                   mirror before the -Werror switch coverage can (which
+                   only guards files that already switch on the enum).
   single-space-kernel  No legacy single-address-space kernel accessors
                    (``kernel().pageTable()`` / ``kernel().tlb()``) outside
                    ``src/os/``: the kernel is multi-process now, and those
@@ -587,6 +597,58 @@ def check_header_docs(rel, raw, violations):
             "public header must open with a '/** @file ... */' block"))
 
 
+# The ToolKind declaration and the files that must mirror every
+# enumerator: the driver (name table + tool-stack factory), the CLI
+# parser, and the report writer (findings predicates).
+TOOLKIND_HEADER = "src/workloads/driver.h"
+TOOLKIND_MIRRORS = (
+    "src/workloads/driver.cc",
+    "src/workloads/cli.cc",
+    "src/workloads/report_writer.cc",
+)
+
+
+def check_toolkind_plumbing(root, violations):
+    # Tree-level rule (runs once, not per file): parse the enumerators
+    # out of the header, then demand each mirror names every one.
+    def read_stripped(rel):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as fh:
+                return strip_comments_and_strings(fh.read())
+        except (OSError, UnicodeDecodeError):
+            return None
+
+    header = read_stripped(TOOLKIND_HEADER)
+    if header is None:
+        return  # a tree without the driver layer (e.g. self-test seeds)
+    match = re.search(r"enum\s+class\s+ToolKind[^{]*\{([^}]*)\}", header)
+    if match is None:
+        violations.append(Violation(
+            TOOLKIND_HEADER, 1, "toolkind-plumbing",
+            "could not find 'enum class ToolKind' to audit"))
+        return
+    enumerators = []
+    for chunk in match.group(1).split(","):
+        name = re.match(r"\s*([A-Za-z_]\w*)", chunk)
+        if name:
+            enumerators.append(name.group(1))
+
+    for rel in TOOLKIND_MIRRORS:
+        text = read_stripped(rel)
+        if text is None:
+            violations.append(Violation(
+                rel, 1, "toolkind-plumbing",
+                f"mirror of {TOOLKIND_HEADER}'s ToolKind is missing"))
+            continue
+        for name in enumerators:
+            if not re.search(rf"\bToolKind\s*::\s*{name}\b", text):
+                violations.append(Violation(
+                    rel, 1, "toolkind-plumbing",
+                    f"ToolKind::{name} is never named here; every "
+                    "enumerator must be plumbed through the driver, "
+                    "the CLI parser, and the report writer"))
+
+
 def lint_file(root, rel, violations):
     path = os.path.join(root, rel)
     try:
@@ -620,6 +682,7 @@ def lint_tree(root):
                 rel = os.path.relpath(os.path.join(dirpath, name), root)
                 rel = rel.replace(os.sep, "/")
                 lint_file(root, rel, violations)
+    check_toolkind_plumbing(root, violations)
     return violations
 
 
@@ -721,6 +784,14 @@ SEEDED_SOURCES = {
         "    c.lockBus();\n"
         "    c.lockBus();\n"
         "    c.unlockBus();\n}\n"),
+    # One ToolKind mirror (the report writer) forgets the Purify
+    # enumerator declared by the seeded driver.h below; the other
+    # mirrors (in CLEAN_SOURCES) name everything and must stay quiet.
+    "src/workloads/report_writer.cc": (
+        "toolkind-plumbing",
+        '#include "workloads/driver.h"\n'
+        "bool showsFindings(safemem::ToolKind kind)\n{\n"
+        "    return kind != safemem::ToolKind::None;\n}\n"),
 }
 
 CLEAN_SOURCES = [
@@ -810,6 +881,29 @@ CLEAN_SOURCES = [
      "{\n"
      "    safemem::BankSetLockGuard banks(c, c.bankMaskForSpan(a, 4096));\n"
      "    return c.busLocked() || c.anyBankLocked();\n}\n"),
+    # The toolkind-plumbing seed tree: a two-enumerator ToolKind whose
+    # driver and CLI mirrors name everything (the report-writer mirror
+    # in SEEDED_SOURCES drops one and must be flagged).
+    ("src/workloads/driver.h",
+     "/**\n * @file\n * ToolKind seed for the toolkind-plumbing rule.\n"
+     " */\n#pragma once\nnamespace safemem {\n"
+     "enum class ToolKind\n{\n    None,\n    Purify\n};\n"
+     "const char *toolKindName(ToolKind kind);\n}\n"),
+    ("src/workloads/driver.cc",
+     '#include "workloads/driver.h"\n'
+     "namespace safemem {\n"
+     "const char *\ntoolKindName(ToolKind kind)\n{\n"
+     "    switch (kind) {\n"
+     '      case ToolKind::None: return "none";\n'
+     '      case ToolKind::Purify: return "purify";\n'
+     "    }\n"
+     '    return "?";\n}\n}\n'),
+    ("src/workloads/cli.cc",
+     '#include "workloads/driver.h"\n'
+     "namespace safemem {\n"
+     "ToolKind\ntoolKindFromName(int choice)\n{\n"
+     "    return choice == 0 ? ToolKind::None : ToolKind::Purify;\n}\n"
+     "}\n"),
     # A mutex-owning class the unguarded-shared-state rule must accept:
     # every member is annotated, self-synchronising, or waived.
     ("src/check/clean_guarded_class.cc",
