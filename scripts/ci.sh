@@ -24,6 +24,11 @@
 #   7c. fleet smoke       — a reduced bench_fleet sampled-monitoring
 #                           sweep: byte-identical JSON for any worker
 #                           count, pinned cell shape, overhead ordering
+#   7d. tradeoff smoke    — bench_ecc_tradeoff: byte-identical JSON for
+#                           any worker count, redundancy overhead falling
+#                           with codeword size, decode/RMW accounting,
+#                           and --geometry word bit-identical to the
+#                           pre-geometry golden sweep
 #   8. notrace build      — library/tools compile with -DSAFEMEM_TRACE=OFF
 #   9. static analysis    — -Wthread-safety build (clang++), clang-tidy
 #                           gauntlet, negative-compile proof, repo lint;
@@ -363,6 +368,90 @@ print(f"fleet smoke: {len(doc['cells'])} cells "
 PYEOF
 }
 
+tradeoff_smoke() {
+    # The protection-geometry lab: a reduced bench_ecc_tradeoff sweep
+    # must be byte-identical for any worker count (the JSON carries no
+    # wall-clock fields), show the bandwidth/latency trade — EDC+ECC
+    # redundancy overhead falling as codewords grow at a zero error
+    # rate, decode and RMW costs separately accounted — and the word
+    # default must keep the whole-app sweep byte-identical to the
+    # pre-geometry golden capture.
+    local one=build/bench/BENCH_tradeoff_smoke_w1.json
+    local four=build/bench/BENCH_tradeoff_smoke_w4.json
+    local golden=build/tradeoff_golden_word.txt
+    build/bench/bench_ecc_tradeoff --json --batches 6 --workers 1 \
+        >"$one" &&
+        build/bench/bench_ecc_tradeoff --json --batches 6 --workers 4 \
+            >"$four" &&
+        if ! cmp -s "$one" "$four"; then
+            echo "tradeoff smoke: worker count changed the results:"
+            diff "$one" "$four" | head -20
+            return 1
+        fi &&
+        build/tools/safemem_run all --stats --workers 0 --geometry word \
+            >"$golden" &&
+        if cmp -s "$golden" tests/data/golden_prebank_sweep.txt; then
+            echo "tradeoff smoke: --geometry word sweep matches golden"
+        else
+            echo "tradeoff smoke: --geometry word moved the golden sweep:"
+            diff "$golden" tests/data/golden_prebank_sweep.txt | head -20
+            return 1
+        fi &&
+        python3 - "$one" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+
+for key in ("bench", "traffic", "batches", "cells", "identical"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["bench"] == "ecc_tradeoff"
+assert doc["identical"] is True, "serial vs pool cells diverged"
+assert len(doc["cells"]) == 15, f"expected 5 geometries x 3 rates: {doc}"
+
+cells = {(c["geometry"], c["flip_rate"]): c for c in doc["cells"]}
+for cell in doc["cells"]:
+    for key in ("cycles", "flips", "line_fills", "line_evictions",
+                "single_bit_corrected", "edc_passed", "edc_failed",
+                "block_decodes", "latent_fault_words",
+                "partial_write_rmws", "open_codeword_hits",
+                "edc_refreshes", "data_bytes", "redundancy_bytes",
+                "overhead"):
+        assert key in cell, f"{cell['geometry']}: missing key {key}"
+
+# The tentpole physics: at a zero error rate the effective-bandwidth
+# overhead falls strictly as parity codewords grow, and the largest
+# codeword beats the per-word SEC-DED baseline.
+clean = lambda g: cells[(g, 0.0)]["overhead"]
+assert clean("block:512/parity") > clean("block:1024/parity") \
+    > clean("block:4096/parity"), \
+    [clean(g) for g in ("block:512/parity", "block:1024/parity",
+                        "block:4096/parity")]
+assert clean("block:4096/parity") < clean("word"), \
+    (clean("block:4096/parity"), clean("word"))
+# A wider EDC costs bandwidth at the same codeword size.
+assert clean("block:1024/crc32") > clean("block:1024/parity")
+
+# Word cells never touch the block datapath; faulted block cells pay
+# decodes, and every block cell pays RMWs (separately accounted).
+for rate in (0.0, 0.005, 0.05):
+    word = cells[("word", rate)]
+    assert word["edc_passed"] == 0 and word["block_decodes"] == 0, word
+for (geometry, rate), cell in cells.items():
+    if geometry == "word":
+        continue
+    assert cell["partial_write_rmws"] > 0, cell
+    assert cell["edc_passed"] > 0, cell
+    if rate > 0:
+        assert cell["flips"] > 0, cell
+        assert cell["edc_failed"] > 0, cell
+        assert cell["block_decodes"] > 0, cell
+print(f"tradeoff smoke: {len(doc['cells'])} cells, overhead ordering "
+      "and decode/RMW accounting OK")
+PYEOF
+}
+
 notrace_build() {
     # The compiled-out configuration must still build everything; the
     # suite itself runs in the default (traced) configurations above.
@@ -422,6 +511,7 @@ stage "trace smoke (safemem_run --trace + trace_dump)" trace_smoke
 stage "multiproc smoke (--procs 2, serial vs parallel)" multiproc_smoke
 stage "bank smoke (--banks 4 sweep + bench_banked)" bank_smoke
 stage "fleet smoke (bench_fleet sampled sweep)" fleet_smoke
+stage "tradeoff smoke (bench_ecc_tradeoff + word golden)" tradeoff_smoke
 stage "notrace build (-DSAFEMEM_TRACE=OFF)" notrace_build
 stage "static-analysis gauntlet" static_analysis
 stage "repo lint" python3 tools/lint/lint.py --root .

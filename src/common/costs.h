@@ -108,4 +108,25 @@ inline constexpr Cycles kProcessCreateCycles = 12000;
  *  TLBs are per-address-space — ASID-tagged — so no flush is charged). */
 inline constexpr Cycles kContextSwitchCycles = 2400;
 
+/** @name Block protection geometry (large-codeword EDC+ECC split).
+ *  Charged only on block-geometry machines; the per-word SEC-DED
+ *  default never reaches these paths. */
+/// @{
+
+/** Verifying one line's EDC fold on the fill fast path. */
+inline constexpr Cycles kEdcCheckCycles = 2;
+
+/** Decoding one 64-bit word of a codeword after an EDC miss (the ECC
+ *  redundancy fetch and long-code decode, amortized per word). */
+inline constexpr Cycles kBlockDecodeWordCycles = 6;
+
+/** Read-modify-write turnaround when a writeback opens a new codeword:
+ *  fetch the old line and ECC, merge, rewrite the redundancy. */
+inline constexpr Cycles kPartialWriteRmwCycles = 150;
+
+/** Folding a writeback into an already-open codeword (EDC update plus
+ *  the buffered incremental ECC merge). */
+inline constexpr Cycles kEdcUpdateCycles = 8;
+/// @}
+
 } // namespace safemem

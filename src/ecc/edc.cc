@@ -1,0 +1,102 @@
+#include "ecc/edc.h"
+
+#include <array>
+
+namespace safemem {
+namespace {
+
+constexpr std::uint64_t
+rotl64(std::uint64_t value, unsigned amount)
+{
+    amount &= 63;
+    return amount == 0 ? value
+                       : (value << amount) | (value >> (64 - amount));
+}
+
+/** Rotation step between word slots; coprime to 64 so the first eight
+ *  slots get eight distinct rotations. */
+constexpr unsigned kParityRotStep = 19;
+
+std::uint64_t
+parityFold(const std::uint64_t *words, std::size_t nwords)
+{
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < nwords; ++i)
+        acc ^= rotl64(words[i],
+                      static_cast<unsigned>(i) * kParityRotStep);
+    // Fold the 64-bit accumulator down to the stored 8 parity bits.
+    acc ^= acc >> 32;
+    acc ^= acc >> 16;
+    acc ^= acc >> 8;
+    return acc & 0xff;
+}
+
+/** Reflected CRC-32 (IEEE 802.3 polynomial), table-driven. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ (crc & 1 ? 0xEDB88320u : 0u);
+            t[i] = crc;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint64_t
+crc32Fold(const std::uint64_t *words, std::size_t nwords)
+{
+    const auto &table = crcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < nwords; ++i) {
+        std::uint64_t word = words[i];
+        for (int byte = 0; byte < 8; ++byte) {
+            crc = (crc >> 8) ^
+                  table[(crc ^ static_cast<std::uint8_t>(
+                                   word >> (8 * byte))) &
+                        0xff];
+        }
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace
+
+unsigned
+edcBitsPerLine(EdcKind kind)
+{
+    return kind == EdcKind::Crc32 ? 32 : 8;
+}
+
+std::uint64_t
+edcLineFold(EdcKind kind, const std::uint64_t *words, std::size_t nwords)
+{
+    return kind == EdcKind::Crc32 ? crc32Fold(words, nwords)
+                                  : parityFold(words, nwords);
+}
+
+std::uint64_t
+edcZeroLineFold(EdcKind kind)
+{
+    const std::uint64_t zeros[kEccGroupsPerLine] = {};
+    return edcLineFold(kind, zeros, kEccGroupsPerLine);
+}
+
+std::uint64_t
+edcScrambleFoldDelta(EdcKind kind, std::uint64_t mask)
+{
+    // Both folds are affine in the data, so fold(x ^ e) ^ fold(x) is the
+    // same for every x: compute it against the all-zero line.
+    std::uint64_t masked[kEccGroupsPerLine];
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+        masked[i] = mask;
+    return edcLineFold(kind, masked, kEccGroupsPerLine) ^
+           edcZeroLineFold(kind);
+}
+
+} // namespace safemem

@@ -47,6 +47,45 @@ inline constexpr const char *kControllerStatNames[] = {
 };
 
 /**
+ * Slot indices into the block-geometry StatSet; order matches
+ * kGeometryStatNames. These slots only move on block-geometry machines:
+ * the per-word SEC-DED default never touches them, and the driver only
+ * merges them into run results under a block geometry, keeping
+ * word-geometry stat maps byte-identical to the pre-geometry machine.
+ */
+enum class GeometryStat : std::size_t
+{
+    EdcChecksPassed,  ///< fills declared clean by the EDC fast path
+    EdcChecksFailed,  ///< fills that missed EDC and took the full decode
+    BlockDecodes,     ///< whole-codeword ECC decodes (one per EDC miss)
+    BlockDecodeWords, ///< words decoded across all block decodes
+    PartialWriteRmws, ///< writebacks that opened a new codeword (full RMW)
+    OpenCodewordHits, ///< writebacks folded into the open codeword
+    LatentFaultWords, ///< uncorrectable words outside the requested line
+    EdcRefreshes,     ///< stale-but-clean EDC folds rewritten
+    RedundancyBytesRead,    ///< EDC + ECC + RMW traffic read
+    RedundancyBytesWritten, ///< EDC + ECC traffic written
+    DataBytesRead,    ///< demand data read by fills
+    DataBytesWritten, ///< demand data written by evictions
+};
+
+/** Report/snapshot names for GeometryStat, in enumerator order. */
+inline constexpr const char *kGeometryStatNames[] = {
+    "edc_checks_passed",
+    "edc_checks_failed",
+    "block_decodes",
+    "block_decode_words",
+    "partial_write_rmws",
+    "open_codeword_hits",
+    "latent_fault_words",
+    "edc_refreshes",
+    "redundancy_bytes_read",
+    "redundancy_bytes_written",
+    "data_bytes_read",
+    "data_bytes_written",
+};
+
+/**
  * Per-bank state owned by the MemoryController. The controller is the
  * only mutator (lockBank/unlockBank/scrubBank); everyone else reads
  * through the const accessors.
@@ -71,6 +110,10 @@ class MemoryBank
     /** @return this bank's slice of the controller statistics. */
     const StatSet &stats() const { return stats_; }
 
+    /** @return this bank's slice of the block-geometry statistics
+     *  (all-zero on a word-geometry machine). */
+    const StatSet &geometryStats() const { return geomStats_; }
+
     /** The bank-lock capability, for ACQUIRE/RELEASE/REQUIRES clauses. */
     const Capability &capability() const RETURN_CAPABILITY(capability_)
     {
@@ -85,6 +128,12 @@ class MemoryBank
     bool locked_ = false;   ///< runtime face, audited by SimCheck
     PhysAddr scrubCursor_;  ///< patrol position within this bank's slice
     StatSet stats_{kControllerStatNames};
+    StatSet geomStats_{kGeometryStatNames};
+    /** Codeword held open in this bank's write-combine buffer: further
+     *  writebacks into it fold their redundancy update incrementally
+     *  instead of paying the full read-modify-write (block geometry
+     *  only; ~0 = nothing open). */
+    PhysAddr openCodeword_ = ~PhysAddr{0};
 };
 
 } // namespace safemem

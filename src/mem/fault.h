@@ -45,6 +45,10 @@ struct EccFaultInfo
     std::uint64_t rawData = 0;
     /** Bank owning the affected line (page-interleaved). */
     unsigned bank = 0;
+    /** Base of the ECC codeword the fault was decoded in (block
+     *  geometries; 0 on the per-word SEC-DED default, whose codeword is
+     *  the faulting word itself). */
+    PhysAddr codewordAddr = 0;
 };
 
 /** Interrupt line from the controller into the kernel. */

@@ -3,14 +3,27 @@
 #include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
+#include "ecc/edc.h"
 #include "trace/trace.h"
 
 namespace safemem {
 
+namespace {
+
+/** Stored bytes of one line's EDC fold (the lane rounds up to bytes). */
+std::uint64_t
+edcFoldBytes(EdcKind kind)
+{
+    return (edcBitsPerLine(kind) + 7) / 8;
+}
+
+} // namespace
+
 MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock,
                                    Trace *trace, const EccCodec &code,
-                                   unsigned banks)
-    : memory_(memory), clock_(clock), code_(code), trace_(trace)
+                                   unsigned banks, ProtectionGeometry geometry)
+    : memory_(memory), clock_(clock), code_(code), trace_(trace),
+      geometry_(geometry)
 {
     // The datapath is one 64-bit ECC group per check byte; a codec with
     // another geometry belongs to the campaign engine, not a machine.
@@ -27,6 +40,15 @@ MemoryController::MemoryController(PhysicalMemory &memory, CycleClock &clock,
     if (memory_.size() / kPageSize < banks)
         panic("MemoryController: ", banks, " banks but only ",
               memory_.size() / kPageSize, " pages of DRAM");
+    // A block-geometry datapath needs the DIMM's EDC lane, organised for
+    // the same codeword size and fold kind. validCodewordBytes() caps
+    // codewords at one page, so a codeword never straddles a page — and
+    // with page-granular interleaving, never a bank — boundary.
+    if (!geometry_.isWord() &&
+        (!memory_.hasEdcLane() || !(memory_.geometry() == geometry_)))
+        panic("MemoryController: geometry '", geometryName(geometry_),
+              "' but the DIMM is organised for '",
+              geometryName(memory_.geometry()), "'");
     for (unsigned b = 0; b < banks; ++b)
         banks_.emplace_back(b);
 }
@@ -171,6 +193,9 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
                 (word_addr % kCacheLineSize) / kEccGroupSize);
             info.rawData = data;
             info.bank = bank_id;
+            if (!geometry_.isWord())
+                info.codewordAddr =
+                    alignDown(word_addr, geometry_.codewordBytes);
             raise(info);
             return true;
         }
@@ -204,11 +229,144 @@ MemoryController::decodeWord(PhysAddr word_addr, bool scrubbing,
             (word_addr % kCacheLineSize) / kEccGroupSize);
         info.rawData = data;
         info.bank = bank_id;
+        if (!geometry_.isWord())
+            info.codewordAddr = alignDown(word_addr, geometry_.codewordBytes);
         raise(info);
         return false;
       }
     }
     return true;
+}
+
+std::uint64_t
+MemoryController::storedLineFold(PhysAddr line_addr) const
+{
+    std::uint64_t words[kEccGroupsPerLine];
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+        words[i] = memory_.readWord(line_addr + i * kEccGroupSize);
+    return edcLineFold(geometry_.edc, words, kEccGroupsPerLine);
+}
+
+bool
+MemoryController::edcConsistent(PhysAddr line_addr) const
+{
+    if (geometry_.isWord())
+        return true;
+    return storedLineFold(line_addr) == memory_.readEdc(line_addr);
+}
+
+void
+MemoryController::geomAdd(GeometryStat stat, unsigned bank_id,
+                          std::uint64_t delta)
+{
+    geomStats_.add(stat, delta);
+    banks_[bank_id].geomStats_.add(stat, delta);
+}
+
+bool
+MemoryController::latentDecodeWord(PhysAddr word_addr)
+{
+    std::uint64_t data = memory_.readWord(word_addr);
+    std::uint8_t check = memory_.readCheck(word_addr);
+    EccDecodeResult result = code_.decode(data, check);
+    unsigned bank_id = bankOf(word_addr);
+
+    switch (result.status) {
+      case EccDecodeStatus::Ok:
+        return true;
+
+      case EccDecodeStatus::CorrectedSingle:
+        if (mode_ == EccMode::CheckOnly)
+            // Detected but, per CheckOnly, not corrected: the stored
+            // word still carries the error, so its line must not get
+            // an EDC refresh. Nothing is raised either — reporting is
+            // for demanded reads, and nobody demanded this word.
+            return false;
+        stats_.add(ControllerStat::SingleBitCorrected);
+        banks_[bank_id].stats_.add(ControllerStat::SingleBitCorrected);
+        SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerSingleBitCorrected,
+                           clock_.now(), word_addr);
+        memory_.writeWord(word_addr, result.data);
+        memory_.writeCheck(word_addr, static_cast<std::uint8_t>(
+                                          code_.encode(result.data)));
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "fill_reencode_clean",
+                       code_.decode(memory_.readWord(word_addr),
+                                    memory_.readCheck(word_addr)).status ==
+                           EccDecodeStatus::Ok,
+                       "healed word at ", word_addr,
+                       " does not re-decode clean");
+        return true;
+
+      case EccDecodeStatus::Uncorrectable:
+        // Uncorrectable, but outside the demanded line: count it
+        // latent instead of raising, so a scrambled neighbour sharing
+        // the codeword cannot storm the interrupt wire. It raises for
+        // real the moment something actually reads its line.
+        geomAdd(GeometryStat::LatentFaultWords, bank_id);
+        return false;
+    }
+    return true;
+}
+
+bool
+MemoryController::blockDecode(PhysAddr line_addr, bool scrubbing,
+                              LineData *out)
+{
+    const PhysAddr cw = alignDown(line_addr, geometry_.codewordBytes);
+    const unsigned bank_id = bankOf(line_addr);
+    const std::size_t cw_lines = geometry_.codewordBytes / kCacheLineSize;
+    const std::size_t cw_words = geometry_.codewordBytes / kEccGroupSize;
+
+    geomAdd(GeometryStat::BlockDecodes, bank_id);
+    geomAdd(GeometryStat::BlockDecodeWords, bank_id, cw_words);
+    // The demanded line arrived with the burst already; the decode
+    // fetches the rest of the codeword plus the long-code redundancy.
+    geomAdd(GeometryStat::RedundancyBytesRead, bank_id,
+            geometry_.codewordBytes - kCacheLineSize +
+                blockEccCheckBytes(geometry_.codewordBytes));
+    Cycles cost = static_cast<Cycles>(cw_words) * kBlockDecodeWordCycles;
+    if (scrubbing)
+        clock_.advance(cost, CostCenter::Kernel);
+    else
+        clock_.advance(cost);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::EccBlockDecode, clock_.now(),
+                       line_addr, cw, bank_id);
+
+    bool ok = true;
+    for (std::size_t l = 0; l < cw_lines; ++l) {
+        PhysAddr cur = cw + l * kCacheLineSize;
+        const bool requested = cur == line_addr;
+        bool clean = true;
+        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+            PhysAddr word_addr = cur + i * kEccGroupSize;
+            if (requested) {
+                std::uint64_t word;
+                if (!decodeWord(word_addr, scrubbing, word)) {
+                    ok = false;
+                    clean = false;
+                }
+                if (out)
+                    setLineWord(*out, i, word);
+            } else if (!latentDecodeWord(word_addr)) {
+                clean = false;
+            }
+        }
+        // Refresh a stale-but-clean fold so the next read of this line
+        // takes the EDC fast path. Correcting modes only: CheckOnly
+        // never heals, so its "clean" can still hide the very error a
+        // stale fold is flagging.
+        if (clean && (mode_ == EccMode::CorrectError ||
+                      mode_ == EccMode::CorrectAndScrub)) {
+            std::uint64_t fold = storedLineFold(cur);
+            if (fold != memory_.readEdc(cur)) {
+                memory_.writeEdc(cur, fold);
+                geomAdd(GeometryStat::EdcRefreshes, bank_id);
+                geomAdd(GeometryStat::RedundancyBytesWritten, bank_id,
+                        edcFoldBytes(geometry_.edc));
+            }
+        }
+    }
+    return ok;
 }
 
 bool
@@ -228,11 +386,37 @@ MemoryController::fillLine(PhysAddr line_addr, LineData &out)
     banks_[bank_id].stats_.add(ControllerStat::LineFills);
 
     bool ok = true;
-    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
-        std::uint64_t word;
-        if (!decodeWord(line_addr + i * kEccGroupSize, false, word))
-            ok = false;
-        setLineWord(out, i, word);
+    if (geometry_.isWord() || mode_ == EccMode::Disabled) {
+        // Per-word SEC-DED: decode every group of the demanded line.
+        // (With ECC Disabled the block fast path has nothing to check
+        // either, so both geometries degenerate to this raw read.)
+        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
+            std::uint64_t word;
+            if (!decodeWord(line_addr + i * kEccGroupSize, false, word))
+                ok = false;
+            setLineWord(out, i, word);
+        }
+    } else {
+        // Block geometry: verify the line's EDC fold that rode in with
+        // the burst; only an EDC miss pays the long-code decode.
+        geomAdd(GeometryStat::DataBytesRead, bank_id, kCacheLineSize);
+        geomAdd(GeometryStat::RedundancyBytesRead, bank_id,
+                edcFoldBytes(geometry_.edc));
+        clock_.advance(kEdcCheckCycles);
+        PhysAddr cw = alignDown(line_addr, geometry_.codewordBytes);
+        if (storedLineFold(line_addr) == memory_.readEdc(line_addr)) {
+            geomAdd(GeometryStat::EdcChecksPassed, bank_id);
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::EdcCheckPass,
+                               clock_.now(), line_addr, cw, bank_id);
+            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+                setLineWord(out, i,
+                            memory_.readWord(line_addr + i * kEccGroupSize));
+        } else {
+            geomAdd(GeometryStat::EdcChecksFailed, bank_id);
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::EdcCheckFail,
+                               clock_.now(), line_addr, cw, bank_id);
+            ok = blockDecode(line_addr, false, &out);
+        }
     }
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerFill, clock_.now(),
                        line_addr, ok ? 1 : 0, bank_id);
@@ -266,6 +450,44 @@ MemoryController::evictLine(PhysAddr line_addr, const LineData &data)
                                               code_.encode(word)));
     }
 
+    if (!geometry_.isWord() && mode_ != EccMode::Disabled) {
+        // The EDC fold rides with the burst and covers exactly this
+        // line, so the writeback computes it from the new data alone.
+        // (With ECC Disabled it goes stale alongside the check bytes —
+        // the hook the scramble trick relies on.)
+        std::uint64_t words[kEccGroupsPerLine];
+        for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+            words[i] = lineWord(data, i);
+        memory_.writeEdc(line_addr,
+                         edcLineFold(geometry_.edc, words,
+                                     kEccGroupsPerLine));
+        geomAdd(GeometryStat::DataBytesWritten, bank_id, kCacheLineSize);
+        geomAdd(GeometryStat::RedundancyBytesWritten, bank_id,
+                edcFoldBytes(geometry_.edc));
+        // The long-code ECC spans the whole codeword. A writeback that
+        // opens a new codeword pays a full read-modify-write (fetch the
+        // old line and redundancy, merge, rewrite); further writebacks
+        // into the open codeword fold their update in incrementally —
+        // the amortisation sequential streams are built to hit.
+        PhysAddr cw = alignDown(line_addr, geometry_.codewordBytes);
+        MemoryBank &bank = banks_[bank_id];
+        if (bank.openCodeword_ == cw) {
+            geomAdd(GeometryStat::OpenCodewordHits, bank_id);
+            clock_.advance(kEdcUpdateCycles);
+        } else {
+            geomAdd(GeometryStat::PartialWriteRmws, bank_id);
+            geomAdd(GeometryStat::RedundancyBytesRead, bank_id,
+                    kCacheLineSize +
+                        blockEccCheckBytes(geometry_.codewordBytes));
+            geomAdd(GeometryStat::RedundancyBytesWritten, bank_id,
+                    blockEccCheckBytes(geometry_.codewordBytes));
+            clock_.advance(kPartialWriteRmwCycles);
+            SAFEMEM_TRACE_EMIT(trace_, TraceEvent::PartialWriteRmw,
+                               clock_.now(), line_addr, cw, bank_id);
+            bank.openCodeword_ = cw;
+        }
+    }
+
     if (simCheckActive())
         auditWritebackCoherence(line_addr, data);
 }
@@ -294,6 +516,12 @@ MemoryController::auditWritebackCoherence(PhysAddr line_addr,
                 line_addr);
         }
     }
+    if (!geometry_.isWord() && mode_ != EccMode::Disabled) {
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "writeback_edc_clean",
+                       edcConsistent(line_addr),
+                       "stored EDC fold stale after writeback of line ",
+                       line_addr);
+    }
 }
 
 void
@@ -311,6 +539,20 @@ MemoryController::auditBankRollup() const
                        "per-bank '", kControllerStatNames[s],
                        "' slots sum to ", sum, " but the machine-wide "
                        "counter reads ", stats_.get(stat));
+    }
+    constexpr std::size_t geom_slots =
+        sizeof(kGeometryStatNames) / sizeof(kGeometryStatNames[0]);
+    for (std::size_t s = 0; s < geom_slots; ++s) {
+        auto stat = static_cast<GeometryStat>(s);
+        std::uint64_t sum = 0;
+        for (const MemoryBank &bank : banks_)
+            sum += bank.geometryStats().get(stat);
+        SIMCHECK_AUDIT(AuditDomain::MemoryController, "bank_stat_rollup",
+                       sum == geomStats_.get(stat),
+                       "per-bank '", kGeometryStatNames[s],
+                       "' geometry slots sum to ", sum,
+                       " but the machine-wide counter reads ",
+                       geomStats_.get(stat));
     }
 }
 
@@ -359,16 +601,32 @@ MemoryController::scrubRange(PhysAddr start_line, std::size_t lines)
     banks_[bank_id].stats_.add(ControllerStat::ScrubPasses);
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubBegin, clock_.now(),
                        start_line, lines, bank_id);
-    for (std::size_t l = 0; l < lines; ++l) {
-        PhysAddr line_addr = start_line + l * kCacheLineSize;
+    for (std::size_t l = 0; l < lines; ++l)
+        scrubLine(start_line + l * kCacheLineSize);
+    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubEnd, clock_.now(),
+                       start_line, lines, bank_id);
+}
+
+void
+MemoryController::scrubLine(PhysAddr line_addr)
+{
+    if (geometry_.isWord() || mode_ == EccMode::Disabled) {
         for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
             clock_.advance(kScrubWordCycles, CostCenter::Kernel);
             std::uint64_t word;
             decodeWord(line_addr + i * kEccGroupSize, true, word);
         }
+        return;
     }
-    SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubEnd, clock_.now(),
-                       start_line, lines, bank_id);
+    // Block geometry: the patrol read verifies the line's EDC fold and
+    // only a miss pays the long-code decode — the same fast-check /
+    // decode-on-failure split the fill path uses. Errors confined to
+    // the redundancy lane stay latent until something misses EDC;
+    // that blind spot is part of the trade the coarse geometry makes.
+    for (std::size_t i = 0; i < kEccGroupsPerLine; ++i)
+        clock_.advance(kScrubWordCycles, CostCenter::Kernel);
+    if (storedLineFold(line_addr) != memory_.readEdc(line_addr))
+        blockDecode(line_addr, true, nullptr);
 }
 
 void
@@ -394,14 +652,8 @@ MemoryController::scrubBank(unsigned id)
                        first, line_count, id);
     for (PhysAddr page = first; page < memory_.size(); page += stride) {
         bank.scrubCursor_ = page;
-        for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l) {
-            PhysAddr line_addr = page + l * kCacheLineSize;
-            for (std::size_t i = 0; i < kEccGroupsPerLine; ++i) {
-                clock_.advance(kScrubWordCycles, CostCenter::Kernel);
-                std::uint64_t word;
-                decodeWord(line_addr + i * kEccGroupSize, true, word);
-            }
-        }
+        for (std::size_t l = 0; l < kPageSize / kCacheLineSize; ++l)
+            scrubLine(page + l * kCacheLineSize);
     }
     bank.scrubCursor_ = first;
     SAFEMEM_TRACE_EMIT(trace_, TraceEvent::ControllerScrubEnd, clock_.now(),

@@ -31,6 +31,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "ecc/codec.h"
+#include "ecc/geometry.h"
 #include "mem/bank.h"
 #include "mem/fault.h"
 #include "mem/line.h"
@@ -50,14 +51,21 @@ class MemoryController
      *        anything else panics at construction.
      * @param banks number of interleaved banks in [1, kMaxMemoryBanks];
      *        the DIMM must hold at least one page per bank.
+     * @param geometry protection geometry of the datapath. A block
+     *        geometry requires a DIMM organised with the matching EDC
+     *        lane; the word default is bit-identical to the
+     *        pre-geometry controller.
      */
     MemoryController(PhysicalMemory &memory, CycleClock &clock,
                      Trace *trace = nullptr,
                      const EccCodec &code = defaultCodec(),
-                     unsigned banks = 1);
+                     unsigned banks = 1, ProtectionGeometry geometry = {});
 
     /** @return the codec wired into the datapath. */
     const EccCodec &code() const { return code_; }
+
+    /** @return the protection geometry wired into the datapath. */
+    const ProtectionGeometry &geometry() const { return geometry_; }
 
     /** Switch the controller operating mode (device register write). */
     void setMode(EccMode mode) { mode_ = mode; }
@@ -168,6 +176,15 @@ class MemoryController
     /** @return machine-wide controller statistics (roll-up of banks). */
     const StatSet &stats() const { return stats_; }
 
+    /** @return machine-wide block-geometry statistics (roll-up of the
+     *  per-bank slices; all-zero on the word default). */
+    const StatSet &geometryStats() const { return geomStats_; }
+
+    /** @return whether the stored EDC fold of the line at @p line_addr
+     *  matches its stored data. Trivially true on the word default
+     *  (no EDC lane exists). Uncharged — SimCheck audits and tests. */
+    bool edcConsistent(PhysAddr line_addr) const;
+
     /**
      * SimCheck: every machine-wide counter must equal the sum of the
      * per-bank slots — each stat site bumps exactly one bank alongside
@@ -186,6 +203,39 @@ class MemoryController
     bool decodeWord(PhysAddr word_addr, bool scrubbing,
                     std::uint64_t &data_out);
 
+    /** @return the EDC fold of the stored data of the line at
+     *  @p line_addr (block geometries only). */
+    std::uint64_t storedLineFold(PhysAddr line_addr) const;
+
+    /** Bump a block-geometry stat machine-wide and on @p bank_id. */
+    void geomAdd(GeometryStat stat, unsigned bank_id,
+                 std::uint64_t delta = 1);
+
+    /**
+     * Full long-code ECC decode of the codeword containing
+     * @p line_addr, after an EDC miss. Words of the requested line get
+     * the word-default fault semantics (heal / report / raise);
+     * uncorrectable words elsewhere in the codeword are counted latent
+     * instead of raising, so one scrambled neighbour cannot storm the
+     * interrupt wire with faults nobody demanded. Lines that decode
+     * clean get stale EDC folds refreshed — correcting modes only,
+     * because CheckOnly never heals and a refresh would bless the very
+     * error a stale fold is flagging.
+     * @param out receives the requested line when non-null.
+     * @return false when a word of the requested line was uncorrectable.
+     */
+    bool blockDecode(PhysAddr line_addr, bool scrubbing, LineData *out);
+
+    /** decodeWord for codeword words outside the requested line: heals
+     *  singles in correcting modes, counts uncorrectable words as
+     *  latent instead of raising. @return whether the stored word ends
+     *  up clean. */
+    bool latentDecodeWord(PhysAddr word_addr);
+
+    /** Scrub one line: per-word decode on the word default; EDC
+     *  fast-check with decode-on-miss under a block geometry. */
+    void scrubLine(PhysAddr line_addr);
+
     /** SimCheck: written-back line must read back verbatim and decode
      *  clean (run only while auditing is enabled). */
     void auditWritebackCoherence(PhysAddr line_addr,
@@ -203,7 +253,9 @@ class MemoryController
     std::deque<MemoryBank> banks_;
     EccInterruptHandler interruptHandler_;
     Trace *trace_;
+    ProtectionGeometry geometry_;
     StatSet stats_{kControllerStatNames};
+    StatSet geomStats_{kGeometryStatNames};
 };
 
 /**

@@ -1,11 +1,13 @@
 #include "mem/physical_memory.h"
 
 #include "common/logging.h"
+#include "ecc/edc.h"
 
 namespace safemem {
 
-PhysicalMemory::PhysicalMemory(std::size_t bytes, int check_bits)
-    : bytes_(bytes), checkBits_(check_bits)
+PhysicalMemory::PhysicalMemory(std::size_t bytes, int check_bits,
+                               ProtectionGeometry geometry)
+    : bytes_(bytes), checkBits_(check_bits), geometry_(geometry)
 {
     if (bytes == 0 || !isAligned(bytes, kCacheLineSize))
         fatal("PhysicalMemory: capacity ", bytes,
@@ -13,10 +15,18 @@ PhysicalMemory::PhysicalMemory(std::size_t bytes, int check_bits)
     if (check_bits < 1 || check_bits > 8)
         fatal("PhysicalMemory: check lane of ", check_bits,
               " bits does not fit the DIMM's check byte");
+    if (!geometry_.isWord() &&
+        !validCodewordBytes(geometry_.codewordBytes))
+        fatal("PhysicalMemory: unsupported codeword size ",
+              geometry_.codewordBytes);
     words_.assign(bytes / kEccGroupSize, 0);
     // All-zero data has all-zero check bits under any linear code, so
     // fresh memory decodes cleanly without an explicit init pass.
     checks_.assign(bytes / kEccGroupSize, 0);
+    // The EDC lane starts consistent with the all-zero data.
+    if (!geometry_.isWord())
+        edc_.assign(bytes / kCacheLineSize,
+                    edcZeroLineFold(geometry_.edc));
 }
 
 std::size_t
@@ -67,6 +77,39 @@ PhysicalMemory::flipCheckBit(PhysAddr addr, int bit)
     if (bit < 0 || bit >= checkBits_)
         panic("PhysicalMemory: bad check bit ", bit);
     checks_[wordIndex(addr)] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+std::size_t
+PhysicalMemory::lineIndex(PhysAddr addr) const
+{
+    if (edc_.empty())
+        panic("PhysicalMemory: no EDC lane on a word-geometry DIMM");
+    if (!isAligned(addr, kCacheLineSize))
+        panic("PhysicalMemory: unaligned line address ", addr);
+    if (addr >= bytes_)
+        panic("PhysicalMemory: address ", addr, " beyond capacity ", bytes_);
+    return addr / kCacheLineSize;
+}
+
+std::uint64_t
+PhysicalMemory::readEdc(PhysAddr line_addr) const
+{
+    return edc_[lineIndex(line_addr)];
+}
+
+void
+PhysicalMemory::writeEdc(PhysAddr line_addr, std::uint64_t fold)
+{
+    edc_[lineIndex(line_addr)] = fold;
+}
+
+void
+PhysicalMemory::flipEdcBit(PhysAddr line_addr, int bit)
+{
+    if (bit < 0 ||
+        bit >= static_cast<int>(edcBitsPerLine(geometry_.edc)))
+        panic("PhysicalMemory: bad EDC bit ", bit);
+    edc_[lineIndex(line_addr)] ^= 1ULL << bit;
 }
 
 } // namespace safemem

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "ecc/geometry.h"
 
 namespace safemem {
 
@@ -30,8 +31,14 @@ class PhysicalMemory
      *                   [1, 8] — the width of the DIMM's check lane
      *                   (8 for the paper's x72 modules). Fault
      *                   injection validates bit indices against it.
+     * @param geometry   protection geometry the DIMM is organised for.
+     *                   A block geometry adds an EDC lane (one fold
+     *                   word per cache line, riding with the data
+     *                   burst); the word default adds nothing and is
+     *                   bit-identical to the pre-geometry DIMM.
      */
-    explicit PhysicalMemory(std::size_t bytes, int check_bits = 8);
+    explicit PhysicalMemory(std::size_t bytes, int check_bits = 8,
+                            ProtectionGeometry geometry = {});
 
     /** @return capacity in bytes. */
     std::size_t size() const { return bytes_; }
@@ -58,13 +65,40 @@ class PhysicalMemory
      *  memory error. */
     void flipCheckBit(PhysAddr addr, int bit);
 
+    /** @name EDC lane (block geometries only)
+     *  One fold word per cache line, stored with the data burst. The
+     *  accessors panic on a word-geometry DIMM — the lane physically
+     *  does not exist there. */
+    /// @{
+
+    /** @return whether this DIMM carries an EDC lane. */
+    bool hasEdcLane() const { return !edc_.empty(); }
+
+    /** @return the geometry this DIMM was organised for. */
+    const ProtectionGeometry &geometry() const { return geometry_; }
+
+    /** @return the stored EDC fold of the line at @p line_addr. */
+    std::uint64_t readEdc(PhysAddr line_addr) const;
+
+    /** Overwrite the stored EDC fold of the line at @p line_addr. */
+    void writeEdc(PhysAddr line_addr, std::uint64_t fold);
+
+    /** Flip one stored EDC bit (< the geometry's EDC width) — models a
+     *  hardware memory error in the EDC lane. */
+    void flipEdcBit(PhysAddr line_addr, int bit);
+    /// @}
+
   private:
     std::size_t wordIndex(PhysAddr addr) const;
+    std::size_t lineIndex(PhysAddr addr) const;
 
     std::size_t bytes_;
     int checkBits_;
+    ProtectionGeometry geometry_;
     std::vector<std::uint64_t> words_;
     std::vector<std::uint8_t> checks_;
+    /** EDC lane: one fold word per line; empty for word geometry. */
+    std::vector<std::uint64_t> edc_;
 };
 
 } // namespace safemem

@@ -8,6 +8,7 @@
 #include "check/simcheck.h"
 #include "common/costs.h"
 #include "common/logging.h"
+#include "ecc/edc.h"
 #include "trace/trace.h"
 
 namespace safemem {
@@ -28,6 +29,18 @@ Kernel::Kernel(MemoryController &controller, Cache &cache, CycleClock &clock,
               "' cannot host a scramble signature; WatchMemory would "
               "never fault");
     scramble_ = *pattern;
+    // Under a block geometry the watch trick additionally relies on the
+    // scramble leaving the line's EDC fold stale: the fill's EDC fast
+    // check must miss so the long-code decode (which raises the fault)
+    // actually runs. The folds are linear, so the delta a scramble
+    // induces is a data-independent constant — the EDC analogue of the
+    // scramble-signature search above, checked once at boot.
+    const ProtectionGeometry &geom = controller_.geometry();
+    if (!geom.isWord() &&
+        edcScrambleFoldDelta(geom.edc, scramble_.mask()) == 0)
+        panic("Kernel: scramble signature ", scramble_.mask(),
+              " is invisible to the '", geometryName(geom),
+              "' EDC fold; WatchMemory would never fault");
     // Build the per-bank frame free lists over all of physical memory.
     std::size_t frames = controller_.memory().size() / kPageSize;
     freeFramesByBank_.resize(controller_.numBanks());
@@ -389,6 +402,18 @@ Kernel::watchMemory(VirtAddr addr, std::size_t size)
                             .status == EccDecodeStatus::Uncorrectable,
                     "scrambled word at ", word_addr,
                     " does not decode as a multi-bit fault");
+            }
+        }
+        // Under a block geometry the scrambled line must also have gone
+        // EDC-stale, or the fill fast path would wave it through and the
+        // decode above would never run (boot checked the fold delta is
+        // nonzero; this audits the datapath actually left it stale).
+        if (!controller_.geometry().isWord()) {
+            for (PhysAddr pline : plines) {
+                SIMCHECK_AUDIT(AuditDomain::Kernel, "scramble_edc_stale",
+                               !controller_.edcConsistent(pline),
+                               "scrambled line at ", pline,
+                               " still passes the EDC fast check");
             }
         }
     }

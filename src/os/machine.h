@@ -78,6 +78,14 @@ struct MachineConfig
      * the positional {bytes, cache, tick} initializers predate it.)
      */
     std::uint32_t banks = 1;
+    /**
+     * Protection geometry of the DIMM + controller datapath: the
+     * per-word SEC-DED default, or a large-codeword EDC+ECC split
+     * (geometry.h). The default constructs nothing new and is
+     * bit-identical to the pre-geometry machine. (Kept after `banks`
+     * for the same positional-initializer reason.)
+     */
+    ProtectionGeometry geometry{};
 };
 
 /**

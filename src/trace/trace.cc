@@ -100,6 +100,10 @@ traceEventBankPayload(TraceEvent event)
     case TraceEvent::ControllerFill:
     case TraceEvent::ControllerScrubBegin:
     case TraceEvent::ControllerScrubEnd:
+    case TraceEvent::EdcCheckPass:
+    case TraceEvent::EdcCheckFail:
+    case TraceEvent::EccBlockDecode:
+    case TraceEvent::PartialWriteRmw:
         return 2;
     default:
         return -1;

@@ -103,6 +103,15 @@ enum class TraceEvent : std::uint16_t
     SchedContextSwitch,  ///< a=from pid, b=to pid
     /// @}
 
+    /** @name Block protection geometry (large-codeword EDC+ECC).
+     *  Emitted only on block-geometry machines. */
+    /// @{
+    EdcCheckPass,    ///< a=line, b=codeword base, c=bank
+    EdcCheckFail,    ///< a=line, b=codeword base, c=bank
+    EccBlockDecode,  ///< a=demanded line, b=codeword base, c=bank
+    PartialWriteRmw, ///< a=written line, b=codeword opened, c=bank
+    /// @}
+
     NumEvents
 };
 
@@ -148,6 +157,10 @@ inline constexpr const char *kTraceEventNames[] = {
     "sched_process_created",
     "sched_process_exited",
     "sched_context_switch",
+    "edc_check_pass",
+    "edc_check_fail",
+    "ecc_block_decode",
+    "partial_write_rmw",
 };
 static_assert(sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]) ==
                   static_cast<std::size_t>(TraceEvent::NumEvents),

@@ -3,6 +3,7 @@
 #include "workloads/gzip_app.h"
 #include "workloads/proftpd.h"
 #include "workloads/squid.h"
+#include "workloads/streaming.h"
 #include "workloads/tar_app.h"
 #include "workloads/ypserv.h"
 
@@ -26,6 +27,10 @@ makeApp(const std::string &name)
         return std::make_unique<GzipApp>();
     if (name == "tar")
         return std::make_unique<TarApp>();
+    // Not in appNames(): "stream" is the geometry lab's workload, kept
+    // out of the paper-order sweeps ("all", Tables 3-5) on purpose.
+    if (name == "stream")
+        return std::make_unique<StreamApp>();
     return nullptr;
 }
 

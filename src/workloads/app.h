@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "ecc/codec.h"
+#include "ecc/geometry.h"
 #include "workloads/env.h"
 
 namespace safemem {
@@ -55,6 +56,15 @@ struct RunParams
      * detection-equivalent to full SafeMem.
      */
     double sampleRate = 1.0;
+    /**
+     * Protection geometry the run's machine is built with
+     * (MachineConfig::geometry). Part of the run identity like
+     * seed/codec/banks: same spec, same RunResult. The word default is
+     * the per-word SEC-DED datapath and reproduces the pre-geometry
+     * results bit for bit; block geometries add the "geometry.*" stat
+     * family to the result.
+     */
+    ProtectionGeometry geometry{};
     /**
      * Per-run log sink (must outlive the run); the driver routes every
      * message the run emits — kernel warnings, SimCheck reports — to

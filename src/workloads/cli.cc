@@ -63,6 +63,8 @@ cliUsage()
        << "  --codec <spec>    ECC codec the machine runs: hsiao (default)"
           " |\n"
        << "                    hamming64/8 | hsiao:<d>[/<k>]\n"
+       << "  --geometry <g>    protection geometry: word (default) |\n"
+       << "                    block:<512|1024|4096>[/parity|/crc32]\n"
        << "\ncampaign options:\n"
        << "  --codec <spec>    codec to sweep (repeatable; default: the\n"
        << "                    full zoo: hsiao, hamming64/8, hsiao:64/8)\n"
@@ -208,6 +210,17 @@ parseCliArguments(const std::vector<std::string> &args)
                 return result;
             }
             options.params.codec = *spec;
+        } else if (arg == "--geometry") {
+            const std::string *value = need_value("--geometry");
+            if (!value)
+                return result;
+            auto geometry = parseGeometry(*value);
+            if (!geometry) {
+                result.message =
+                    "unknown geometry '" + *value + "'\n\n" + cliUsage();
+                return result;
+            }
+            options.params.geometry = *geometry;
         } else if (arg == "--workers") {
             const std::string *value = need_value("--workers");
             if (!value)
@@ -293,6 +306,8 @@ traceLabel(const RunSpec &spec)
         label += "+procs" + std::to_string(spec.procs);
     if (spec.params.banks > 1)
         label += "+banks" + std::to_string(spec.params.banks);
+    if (!spec.params.geometry.isWord())
+        label += "+" + geometryLabel(spec.params.geometry);
     return label;
 }
 

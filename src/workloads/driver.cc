@@ -41,6 +41,8 @@ defaultRequests(const std::string &app_name)
         return 80; // blocks
     if (app_name == "tar")
         return 400; // files
+    if (app_name == "stream")
+        return 48; // 64 KiB batches
     return 2000; // server requests
 }
 
@@ -279,6 +281,7 @@ runWorkload(const std::string &app_name, ToolKind tool,
     MachineConfig machine_config;
     machine_config.memoryBytes = 192u << 20;
     machine_config.banks = params.banks;
+    machine_config.geometry = params.geometry;
     machine_config.log = params.log;
     machine_config.trace = params.trace;
     // Only a non-default codec allocates anything: the default spec
@@ -295,6 +298,7 @@ runWorkload(const std::string &app_name, ToolKind tool,
     result.app = app_name;
     result.tool = tool;
     result.buggy = params.buggy;
+    result.geometry = params.geometry;
 
     // Assemble the tool stack for this configuration (on the machine's
     // init process — single-process runs never create another).
@@ -314,6 +318,11 @@ runWorkload(const std::string &app_name, ToolKind tool,
                machine.kernel().currentProcess().tlb().stats());
     mergeStats(result.stats, "cache", machine.cache().stats());
     mergeStats(result.stats, "controller", machine.controller().stats());
+    // The geometry stat family only exists on a block-geometry machine;
+    // the word default keeps the exact pre-geometry stats key set.
+    if (!params.geometry.isWord())
+        mergeStats(result.stats, "geometry",
+                   machine.controller().geometryStats());
     mergeStats(result.stats, "alloc", stack.allocator->stats());
     return result;
 }
@@ -483,6 +492,7 @@ runConsolidated(const RunSpec &spec)
     machine_config.memoryBytes =
         (192u << 20) + static_cast<std::size_t>(96u << 20) * (nprocs - 1);
     machine_config.banks = spec.params.banks;
+    machine_config.geometry = spec.params.geometry;
     machine_config.log = spec.params.log;
     machine_config.trace = spec.params.trace;
     std::unique_ptr<EccCodec> codec;
@@ -497,6 +507,7 @@ runConsolidated(const RunSpec &spec)
     result.app = spec.app;
     result.tool = spec.tool;
     result.buggy = spec.params.buggy;
+    result.geometry = spec.params.geometry;
 
     // Boot one process per workload instance. Stacks are built with the
     // owning process current, so handlers, hooks and heap mappings all
@@ -618,6 +629,9 @@ runConsolidated(const RunSpec &spec)
     mergeStats(result.stats, "kernel", kernel.stats());
     mergeStats(result.stats, "cache", machine.cache().stats());
     mergeStats(result.stats, "controller", machine.controller().stats());
+    if (!spec.params.geometry.isWord())
+        mergeStats(result.stats, "geometry",
+                   machine.controller().geometryStats());
     mergeStats(result.stats, "sched", machine.scheduler().stats());
     // Bank hand-off classification only exists on a banked machine;
     // banks=1 keeps the exact pre-bank stats key set (bit-identity).

@@ -76,6 +76,9 @@ struct RunResult
     std::string app;
     ToolKind tool = ToolKind::None;
     bool buggy = false;
+    /** Protection geometry the run's machine was built with; the word
+     *  default reports nothing extra. */
+    ProtectionGeometry geometry{};
 
     /** @name Time (Table 3) */
     /// @{

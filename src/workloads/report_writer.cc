@@ -107,6 +107,21 @@ formatRunSummary(const RunResult &result)
     os << "  simulated time     " << seconds(result.totalCycles)
        << " total, " << seconds(result.appCycles) << " application\n";
 
+    // Only block-geometry machines have an EDC fast path to report on;
+    // the word default keeps the exact pre-geometry report text.
+    if (!result.geometry.isWord()) {
+        auto stat = [&](const char *name) -> std::uint64_t {
+            auto it = result.stats.find(name);
+            return it == result.stats.end() ? 0 : it->second;
+        };
+        os << "  geometry           " << geometryName(result.geometry)
+           << ": " << stat("geometry.edc_checks_passed")
+           << " EDC passes / " << stat("geometry.edc_checks_failed")
+           << " misses, " << stat("geometry.block_decodes")
+           << " block decodes, " << stat("geometry.partial_write_rmws")
+           << " RMW writebacks\n";
+    }
+
     // Consolidated run: one detector report per process, then the
     // machine-wide contention counters for the shared resources.
     for (const ProcResult &proc : result.procs) {

@@ -51,5 +51,6 @@ inline constexpr std::uint32_t kAppProftpd = 2;
 inline constexpr std::uint32_t kAppSquid = 3;
 inline constexpr std::uint32_t kAppGzip = 4;
 inline constexpr std::uint32_t kAppTar = 5;
+inline constexpr std::uint32_t kAppStream = 6;
 
 } // namespace safemem

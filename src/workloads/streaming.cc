@@ -1,0 +1,93 @@
+#include "workloads/streaming.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/sites.h"
+
+namespace safemem {
+
+namespace {
+
+constexpr std::uint64_t kSiteBuffer = makeSite(kAppStream, 1, true);
+constexpr std::uint64_t kSiteIndex = makeSite(kAppStream, 2);
+
+constexpr std::uint64_t kFnProduce = funcId(kAppStream, 1);
+constexpr std::uint64_t kFnDrain = funcId(kAppStream, 2);
+
+/** One streamed record batch. */
+constexpr std::size_t kBufferBytes = 64 * 1024;
+
+/** Sequential transfer granule — many cache lines, so the eviction
+ *  stream walks whole codewords in order. */
+constexpr std::size_t kChunkBytes = 1024;
+
+/** Buffers are recycled after this many batches, like a ring of DMA
+ *  buffers; buggy runs leak at the recycle points instead. */
+constexpr std::size_t kBatchesPerBuffer = 8;
+
+/** Light per-chunk processing (checksum + header parse). */
+constexpr Cycles kPerChunkCycles = 220;
+
+} // namespace
+
+void
+StreamApp::run(Env &env, const RunParams &params)
+{
+    Rng rng(params.seed * 74093 + 29);
+    FrameGuard main_frame(env.stack(), funcId(kAppStream, 0));
+
+    // Small index of batch sequence numbers, touched once per batch.
+    VirtAddr index = env.callocBytes(kBatchesPerBuffer,
+                                     sizeof(std::uint64_t), kSiteIndex);
+
+    std::vector<std::uint8_t> chunk(kChunkBytes);
+    std::vector<std::uint8_t> sink(kChunkBytes);
+
+    VirtAddr buffer = 0;
+    for (std::uint64_t batch = 0; batch < params.requests; ++batch) {
+        if (batch % kBatchesPerBuffer == 0) {
+            if (buffer != 0) {
+                // The stream bug: under buggy inputs the retire path
+                // forgets every other exhausted buffer — rotate the
+                // ring, lose the oldest reference.
+                if (params.buggy && (batch / kBatchesPerBuffer) % 2 == 1)
+                    env.dropRef(buffer);
+                else
+                    env.free(buffer);
+            }
+            buffer = env.alloc(kBufferBytes, kSiteBuffer);
+        }
+
+        env.store<std::uint64_t>(
+            index + (batch % kBatchesPerBuffer) * sizeof(std::uint64_t),
+            batch);
+
+        {
+            // Produce: fill the buffer front to back, chunk by chunk.
+            FrameGuard frame(env.stack(), kFnProduce);
+            for (std::size_t off = 0; off < kBufferBytes;
+                 off += kChunkBytes) {
+                auto salt = static_cast<std::uint8_t>(rng.next());
+                for (std::size_t i = 0; i < kChunkBytes; ++i)
+                    chunk[i] = static_cast<std::uint8_t>(i + off + salt);
+                env.write(buffer + off, chunk.data(), kChunkBytes);
+            }
+        }
+        {
+            // Drain: stream it back out in the same order.
+            FrameGuard frame(env.stack(), kFnDrain);
+            for (std::size_t off = 0; off < kBufferBytes;
+                 off += kChunkBytes) {
+                env.read(buffer + off, sink.data(), kChunkBytes);
+                env.compute(kPerChunkCycles);
+            }
+        }
+    }
+
+    if (buffer != 0)
+        env.free(buffer);
+    env.free(index);
+}
+
+} // namespace safemem

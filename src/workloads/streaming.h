@@ -1,0 +1,28 @@
+/**
+ * @file
+ * stream — a coarse-grained sequential streaming workload.
+ *
+ * Not one of the paper's Table 1 applications: it exists for the
+ * protection-geometry trade-off lab. Each batch fills a large buffer
+ * front to back in chunk-sized writes, then drains it in the same
+ * order — the access pattern large-codeword EDC+ECC geometries are
+ * built for, where consecutive writebacks land in the codeword the
+ * write-combine buffer already holds open and sidestep the partial
+ * write read-modify-write. The injected bug: buggy inputs leak every
+ * other exhausted buffer when the ring rotates.
+ */
+
+#pragma once
+
+#include "workloads/app.h"
+
+namespace safemem {
+
+class StreamApp : public App
+{
+  public:
+    const char *name() const override { return "stream"; }
+    void run(Env &env, const RunParams &params) override;
+};
+
+} // namespace safemem

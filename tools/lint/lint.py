@@ -70,6 +70,14 @@ Rules (scoped to ``src/`` unless noted):
                    is half-plumbed; this rule catches the forgotten
                    mirror before the -Werror switch coverage can (which
                    only guards files that already switch on the enum).
+  codeword-arithmetic  No raw ``codewordBytes`` arithmetic (adjacent
+                   arithmetic/bit operators, or ``alignUp``/``alignDown``
+                   over the field) outside ``src/mem/`` and ``src/ecc/``:
+                   codeword framing — what a codeword covers, where its
+                   boundaries fall — is the protection-geometry seam's
+                   business.  Other layers treat ProtectionGeometry as an
+                   opaque run parameter: compare it, name it via
+                   ``geometryName()``/``geometryLabel()``, pass it whole.
   single-space-kernel  No legacy single-address-space kernel accessors
                    (``kernel().pageTable()`` / ``kernel().tlb()``) outside
                    ``src/os/``: the kernel is multi-process now, and those
@@ -390,6 +398,50 @@ def check_single_space_kernel(rel, stripped, violations):
                 "(kernel().currentProcess()/process(pid)) instead"))
 
 
+# --- codeword-arithmetic ---------------------------------------------------
+
+# ProtectionGeometry::codewordBytes fed into arithmetic — adjacent
+# arithmetic/bit operators or an alignUp/alignDown call — outside the
+# two layers that own codeword framing (src/mem/, src/ecc/).  Code
+# elsewhere treats the geometry as an opaque run parameter: compare it,
+# name it (geometryName/geometryLabel), pass it whole.  Equality tests
+# against the field stay fine anywhere.
+CODEWORD_ARITH_AFTER = re.compile(
+    r"^\s*(?:<<|>>|[-+*/%^\[]|&(?!&)|\|(?!\|))")
+CODEWORD_ARITH_BEFORE = re.compile(
+    r"(?:<<|>>|[-+*/%^\[]|(?<!&)&(?!&)|(?<!\|)\|(?!\|))\s*$")
+CODEWORD_ALIGN_CALL = re.compile(
+    r"\balign(?:Up|Down)\s*\([^;{}]*\bcodewordBytes\b")
+
+
+def check_codeword_arithmetic(rel, stripped, violations):
+    if not rel.startswith("src/"):
+        return
+    if rel.startswith(("src/mem/", "src/ecc/")):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        flagged = bool(CODEWORD_ALIGN_CALL.search(line))
+        if not flagged:
+            for match in re.finditer(r"\bcodewordBytes\b", line):
+                after = line[match.end():]
+                before = line[:match.start()]
+                # Walk back over the object expression the member hangs
+                # off (geometry_.codewordBytes, spec->geometry.codewordBytes)
+                # to find the operator in front of the whole access.
+                expr = re.search(r"[A-Za-z_][\w.]*(?:->[\w.]*)*\s*$", before)
+                head = before[:expr.start()] if expr else before
+                if (CODEWORD_ARITH_AFTER.search(after)
+                        or CODEWORD_ARITH_BEFORE.search(head)):
+                    flagged = True
+                    break
+        if flagged:
+            violations.append(Violation(
+                rel, lineno, "codeword-arithmetic",
+                "raw codeword-size arithmetic belongs to src/mem/ and "
+                "src/ecc/; elsewhere treat ProtectionGeometry as opaque "
+                "(compare it, geometryName() it, or pass it whole)"))
+
+
 # --- lock-discipline rules -------------------------------------------------
 
 # Owning one of these makes a class "mutex-owning": every other mutable
@@ -666,6 +718,7 @@ def lint_file(root, rel, violations):
     check_mutable_globals(rel, stripped, violations)
     check_string_trace_payload(rel, stripped, violations)
     check_single_space_kernel(rel, stripped, violations)
+    check_codeword_arithmetic(rel, stripped, violations)
     check_bank_encapsulation(rel, stripped, violations)
     check_unguarded_shared_state(rel, stripped, raw, violations)
     check_lock_order(rel, stripped, raw, violations)
@@ -752,6 +805,17 @@ SEEDED_SOURCES = {
         '#include "os/machine.h"\n'
         "bool mapped(safemem::Kernel *kernel_, safemem::VirtAddr va)\n{\n"
         "    return kernel_->pageTable().find(va) != nullptr;\n}\n"),
+    "src/os/bad_codeword_math.cc": (
+        "codeword-arithmetic",
+        '#include "ecc/geometry.h"\n'
+        "std::size_t lines(const safemem::ProtectionGeometry &g)\n{\n"
+        "    return g.codewordBytes / 64;\n}\n"),
+    "src/workloads/bad_codeword_align.cc": (
+        "codeword-arithmetic",
+        '#include "common/types.h"\n#include "ecc/geometry.h"\n'
+        "safemem::PhysAddr cwBase(safemem::PhysAddr addr,\n"
+        "                         const safemem::ProtectionGeometry &g)\n{\n"
+        "    return safemem::alignDown(addr, g.codewordBytes);\n}\n"),
     "src/os/bad_unguarded.cc": (
         "unguarded-shared-state",
         '#include "common/mutex.h"\n'
@@ -904,6 +968,15 @@ CLEAN_SOURCES = [
      "ToolKind\ntoolKindFromName(int choice)\n{\n"
      "    return choice == 0 ? ToolKind::None : ToolKind::Purify;\n}\n"
      "}\n"),
+    # Opaque geometry uses the rule must accept outside mem/ecc:
+    # comparisons, isWord(), naming, and passing the struct whole.
+    ("src/os/clean_codeword_queries.cc",
+     '#include "ecc/geometry.h"\n'
+     "const char *describe(const safemem::ProtectionGeometry &g)\n{\n"
+     "    if (g.isWord() || g.codewordBytes == 512)\n"
+     '        return "small";\n'
+     "    return safemem::geometryName(g) == \"block:4096\"\n"
+     '               ? "huge" : "medium";\n}\n'),
     # A mutex-owning class the unguarded-shared-state rule must accept:
     # every member is annotated, self-synchronising, or waived.
     ("src/check/clean_guarded_class.cc",
